@@ -1,0 +1,74 @@
+//! Real-time throughput of the collective algorithms the α-β cost model
+//! prices: ring vs recursive-doubling all-reduce and all-gather, across
+//! node counts and message sizes. Validates the relative algorithmic
+//! costs the simulation assumes (ring moves ~2m per node regardless of p;
+//! recursive doubling moves m·log₂p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simgrid::collectives::{
+    recursive_doubling_allreduce, reference_allreduce, ring_allgatherv, ring_allreduce,
+};
+use std::hint::black_box;
+
+fn make_bufs(p: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..p)
+        .map(|r| (0..n).map(|i| ((r * 31 + i) % 17) as f32 - 8.0).collect())
+        .collect()
+}
+
+fn bench_allreduce_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(20);
+    for &p in &[4usize, 16] {
+        for &n in &[1024usize, 65_536] {
+            g.throughput(Throughput::Bytes((p * n * 4) as u64));
+            g.bench_with_input(BenchmarkId::new(format!("ring_p{p}"), n), &n, |b, &n| {
+                let bufs = make_bufs(p, n);
+                b.iter(|| {
+                    let mut bufs = bufs.clone();
+                    ring_allreduce(black_box(&mut bufs));
+                    bufs
+                });
+            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("recdbl_p{p}"), n),
+                &n,
+                |b, &n| {
+                    let bufs = make_bufs(p, n);
+                    b.iter(|| {
+                        let mut bufs = bufs.clone();
+                        recursive_doubling_allreduce(black_box(&mut bufs));
+                        bufs
+                    });
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("reference_p{p}"), n),
+                &n,
+                |b, &n| {
+                    let bufs = make_bufs(p, n);
+                    b.iter(|| reference_allreduce(black_box(&bufs)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgatherv");
+    g.sample_size(20);
+    for &p in &[4usize, 16] {
+        // Sparse contribution: 10% of a 65_536-element dense buffer.
+        let n = 6554;
+        g.throughput(Throughput::Bytes((p * p * n * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("ring", p), &p, |b, &p| {
+            let contribs = make_bufs(p, n);
+            b.iter(|| ring_allgatherv(black_box(&contribs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce_algorithms, bench_allgather);
+criterion_main!(benches);

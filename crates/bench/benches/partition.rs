@@ -1,0 +1,33 @@
+//! Cost of the relation partition (§4.4: sort + prefix sum + binary
+//! search) against the uniform and hash baselines, on a Zipf-skewed
+//! Freebase-shaped relation distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kge_data::synth::{generate, SynthPreset};
+use kge_partition::{hash_partition, relation_partition, uniform_partition};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let ds = generate(&SynthPreset::Fb15kLike.config(0.05, 11));
+    let triples = ds.train.clone();
+    let n_rel = ds.n_relations;
+
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(triples.len() as u64));
+    for &p in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("relation", p), &p, |b, &p| {
+            b.iter(|| relation_partition(black_box(&triples), n_rel, p));
+        });
+        g.bench_with_input(BenchmarkId::new("uniform", p), &p, |b, &p| {
+            b.iter(|| uniform_partition(black_box(&triples), p));
+        });
+        g.bench_with_input(BenchmarkId::new("hash", p), &p, |b, &p| {
+            b.iter(|| hash_partition(black_box(&triples), p));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Encode/decode throughput of the gradient quantizers and wire codecs
+//! (§4.3): the quantization overhead the trainer charges per batch, and
+//! the compression ratios the communication savings derive from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
+use kge_compress::quant::{quantize_row, QuantScheme};
+use kge_compress::WireFormat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DIM: usize = 64;
+const ROWS: usize = 2000;
+
+fn rows(rng: &mut StdRng) -> Vec<(u32, Vec<f32>)> {
+    (0..ROWS)
+        .map(|i| {
+            (
+                i as u32,
+                (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize");
+    g.throughput(Throughput::Bytes((ROWS * DIM * 4) as u64));
+    for (name, scheme) in [
+        ("1bit_max", QuantScheme::paper_one_bit()),
+        ("2bit_terngrad", QuantScheme::TwoBit),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let data = rows(&mut rng);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                data.iter()
+                    .map(|(_, v)| quantize_row(black_box(scheme), v, &mut rng))
+                    .count()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (name, scheme, format) in [
+        ("f32", QuantScheme::None, WireFormat::F32),
+        (
+            "1bit",
+            QuantScheme::paper_one_bit(),
+            WireFormat::OneBit { two_scales: false },
+        ),
+        ("2bit", QuantScheme::TwoBit, WireFormat::TwoBit),
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload: Vec<RowPayload> = rows(&mut rng)
+            .into_iter()
+            .map(|(row, v)| RowPayload {
+                row,
+                data: quantize_row(scheme, &v, &mut rng),
+            })
+            .collect();
+        g.bench_function(BenchmarkId::new("encode", name), |b| {
+            b.iter(|| encode_rows(black_box(format), DIM, black_box(&payload)).unwrap());
+        });
+        let bytes = encode_rows(format, DIM, &payload).unwrap();
+        g.bench_function(BenchmarkId::new("decode", name), |b| {
+            b.iter(|| decode_rows(black_box(&bytes)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_codec_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Overhead of the §4.2 gradient-row selection policies on realistic
+//! sparse gradients (the cost RS adds to every batch, traded against the
+//! communication it saves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kge_compress::row_select::{select_rows, RowSelector};
+use kge_core::SparseGrad;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DIM: usize = 64;
+const ROWS: usize = 4000;
+
+fn grad(rng: &mut StdRng) -> SparseGrad {
+    let mut g = SparseGrad::new(DIM);
+    for i in 0..ROWS {
+        // Skewed magnitudes: a few large rows, many small ones.
+        let scale = if i % 50 == 0 { 1.0 } else { 0.01 };
+        let row = g.row_mut(i as u32);
+        for v in row.iter_mut() {
+            *v = rng.gen_range(-1.0f32..1.0) * scale;
+        }
+    }
+    g
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_select");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (name, sel) in [
+        ("none", RowSelector::None),
+        ("threshold_avg", RowSelector::Threshold { factor: 1.0 }),
+        ("threshold_avg_x0.1", RowSelector::Threshold { factor: 0.1 }),
+        ("bernoulli", RowSelector::paper_rs()),
+        (
+            "bernoulli_rescaled",
+            RowSelector::Bernoulli { rescale: true },
+        ),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed_rng = StdRng::seed_from_u64(9);
+            let base = grad(&mut seed_rng);
+            b.iter(|| {
+                let mut grad = base.clone();
+                let mut rng = StdRng::seed_from_u64(10);
+                select_rows(black_box(sel), &mut grad, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Forward/backward throughput of the KGE scoring models — the per-triple
+//! compute the trainer charges to the simulated clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kge_core::{ComplEx, DistMult, EmbeddingTable, KgeModel, TransE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const BATCH: usize = 10_000;
+
+fn bench_model(c: &mut Criterion, name: &str, model: &dyn KgeModel) {
+    let dim = model.storage_dim();
+    let mut rng = StdRng::seed_from_u64(5);
+    let ent = EmbeddingTable::xavier(1000, dim, &mut rng);
+    let rel = EmbeddingTable::xavier(50, dim, &mut rng);
+    let triples: Vec<(usize, usize, usize)> = (0..BATCH)
+        .map(|i| (i % 1000, i % 50, (i * 7 + 13) % 1000))
+        .collect();
+
+    let mut g = c.benchmark_group("scoring");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function(BenchmarkId::new("forward", name), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &(h, r, t) in &triples {
+                acc += model.score(
+                    black_box(ent.row(h)),
+                    black_box(rel.row(r)),
+                    black_box(ent.row(t)),
+                );
+            }
+            acc
+        });
+    });
+    g.bench_function(BenchmarkId::new("backward", name), |b| {
+        let mut gh = vec![0.0f32; dim];
+        let mut gr = vec![0.0f32; dim];
+        let mut gt = vec![0.0f32; dim];
+        b.iter(|| {
+            for &(h, r, t) in &triples {
+                model.grad(
+                    ent.row(h),
+                    rel.row(r),
+                    ent.row(t),
+                    black_box(0.5),
+                    &mut gh,
+                    &mut gr,
+                    &mut gt,
+                );
+            }
+            (gh[0], gr[0], gt[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    bench_model(c, "complex_r16", &ComplEx::new(16));
+    bench_model(c, "complex_r100", &ComplEx::new(100));
+    bench_model(c, "distmult_r32", &DistMult::new(32));
+    bench_model(c, "transe_r32", &TransE::new(32));
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

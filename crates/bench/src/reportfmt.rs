@@ -1,0 +1,123 @@
+//! Table printing and JSON output for experiment results.
+
+use crate::harness::RunResult;
+use std::io;
+use std::path::Path;
+
+/// Print results in the paper's table layout (one row per method × nodes).
+pub fn print_table(title: &str, rows: &[RunResult]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<18} {:>5} {:>10} {:>6} {:>8} {:>8} {:>12} {:>8}",
+        "method", "nodes", "TT(s)", "N", "TCA(%)", "MRR", "epoch(s)", "AR-frac"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>5} {:>10.2} {:>6} {:>8.2} {:>8.4} {:>12.3} {:>8.2}",
+            r.method,
+            r.nodes,
+            r.tt_hours * 3600.0,
+            r.epochs,
+            r.tca,
+            r.mrr,
+            r.epoch_seconds,
+            r.allreduce_fraction
+        );
+    }
+}
+
+/// Append results as JSON lines to `path` (one record per row, without
+/// the bulky per-epoch trace; the trace goes to `<path>.trace.json` for
+/// figure series).
+pub fn write_json(path: &Path, experiment: &str, rows: &[RunResult]) -> io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in rows {
+        let rec = serde_json::json!({
+            "experiment": experiment,
+            "dataset": r.dataset,
+            "method": r.method,
+            "nodes": r.nodes,
+            "tt_hours": r.tt_hours,
+            "epochs": r.epochs,
+            "tca": r.tca,
+            "mrr": r.mrr,
+            "epoch_seconds": r.epoch_seconds,
+            "allreduce_fraction": r.allreduce_fraction,
+        });
+        writeln!(f, "{rec}")?;
+    }
+    Ok(())
+}
+
+/// Write per-epoch series (for figures 2/3/4/6a/7a) as JSON lines:
+/// one record per epoch of each run.
+pub fn write_trace_json(path: &Path, experiment: &str, rows: &[RunResult]) -> io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in rows {
+        for t in &r.report.trace {
+            let rec = serde_json::json!({
+                "experiment": experiment,
+                "method": r.method,
+                "nodes": r.nodes,
+                "epoch": t.epoch,
+                "sim_seconds": t.sim_seconds,
+                "valid_acc": t.valid_acc,
+                "train_loss": t.train_loss,
+                "nonzero_rows": t.mean_nonzero_rows,
+                "rows_sent": t.mean_rows_sent,
+                "rs_sparsity": t.rs_sparsity,
+                "comm": format!("{:?}", t.comm),
+            });
+            writeln!(f, "{rec}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{fb15k_bench, run_one, BenchScale};
+    use kge_train::StrategyConfig;
+
+    #[test]
+    fn json_output_roundtrips() {
+        let s = BenchScale::quick();
+        let (ds, batch) = fb15k_bench(&s);
+        let mut small = s;
+        small.max_epochs = 2;
+        let r = run_one(
+            &ds,
+            batch,
+            1,
+            4,
+            StrategyConfig::baseline_allreduce(1),
+            "allreduce",
+            &small,
+        );
+        let dir = std::env::temp_dir().join(format!("kge-bench-test-{}", std::process::id()));
+        let path = dir.join("results.jsonl");
+        write_json(&path, "test-exp", std::slice::from_ref(&r)).unwrap();
+        write_trace_json(&dir.join("trace.jsonl"), "test-exp", std::slice::from_ref(&r)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v["experiment"], "test-exp");
+        assert_eq!(v["method"], "allreduce");
+        print_table("smoke", &[r]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,378 @@
+//! Byte-level wire formats for sparse (possibly quantized) gradient rows.
+//!
+//! The all-gather path communicates `(row id, payload)` pairs; the payload
+//! is either raw `f32`s, 1-bit signs + scale(s), or 2-bit ternary levels +
+//! scale. Encoded size is exactly what the simulated network is charged
+//! for, so the formats are packed tight:
+//!
+//! ```text
+//! header:  tag u8 | n_rows u32 | dim u32
+//! F32 row:     row u32 | dim × f32
+//! OneBit row:  row u32 | scale f32 [| neg_scale f32] | ⌈dim/8⌉ sign bytes
+//! TwoBit row:  row u32 | scale f32 | ⌈dim/4⌉ level bytes
+//! ```
+
+use crate::quant::QuantizedRow;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Wire format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFormat {
+    /// Raw sparse f32 rows.
+    F32,
+    /// Sign-bit rows. `two_scales` stores separate positive/negative
+    /// scales (the posmax/posavg/negmax/negavg rules).
+    OneBit { two_scales: bool },
+    /// Ternary rows.
+    TwoBit,
+}
+
+impl WireFormat {
+    fn tag(self) -> u8 {
+        match self {
+            WireFormat::F32 => 0,
+            WireFormat::OneBit { two_scales: false } => 1,
+            WireFormat::OneBit { two_scales: true } => 2,
+            WireFormat::TwoBit => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => WireFormat::F32,
+            1 => WireFormat::OneBit { two_scales: false },
+            2 => WireFormat::OneBit { two_scales: true },
+            3 => WireFormat::TwoBit,
+            _ => return Err(CodecError::BadTag(tag)),
+        })
+    }
+
+    /// Bytes of one encoded row of width `dim`.
+    pub fn row_bytes(self, dim: usize) -> usize {
+        4 + match self {
+            WireFormat::F32 => 4 * dim,
+            WireFormat::OneBit { two_scales } => (if two_scales { 8 } else { 4 }) + dim.div_ceil(8),
+            WireFormat::TwoBit => 4 + dim.div_ceil(4),
+        }
+    }
+
+    /// Total encoded size of `n_rows` rows of width `dim`, header included.
+    /// This is what the dynamic communication-selection strategy uses to
+    /// price a hypothetical all-gather without encoding.
+    pub fn payload_bytes(self, dim: usize, n_rows: usize) -> usize {
+        9 + n_rows * self.row_bytes(dim)
+    }
+}
+
+/// A decoded `(row id, payload)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowPayload {
+    pub row: u32,
+    pub data: QuantizedRow,
+}
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    BadTag(u8),
+    Truncated { need: usize, have: usize },
+    WrongVariant { expected: &'static str },
+    DimMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadTag(t) => write!(f, "unknown wire format tag {t}"),
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated payload: need {need} bytes, have {have}")
+            }
+            CodecError::WrongVariant { expected } => {
+                write!(f, "row payload does not match wire format {expected}")
+            }
+            CodecError::DimMismatch { expected, got } => {
+                write!(f, "row width {got} does not match declared dim {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode rows (all of width `dim`) under `format`.
+pub fn encode_rows(
+    format: WireFormat,
+    dim: usize,
+    rows: &[RowPayload],
+) -> Result<Vec<u8>, CodecError> {
+    let mut buf = BytesMut::with_capacity(format.payload_bytes(dim, rows.len()));
+    buf.put_u8(format.tag());
+    buf.put_u32_le(rows.len() as u32);
+    buf.put_u32_le(dim as u32);
+    for rp in rows {
+        if rp.data.len() != dim {
+            return Err(CodecError::DimMismatch {
+                expected: dim,
+                got: rp.data.len(),
+            });
+        }
+        buf.put_u32_le(rp.row);
+        match (&rp.data, format) {
+            (QuantizedRow::Full(v), WireFormat::F32) => {
+                for &x in v {
+                    buf.put_f32_le(x);
+                }
+            }
+            (
+                QuantizedRow::OneBit {
+                    signs,
+                    pos_scale,
+                    neg_scale,
+                },
+                WireFormat::OneBit { two_scales },
+            ) => {
+                buf.put_f32_le(*pos_scale);
+                if two_scales {
+                    buf.put_f32_le(*neg_scale);
+                } else if pos_scale != neg_scale {
+                    return Err(CodecError::WrongVariant {
+                        expected: "one-scale OneBit",
+                    });
+                }
+                for chunk in signs.chunks(8) {
+                    let mut byte = 0u8;
+                    for (i, &s) in chunk.iter().enumerate() {
+                        if s {
+                            byte |= 1 << i;
+                        }
+                    }
+                    buf.put_u8(byte);
+                }
+            }
+            (QuantizedRow::TwoBit { levels, scale }, WireFormat::TwoBit) => {
+                buf.put_f32_le(*scale);
+                for chunk in levels.chunks(4) {
+                    let mut byte = 0u8;
+                    for (i, &l) in chunk.iter().enumerate() {
+                        let code: u8 = match l {
+                            0 => 0b00,
+                            1 => 0b01,
+                            _ => 0b10, // -1
+                        };
+                        byte |= code << (2 * i);
+                    }
+                    buf.put_u8(byte);
+                }
+            }
+            _ => {
+                return Err(CodecError::WrongVariant {
+                    expected: match format {
+                        WireFormat::F32 => "F32",
+                        WireFormat::OneBit { .. } => "OneBit",
+                        WireFormat::TwoBit => "TwoBit",
+                    },
+                })
+            }
+        }
+    }
+    Ok(buf.to_vec())
+}
+
+/// Decode a payload produced by [`encode_rows`]. Returns the rows and the
+/// declared row width.
+pub fn decode_rows(bytes: &[u8]) -> Result<(Vec<RowPayload>, usize), CodecError> {
+    let mut buf = bytes;
+    let need = |buf: &[u8], n: usize| -> Result<(), CodecError> {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated {
+                need: n,
+                have: buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 9)?;
+    let format = WireFormat::from_tag(buf.get_u8())?;
+    let n_rows = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        need(buf, 4)?;
+        let row = buf.get_u32_le();
+        let data = match format {
+            WireFormat::F32 => {
+                need(buf, 4 * dim)?;
+                let mut v = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    v.push(buf.get_f32_le());
+                }
+                QuantizedRow::Full(v)
+            }
+            WireFormat::OneBit { two_scales } => {
+                need(buf, if two_scales { 8 } else { 4 } + dim.div_ceil(8))?;
+                let pos_scale = buf.get_f32_le();
+                let neg_scale = if two_scales { buf.get_f32_le() } else { pos_scale };
+                let mut signs = Vec::with_capacity(dim);
+                for _ in 0..dim.div_ceil(8) {
+                    let byte = buf.get_u8();
+                    for i in 0..8 {
+                        if signs.len() < dim {
+                            signs.push(byte & (1 << i) != 0);
+                        }
+                    }
+                }
+                QuantizedRow::OneBit {
+                    signs,
+                    pos_scale,
+                    neg_scale,
+                }
+            }
+            WireFormat::TwoBit => {
+                need(buf, 4 + dim.div_ceil(4))?;
+                let scale = buf.get_f32_le();
+                let mut levels = Vec::with_capacity(dim);
+                for _ in 0..dim.div_ceil(4) {
+                    let byte = buf.get_u8();
+                    for i in 0..4 {
+                        if levels.len() < dim {
+                            levels.push(match (byte >> (2 * i)) & 0b11 {
+                                0b00 => 0i8,
+                                0b01 => 1,
+                                _ => -1,
+                            });
+                        }
+                    }
+                }
+                QuantizedRow::TwoBit { levels, scale }
+            }
+        };
+        rows.push(RowPayload { row, data });
+    }
+    Ok((rows, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::{quantize_row, QuantScheme};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_rows(scheme: QuantScheme, dim: usize, n: usize) -> Vec<RowPayload> {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n)
+            .map(|i| {
+                let v: Vec<f32> = (0..dim)
+                    .map(|k| ((i * 7 + k * 3) % 11) as f32 - 5.0 + 0.5 * (i as f32))
+                    .collect();
+                RowPayload {
+                    row: (i * 13) as u32,
+                    data: quantize_row(scheme, &v, &mut rng),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let rows = sample_rows(QuantScheme::None, 7, 5);
+        let bytes = encode_rows(WireFormat::F32, 7, &rows).unwrap();
+        let (decoded, dim) = decode_rows(&bytes).unwrap();
+        assert_eq!(dim, 7);
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn one_bit_roundtrip_one_scale() {
+        let rows = sample_rows(QuantScheme::paper_one_bit(), 13, 4);
+        let fmt = WireFormat::OneBit { two_scales: false };
+        let bytes = encode_rows(fmt, 13, &rows).unwrap();
+        assert_eq!(bytes.len(), fmt.payload_bytes(13, 4));
+        let (decoded, _) = decode_rows(&bytes).unwrap();
+        for (a, b) in decoded.iter().zip(&rows) {
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.data.dequantize(), b.data.dequantize());
+        }
+    }
+
+    #[test]
+    fn one_bit_roundtrip_two_scales() {
+        use crate::quant::ScaleRule;
+        let rows = sample_rows(
+            QuantScheme::OneBit {
+                rule: ScaleRule::PosNegAvg,
+            },
+            9,
+            3,
+        );
+        let fmt = WireFormat::OneBit { two_scales: true };
+        let bytes = encode_rows(fmt, 9, &rows).unwrap();
+        let (decoded, _) = decode_rows(&bytes).unwrap();
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn two_bit_roundtrip() {
+        let rows = sample_rows(QuantScheme::TwoBit, 10, 6);
+        let bytes = encode_rows(WireFormat::TwoBit, 10, &rows).unwrap();
+        assert_eq!(bytes.len(), WireFormat::TwoBit.payload_bytes(10, 6));
+        let (decoded, _) = decode_rows(&bytes).unwrap();
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn one_bit_is_much_smaller_than_f32() {
+        let dim = 128;
+        let f32_size = WireFormat::F32.payload_bytes(dim, 100);
+        let one_bit = WireFormat::OneBit { two_scales: false }.payload_bytes(dim, 100);
+        // 4 + 512 vs 4 + 4 + 16 per row → ~21x smaller.
+        assert!(f32_size > 20 * one_bit / 2, "f32={f32_size} 1bit={one_bit}");
+        assert!(one_bit < f32_size / 10);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let bytes = encode_rows(WireFormat::F32, 4, &[]).unwrap();
+        let (rows, dim) = decode_rows(&bytes).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(dim, 4);
+    }
+
+    #[test]
+    fn wrong_variant_rejected() {
+        let rows = sample_rows(QuantScheme::None, 4, 1);
+        let err = encode_rows(WireFormat::TwoBit, 4, &rows).unwrap_err();
+        assert!(matches!(err, CodecError::WrongVariant { .. }));
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let rows = sample_rows(QuantScheme::None, 4, 1);
+        let err = encode_rows(WireFormat::F32, 5, &rows).unwrap_err();
+        assert!(matches!(err, CodecError::DimMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let rows = sample_rows(QuantScheme::None, 4, 2);
+        let bytes = encode_rows(WireFormat::F32, 4, &rows).unwrap();
+        let err = decode_rows(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let err = decode_rows(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert_eq!(err, CodecError::BadTag(9));
+    }
+
+    #[test]
+    fn row_bytes_formula() {
+        assert_eq!(WireFormat::F32.row_bytes(8), 4 + 32);
+        assert_eq!(WireFormat::OneBit { two_scales: false }.row_bytes(8), 4 + 4 + 1);
+        assert_eq!(WireFormat::OneBit { two_scales: true }.row_bytes(9), 4 + 8 + 2);
+        assert_eq!(WireFormat::TwoBit.row_bytes(8), 4 + 4 + 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! # kge-compress — gradient compression for distributed KGE training
+//!
+//! Implements strategies S2 and S3 of the paper plus the wire formats that
+//! carry compressed gradients through the all-gather collective:
+//!
+//! - [`row_select`] — §4.2 *Selecting the Gradient Vectors*: drop gradient
+//!   rows with small 2-norm, either by hard thresholds (`avg`,
+//!   `avg × 0.1`) or by the paper's preferred **Bernoulli random
+//!   selection** `P(keep row i) = min(1, ‖g_i‖₂ / mean‖g‖₂)`.
+//! - [`quant`] — §4.3 *Gradient Quantization*: the paper's chosen **1-bit**
+//!   scheme `sign(v)·max(|v|)` with all the explored variants (`avg`,
+//!   `posmax`/`negmax`, `posavg`/`negavg`) and the TernGrad-style
+//!   **2-bit** scheme `sign(v)·mean(|v|)·Bernoulli`.
+//! - [`codec`] — compact byte encodings of sparse f32 rows, 1-bit rows and
+//!   2-bit rows, so communicated sizes are the real wire sizes the cost
+//!   model charges (a 1-bit row is `4 + 4·k + ⌈d/8⌉` bytes instead of
+//!   `4 + 4d`).
+//! - [`residual`] — error-feedback storage (Karimireddy et al. style):
+//!   accumulate the quantization error locally and add it back before the
+//!   next compression.
+
+pub mod codec;
+pub mod quant;
+pub mod residual;
+pub mod row_select;
+
+pub use codec::{decode_rows, encode_rows, RowPayload, WireFormat};
+pub use quant::{QuantScheme, QuantizedRow, ScaleRule};
+pub use residual::ResidualStore;
+pub use row_select::{RowSelection, RowSelector};

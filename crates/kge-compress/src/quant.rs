@@ -1,0 +1,375 @@
+//! §4.3 — Gradient quantization.
+//!
+//! Two families, matching the paper:
+//!
+//! **1-bit** (`quant(v) = sign(v) · scale`): each element is reduced to
+//! its sign plus one or two per-row scale constants. The paper explores
+//! six scale rules — `max`, `avg`, `posmax`/`negmax`, `posavg`/`negavg` —
+//! and adopts **max of absolute values** as the most accurate.
+//!
+//! **2-bit** (TernGrad-style, modified): `quant(v) = sign(v) · mean(|v|) ·
+//! P` with `P_i ~ Bernoulli(min(1, |v_i| / mean(|v|)))`, i.e. values in
+//! `{−s, 0, +s}`. The paper swaps TernGrad's `max(|v|)` for `mean(|v|)`
+//! having found it works better for KGE gradients.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the 1-bit scheme derives its per-row scale(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleRule {
+    /// One scale: `max(|v|)` — the paper's choice.
+    Max,
+    /// One scale: `mean(|v|)`.
+    Avg,
+    /// Two scales: positives get `max(pos)`, negatives get `max(|neg|)`.
+    PosNegMax,
+    /// Two scales: positives get `mean(pos)`, negatives get `mean(|neg|)`.
+    PosNegAvg,
+}
+
+/// A quantization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// 32-bit floats, no quantization.
+    None,
+    /// 1 bit per element plus per-row scale(s).
+    OneBit { rule: ScaleRule },
+    /// 2 bits per element: `{−s, 0, +s}` with stochastic zeroing.
+    TwoBit,
+}
+
+impl QuantScheme {
+    /// The configuration the paper settles on (1-bit, max rule).
+    pub fn paper_one_bit() -> Self {
+        QuantScheme::OneBit { rule: ScaleRule::Max }
+    }
+
+    /// Bits per element on the wire (excluding per-row scales/ids).
+    pub fn bits_per_element(&self) -> u32 {
+        match self {
+            QuantScheme::None => 32,
+            QuantScheme::OneBit { .. } => 1,
+            QuantScheme::TwoBit => 2,
+        }
+    }
+}
+
+/// A quantized gradient row in structural (pre-codec) form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantizedRow {
+    /// Raw values (scheme [`QuantScheme::None`]).
+    Full(Vec<f32>),
+    /// Signs plus scales: element `k` decodes to `±scale` (two-scale rules
+    /// use `pos_scale` for `+` and `neg_scale` for `−`).
+    OneBit {
+        signs: Vec<bool>, // true = positive
+        pos_scale: f32,
+        neg_scale: f32,
+    },
+    /// Ternary levels `−1 / 0 / +1` times `scale`.
+    TwoBit { levels: Vec<i8>, scale: f32 },
+}
+
+impl QuantizedRow {
+    /// Reconstruct the dense row.
+    pub fn dequantize(&self) -> Vec<f32> {
+        match self {
+            QuantizedRow::Full(v) => v.clone(),
+            QuantizedRow::OneBit {
+                signs,
+                pos_scale,
+                neg_scale,
+            } => signs
+                .iter()
+                .map(|&s| if s { *pos_scale } else { -*neg_scale })
+                .collect(),
+            QuantizedRow::TwoBit { levels, scale } => {
+                levels.iter().map(|&l| l as f32 * scale).collect()
+            }
+        }
+    }
+
+    /// Add the dequantized row into `out` (avoids the intermediate vec).
+    pub fn add_into(&self, out: &mut [f32]) {
+        match self {
+            QuantizedRow::Full(v) => {
+                for (o, &x) in out.iter_mut().zip(v) {
+                    *o += x;
+                }
+            }
+            QuantizedRow::OneBit {
+                signs,
+                pos_scale,
+                neg_scale,
+            } => {
+                for (o, &s) in out.iter_mut().zip(signs) {
+                    *o += if s { *pos_scale } else { -*neg_scale };
+                }
+            }
+            QuantizedRow::TwoBit { levels, scale } => {
+                for (o, &l) in out.iter_mut().zip(levels) {
+                    *o += l as f32 * scale;
+                }
+            }
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            QuantizedRow::Full(v) => v.len(),
+            QuantizedRow::OneBit { signs, .. } => signs.len(),
+            QuantizedRow::TwoBit { levels, .. } => levels.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Quantize one gradient row under `scheme`. The RNG is used only by the
+/// stochastic 2-bit scheme.
+pub fn quantize_row<R: Rng>(scheme: QuantScheme, v: &[f32], rng: &mut R) -> QuantizedRow {
+    match scheme {
+        QuantScheme::None => QuantizedRow::Full(v.to_vec()),
+        QuantScheme::OneBit { rule } => {
+            let (pos_scale, neg_scale) = scales(rule, v);
+            QuantizedRow::OneBit {
+                signs: v.iter().map(|&x| x >= 0.0).collect(),
+                pos_scale,
+                neg_scale,
+            }
+        }
+        QuantScheme::TwoBit => {
+            let mean_abs = mean_abs(v);
+            if mean_abs <= 0.0 {
+                return QuantizedRow::TwoBit {
+                    levels: vec![0; v.len()],
+                    scale: 0.0,
+                };
+            }
+            let levels = v
+                .iter()
+                .map(|&x| {
+                    let p = (x.abs() / mean_abs).min(1.0);
+                    if rng.gen::<f32>() < p {
+                        if x >= 0.0 {
+                            1i8
+                        } else {
+                            -1i8
+                        }
+                    } else {
+                        0i8
+                    }
+                })
+                .collect();
+            QuantizedRow::TwoBit {
+                levels,
+                scale: mean_abs,
+            }
+        }
+    }
+}
+
+fn mean_abs(v: &[f32]) -> f32 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().map(|x| x.abs()).sum::<f32>() / v.len() as f32
+}
+
+fn max_abs(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// `(pos_scale, neg_scale)` for a 1-bit rule.
+fn scales(rule: ScaleRule, v: &[f32]) -> (f32, f32) {
+    match rule {
+        ScaleRule::Max => {
+            let s = max_abs(v);
+            (s, s)
+        }
+        ScaleRule::Avg => {
+            let s = mean_abs(v);
+            (s, s)
+        }
+        ScaleRule::PosNegMax => {
+            let pos = v.iter().filter(|&&x| x >= 0.0).fold(0.0f32, |m, &x| m.max(x));
+            let neg = v.iter().filter(|&&x| x < 0.0).fold(0.0f32, |m, &x| m.max(-x));
+            (pos, neg)
+        }
+        ScaleRule::PosNegAvg => {
+            let (psum, pn) = v
+                .iter()
+                .filter(|&&x| x >= 0.0)
+                .fold((0.0f32, 0usize), |(s, n), &x| (s + x, n + 1));
+            let (nsum, nn) = v
+                .iter()
+                .filter(|&&x| x < 0.0)
+                .fold((0.0f32, 0usize), |(s, n), &x| (s - x, n + 1));
+            (
+                if pn > 0 { psum / pn as f32 } else { 0.0 },
+                if nn > 0 { nsum / nn as f32 } else { 0.0 },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const V: [f32; 6] = [0.5, -1.0, 0.25, -0.25, 2.0, -0.5];
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = quantize_row(QuantScheme::None, &V, &mut rng);
+        assert_eq!(q.dequantize(), V.to_vec());
+        assert_eq!(QuantScheme::None.bits_per_element(), 32);
+    }
+
+    #[test]
+    fn one_bit_max_uses_max_abs_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = quantize_row(QuantScheme::paper_one_bit(), &V, &mut rng);
+        let d = q.dequantize();
+        assert_eq!(d, vec![2.0, -2.0, 2.0, -2.0, 2.0, -2.0]);
+    }
+
+    #[test]
+    fn one_bit_avg_uses_mean_abs_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = quantize_row(QuantScheme::OneBit { rule: ScaleRule::Avg }, &V, &mut rng);
+        let mean = V.iter().map(|x| x.abs()).sum::<f32>() / 6.0;
+        let d = q.dequantize();
+        for (orig, dq) in V.iter().zip(&d) {
+            assert_eq!(*dq, mean.copysign(*orig));
+        }
+    }
+
+    #[test]
+    fn one_bit_posneg_scales_differ() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = quantize_row(
+            QuantScheme::OneBit {
+                rule: ScaleRule::PosNegMax,
+            },
+            &V,
+            &mut rng,
+        );
+        let d = q.dequantize();
+        // positives → max positive 2.0; negatives → max |neg| = 1.0
+        assert_eq!(d, vec![2.0, -1.0, 2.0, -1.0, 2.0, -1.0]);
+
+        let q = quantize_row(
+            QuantScheme::OneBit {
+                rule: ScaleRule::PosNegAvg,
+            },
+            &V,
+            &mut rng,
+        );
+        let d = q.dequantize();
+        let pos_avg = (0.5 + 0.25 + 2.0) / 3.0;
+        let neg_avg = (1.0 + 0.25 + 0.5) / 3.0;
+        assert!((d[0] - pos_avg).abs() < 1e-6);
+        assert!((d[1] + neg_avg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_bit_preserves_signs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for rule in [ScaleRule::Max, ScaleRule::Avg, ScaleRule::PosNegMax, ScaleRule::PosNegAvg] {
+            let q = quantize_row(QuantScheme::OneBit { rule }, &V, &mut rng);
+            for (orig, dq) in V.iter().zip(q.dequantize()) {
+                assert!(
+                    orig * dq >= 0.0,
+                    "sign flipped under {rule:?}: {orig} -> {dq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_levels_are_ternary_and_scale_is_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = quantize_row(QuantScheme::TwoBit, &V, &mut rng);
+        match &q {
+            QuantizedRow::TwoBit { levels, scale } => {
+                assert!(levels.iter().all(|&l| (-1..=1).contains(&l)));
+                let mean = V.iter().map(|x| x.abs()).sum::<f32>() / 6.0;
+                assert!((scale - mean).abs() < 1e-6);
+                // The largest-magnitude element has p = 1: never zeroed.
+                assert_eq!(levels[4], 1);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn two_bit_is_unbiased_in_expectation() {
+        // E[level_i · scale] = sign·min(1,|v|/m)·m ≈ v for |v| ≤ m.
+        let v = [0.1f32, -0.2, 0.3];
+        let m = (0.1 + 0.2 + 0.3) / 3.0;
+        assert!(v.iter().all(|x| x.abs() <= m + 0.11)); // 0.3 clips slightly
+        let mut sums = [0.0f64; 3];
+        let trials = 4000;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = quantize_row(QuantScheme::TwoBit, &v, &mut rng);
+            for (s, x) in sums.iter_mut().zip(q.dequantize()) {
+                *s += x as f64;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            let mean = s / trials as f64;
+            let expect = (v[i].abs().min(m) * v[i].signum()) as f64;
+            assert!(
+                (mean - expect).abs() < 0.02,
+                "elem {i}: mean {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = [0.0f32; 4];
+        for scheme in [QuantScheme::paper_one_bit(), QuantScheme::TwoBit] {
+            let q = quantize_row(scheme, &z, &mut rng);
+            assert!(q.dequantize().iter().all(|&x| x == 0.0), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn add_into_matches_dequantize() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for scheme in [QuantScheme::None, QuantScheme::paper_one_bit(), QuantScheme::TwoBit] {
+            let q = quantize_row(scheme, &V, &mut rng);
+            let mut acc = vec![1.0f32; V.len()];
+            q.add_into(&mut acc);
+            let expect: Vec<f32> = q.dequantize().iter().map(|x| x + 1.0).collect();
+            assert_eq!(acc, expect);
+        }
+    }
+
+    #[test]
+    fn bits_per_element() {
+        assert_eq!(QuantScheme::paper_one_bit().bits_per_element(), 1);
+        assert_eq!(QuantScheme::TwoBit.bits_per_element(), 2);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = quantize_row(QuantScheme::paper_one_bit(), &V, &mut rng);
+        let max = 2.0f32;
+        for (orig, dq) in V.iter().zip(q.dequantize()) {
+            assert!((orig - dq).abs() <= max);
+        }
+    }
+}

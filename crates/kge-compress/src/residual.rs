@@ -1,0 +1,154 @@
+//! Error-feedback residual storage (Karimireddy et al. 2019).
+//!
+//! Quantization discards information; error feedback accumulates the
+//! discarded part locally and adds it back to the next iteration's
+//! gradient, turning the bias of sign-style compression into a delayed
+//! correction. The paper cites this mechanism alongside its quantization
+//! comparison; we expose it as an optional component so the benches can
+//! ablate it.
+
+use kge_core::SparseGrad;
+use std::collections::HashMap;
+
+/// Per-row residual store for one embedding table.
+#[derive(Debug, Clone, Default)]
+pub struct ResidualStore {
+    rows: HashMap<u32, Vec<f32>>,
+}
+
+impl ResidualStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows with stored residual.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add stored residuals into the matching rows of `grad`, consuming
+    /// them. Residuals for rows not present in `grad` stay stored (they
+    /// re-enter whenever that row is next touched).
+    pub fn add_into(&mut self, grad: &mut SparseGrad) {
+        let touched: Vec<u32> = grad.iter_sorted().map(|(r, _)| r).collect();
+        for row in touched {
+            if let Some(res) = self.rows.remove(&row) {
+                let g = grad.row_mut(row);
+                for (gv, rv) in g.iter_mut().zip(res) {
+                    *gv += rv;
+                }
+            }
+        }
+    }
+
+    /// Record `original − transmitted` for each row of `original` that
+    /// appears in `transmitted_dequant` (rows dropped entirely store the
+    /// whole original value).
+    pub fn record_error(
+        &mut self,
+        original: &SparseGrad,
+        transmitted: impl Fn(u32) -> Option<Vec<f32>>,
+    ) {
+        for (row, orig) in original.iter_sorted() {
+            let entry = self
+                .rows
+                .entry(row)
+                .or_insert_with(|| vec![0.0; orig.len()]);
+            match transmitted(row) {
+                Some(sent) => {
+                    debug_assert_eq!(sent.len(), orig.len());
+                    for ((e, &o), s) in entry.iter_mut().zip(orig).zip(sent) {
+                        *e += o - s;
+                    }
+                }
+                None => {
+                    for (e, &o) in entry.iter_mut().zip(orig) {
+                        *e += o;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop everything (e.g. when the learning-rate schedule resets).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_with(rows: &[(u32, [f32; 2])]) -> SparseGrad {
+        let mut g = SparseGrad::new(2);
+        for &(r, v) in rows {
+            g.row_mut(r).copy_from_slice(&v);
+        }
+        g
+    }
+
+    #[test]
+    fn conservation_transmitted_plus_residual_equals_original() {
+        // Quantize-and-feedback invariant: sent + stored error == original.
+        let original = grad_with(&[(0, [0.8, -0.3]), (5, [0.1, 0.1])]);
+        let mut store = ResidualStore::new();
+        // Pretend we transmitted a crude sign approximation of row 0 and
+        // dropped row 5 entirely.
+        let sent_row0 = vec![1.0f32, -1.0];
+        store.record_error(&original, |row| {
+            if row == 0 {
+                Some(vec![1.0, -1.0])
+            } else {
+                None
+            }
+        });
+        let res0 = store.rows.get(&0).unwrap().clone();
+        let res5 = store.rows.get(&5).unwrap().clone();
+        for k in 0..2 {
+            assert!((sent_row0[k] + res0[k] - original.get(0).unwrap()[k]).abs() < 1e-6);
+            assert!((res5[k] - original.get(5).unwrap()[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_into_consumes_matching_rows_only() {
+        let original = grad_with(&[(1, [1.0, 1.0]), (2, [2.0, 2.0])]);
+        let mut store = ResidualStore::new();
+        store.record_error(&original, |_| None); // everything dropped
+        assert_eq!(store.len(), 2);
+
+        let mut next = grad_with(&[(1, [0.5, 0.5])]);
+        store.add_into(&mut next);
+        assert_eq!(next.get(1).unwrap(), &[1.5, 1.5]);
+        assert!(next.get(2).is_none(), "untouched row stays stored");
+        assert_eq!(store.len(), 1);
+
+        // Row 2's residual re-enters when row 2 is next touched.
+        let mut later = grad_with(&[(2, [0.0, 0.0])]);
+        store.add_into(&mut later);
+        assert_eq!(later.get(2).unwrap(), &[2.0, 2.0]);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn errors_accumulate_across_rounds() {
+        let mut store = ResidualStore::new();
+        let g = grad_with(&[(7, [0.2, 0.0])]);
+        store.record_error(&g, |_| None);
+        store.record_error(&g, |_| None);
+        assert_eq!(store.rows.get(&7).unwrap(), &vec![0.4, 0.0]);
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let mut store = ResidualStore::new();
+        store.record_error(&grad_with(&[(0, [1.0, 1.0])]), |_| None);
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

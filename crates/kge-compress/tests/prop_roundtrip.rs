@@ -1,0 +1,186 @@
+//! Property tests for the compression stack: codec roundtrips, sign
+//! preservation, error-feedback conservation, and selection invariants.
+
+use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
+use kge_compress::quant::{quantize_row, QuantScheme, ScaleRule};
+use kge_compress::row_select::{select_rows, RowSelector};
+use kge_compress::{ResidualStore, WireFormat};
+use kge_core::SparseGrad;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn row_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, dim..=dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn f32_codec_roundtrips_exactly(
+        dim in 1usize..40,
+        rows in proptest::collection::vec((0u32..10_000, any::<u64>()), 0..20),
+    ) {
+        let payload: Vec<RowPayload> = rows
+            .iter()
+            .map(|&(row, seed)| RowPayload {
+                row,
+                data: kge_compress::quant::QuantizedRow::Full(det_row(dim, seed)),
+            })
+            .collect();
+        let bytes = encode_rows(WireFormat::F32, dim, &payload).unwrap();
+        let (decoded, d) = decode_rows(&bytes).unwrap();
+        prop_assert_eq!(d, dim);
+        prop_assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn one_bit_codec_roundtrips(dim in 1usize..70, v in row_strategy(16), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = v;
+        v.resize(dim, 0.25);
+        let q = quantize_row(QuantScheme::paper_one_bit(), &v, &mut rng);
+        let payload = vec![RowPayload { row: 7, data: q }];
+        let bytes = encode_rows(WireFormat::OneBit { two_scales: false }, dim, &payload).unwrap();
+        let (decoded, _) = decode_rows(&bytes).unwrap();
+        prop_assert_eq!(decoded[0].data.dequantize(), payload[0].data.dequantize());
+    }
+
+    #[test]
+    fn two_bit_codec_roundtrips(dim in 1usize..70, seed in any::<u64>()) {
+        let v = det_row(dim, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = quantize_row(QuantScheme::TwoBit, &v, &mut rng);
+        let payload = vec![RowPayload { row: 3, data: q }];
+        let bytes = encode_rows(WireFormat::TwoBit, dim, &payload).unwrap();
+        let (decoded, _) = decode_rows(&bytes).unwrap();
+        prop_assert_eq!(&decoded[0].data, &payload[0].data);
+    }
+
+    #[test]
+    fn quantization_never_flips_signs(v in row_strategy(24), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for scheme in [
+            QuantScheme::paper_one_bit(),
+            QuantScheme::OneBit { rule: ScaleRule::Avg },
+            QuantScheme::OneBit { rule: ScaleRule::PosNegMax },
+            QuantScheme::OneBit { rule: ScaleRule::PosNegAvg },
+            QuantScheme::TwoBit,
+        ] {
+            let q = quantize_row(scheme, &v, &mut rng).dequantize();
+            for (orig, deq) in v.iter().zip(&q) {
+                prop_assert!(orig * deq >= 0.0, "{scheme:?}: {orig} -> {deq}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_magnitude_bounded_by_max_abs(v in row_strategy(16), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let q = quantize_row(QuantScheme::paper_one_bit(), &v, &mut rng).dequantize();
+        for x in q {
+            prop_assert!(x.abs() <= max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_feedback_conserves_signal(
+        vals in proptest::collection::vec((0u32..100, row_strategy(6)), 1..8),
+        seed in any::<u64>(),
+    ) {
+        // transmitted + residual == original, row by row.
+        let mut grad = SparseGrad::new(6);
+        for (row, v) in &vals {
+            let r = grad.row_mut(*row);
+            for (a, b) in r.iter_mut().zip(v) {
+                *a += b;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sent: std::collections::HashMap<u32, Vec<f32>> = grad
+            .iter_sorted()
+            .map(|(row, g)| {
+                (row, quantize_row(QuantScheme::paper_one_bit(), g, &mut rng).dequantize())
+            })
+            .collect();
+        let mut store = ResidualStore::new();
+        store.record_error(&grad, |row| sent.get(&row).cloned());
+
+        // Drain residuals back and check conservation.
+        let mut drained = SparseGrad::new(6);
+        for (row, _) in grad.iter_sorted() {
+            drained.row_mut(row);
+        }
+        store.add_into(&mut drained);
+        for (row, orig) in grad.iter_sorted() {
+            let s = &sent[&row];
+            let res = drained.get(row).unwrap();
+            for k in 0..6 {
+                let recon = s[k] + res[k];
+                prop_assert!((recon - orig[k]).abs() <= 1e-4 * (1.0 + orig[k].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn selection_output_is_subset(
+        norms in proptest::collection::vec(0.0f32..50.0, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut grad = SparseGrad::new(1);
+        for (i, &n) in norms.iter().enumerate() {
+            grad.row_mut(i as u32)[0] = n;
+        }
+        let before: Vec<u32> = grad.iter_sorted().map(|(r, _)| r).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = select_rows(RowSelector::paper_rs(), &mut grad, &mut rng);
+        let after: Vec<u32> = grad.iter_sorted().map(|(r, _)| r).collect();
+        prop_assert!(after.iter().all(|r| before.contains(r)));
+        prop_assert_eq!(sel.rows_after, after.len());
+        prop_assert_eq!(sel.rows_before, before.len());
+        // Values of surviving rows are untouched (paper RS does not rescale).
+        for &r in &after {
+            prop_assert_eq!(grad.get(r).unwrap()[0], norms[r as usize]);
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_formula(
+        dim in 1usize..100,
+        n_rows in 0usize..30,
+    ) {
+        for format in [
+            WireFormat::F32,
+            WireFormat::OneBit { two_scales: false },
+            WireFormat::OneBit { two_scales: true },
+            WireFormat::TwoBit,
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let scheme = match format {
+                WireFormat::F32 => QuantScheme::None,
+                WireFormat::OneBit { two_scales: false } => QuantScheme::paper_one_bit(),
+                WireFormat::OneBit { two_scales: true } => QuantScheme::OneBit { rule: ScaleRule::PosNegAvg },
+                WireFormat::TwoBit => QuantScheme::TwoBit,
+            };
+            let payload: Vec<RowPayload> = (0..n_rows)
+                .map(|i| RowPayload {
+                    row: i as u32,
+                    data: quantize_row(scheme, &det_row(dim, i as u64), &mut rng),
+                })
+                .collect();
+            let bytes = encode_rows(format, dim, &payload).unwrap();
+            prop_assert_eq!(bytes.len(), format.payload_bytes(dim, n_rows));
+        }
+    }
+}
+
+fn det_row(dim: usize, seed: u64) -> Vec<f32> {
+    (0..dim)
+        .map(|i| {
+            let x = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64);
+            ((x % 4001) as f32 - 2000.0) / 100.0
+        })
+        .collect()
+}

@@ -1,0 +1,280 @@
+//! Row-sparse gradient accumulation.
+//!
+//! A KGE batch only touches the embedding rows of the entities/relations
+//! that appear in it, so per-batch gradients are naturally row-sparse.
+//! [`SparseGrad`] accumulates per-row contributions in a slab allocation
+//! that is reused across batches (no per-row `Vec`s), and iterates rows in
+//! sorted order so downstream reductions are deterministic.
+
+use std::collections::HashMap;
+
+/// Accumulator of row-sparse gradients for one embedding table.
+#[derive(Debug, Clone)]
+pub struct SparseGrad {
+    dim: usize,
+    /// row id -> slot index into `data` (slot i spans `i*dim..(i+1)*dim`).
+    slots: HashMap<u32, u32>,
+    /// Row ids in insertion order; sorted lazily on iteration.
+    rows: Vec<u32>,
+    data: Vec<f32>,
+}
+
+impl SparseGrad {
+    /// New accumulator for rows of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        SparseGrad {
+            dim,
+            slots: HashMap::new(),
+            rows: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct rows with accumulated gradient.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no row has been touched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Mutable gradient row for `row`, creating a zeroed slot on first use.
+    pub fn row_mut(&mut self, row: u32) -> &mut [f32] {
+        let dim = self.dim;
+        let slot = match self.slots.get(&row) {
+            Some(&s) => s as usize,
+            None => {
+                let s = self.rows.len();
+                self.slots.insert(row, s as u32);
+                self.rows.push(row);
+                self.data.resize((s + 1) * dim, 0.0);
+                s
+            }
+        };
+        &mut self.data[slot * dim..(slot + 1) * dim]
+    }
+
+    /// Read a row's accumulated gradient, if present.
+    pub fn get(&self, row: u32) -> Option<&[f32]> {
+        self.slots
+            .get(&row)
+            .map(|&s| &self.data[s as usize * self.dim..(s as usize + 1) * self.dim])
+    }
+
+    /// Iterate `(row, grad)` pairs in ascending row order (deterministic).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (u32, &[f32])> + '_ {
+        let mut order = self.rows.clone();
+        order.sort_unstable();
+        order.into_iter().map(move |row| {
+            let s = self.slots[&row] as usize;
+            (row, &self.data[s * self.dim..(s + 1) * self.dim])
+        })
+    }
+
+    /// 2-norm of every stored row, in the same (sorted) order as
+    /// [`SparseGrad::iter_sorted`].
+    pub fn row_norms(&self) -> Vec<(u32, f32)> {
+        self.iter_sorted()
+            .map(|(row, g)| (row, crate::matrix::l2_norm(g)))
+            .collect()
+    }
+
+    /// Scatter into a dense `n_rows × dim` buffer (row-major).
+    pub fn to_dense(&self, n_rows: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; n_rows * self.dim];
+        self.scatter_into(&mut out);
+        out
+    }
+
+    /// Scatter-add into an existing dense buffer of `n_rows × dim`.
+    pub fn scatter_into(&self, dense: &mut [f32]) {
+        assert_eq!(dense.len() % self.dim, 0);
+        let n_rows = dense.len() / self.dim;
+        for (&row, &slot) in &self.slots {
+            let row = row as usize;
+            assert!(row < n_rows, "row {row} out of bounds for dense buffer");
+            let s = slot as usize;
+            let src = &self.data[s * self.dim..(s + 1) * self.dim];
+            let dst = &mut dense[row * self.dim..(row + 1) * self.dim];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Add every row of `other` into `self`.
+    pub fn merge(&mut self, other: &SparseGrad) {
+        assert_eq!(self.dim, other.dim);
+        for (row, g) in other.iter_sorted() {
+            let dst = self.row_mut(row);
+            for (d, &v) in dst.iter_mut().zip(g) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Drop all rows, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.rows.clear();
+        self.data.clear();
+    }
+
+    /// Remove rows for which `keep` returns false (used by the random
+    /// gradient-row selection strategy). Returns the number dropped.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32, &[f32]) -> bool) -> usize {
+        let dim = self.dim;
+        let mut new_slots = HashMap::with_capacity(self.slots.len());
+        let mut new_rows = Vec::with_capacity(self.rows.len());
+        let mut new_data = Vec::with_capacity(self.data.len());
+        let mut dropped = 0usize;
+        for &row in &self.rows {
+            let s = self.slots[&row] as usize;
+            let g = &self.data[s * dim..(s + 1) * dim];
+            if keep(row, g) {
+                let ns = new_rows.len();
+                new_slots.insert(row, ns as u32);
+                new_rows.push(row);
+                new_data.extend_from_slice(g);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.slots = new_slots;
+        self.rows = new_rows;
+        self.data = new_data;
+        dropped
+    }
+
+    /// In-place scale of every stored value.
+    pub fn scale(&mut self, factor: f32) {
+        for v in self.data.iter_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// Count rows whose 2-norm exceeds `eps` — the paper's Figure 2 metric
+    /// ("number of non-zero gradient rows").
+    pub fn rows_above_norm(&self, eps: f32) -> usize {
+        self.rows
+            .iter()
+            .map(|&row| {
+                let s = self.slots[&row] as usize;
+                crate::matrix::l2_norm(&self.data[s * self.dim..(s + 1) * self.dim])
+            })
+            .filter(|&n| n > eps)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_into_rows() {
+        let mut g = SparseGrad::new(3);
+        g.row_mut(5)[0] += 1.0;
+        g.row_mut(5)[0] += 2.0;
+        g.row_mut(2)[2] = 7.0;
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.get(5).unwrap(), &[3.0, 0.0, 0.0]);
+        assert_eq!(g.get(2).unwrap(), &[0.0, 0.0, 7.0]);
+        assert!(g.get(999).is_none());
+    }
+
+    #[test]
+    fn iter_sorted_is_sorted_regardless_of_insertion() {
+        let mut g = SparseGrad::new(1);
+        for row in [9u32, 1, 5, 3] {
+            g.row_mut(row)[0] = row as f32;
+        }
+        let rows: Vec<u32> = g.iter_sorted().map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn to_dense_scatters() {
+        let mut g = SparseGrad::new(2);
+        g.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        let dense = g.to_dense(3);
+        assert_eq!(dense, vec![0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_adds_overlapping_rows() {
+        let mut a = SparseGrad::new(2);
+        a.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        let mut b = SparseGrad::new(2);
+        b.row_mut(0).copy_from_slice(&[2.0, 3.0]);
+        b.row_mut(4).copy_from_slice(&[5.0, 5.0]);
+        a.merge(&b);
+        assert_eq!(a.get(0).unwrap(), &[3.0, 4.0]);
+        assert_eq!(a.get(4).unwrap(), &[5.0, 5.0]);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut g = SparseGrad::new(2);
+        g.row_mut(1)[0] = 1.0;
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.get(1).is_none());
+    }
+
+    #[test]
+    fn retain_drops_and_reindexes() {
+        let mut g = SparseGrad::new(1);
+        for row in 0..10u32 {
+            g.row_mut(row)[0] = row as f32;
+        }
+        let dropped = g.retain(|row, _| row % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(g.nnz(), 5);
+        assert_eq!(g.get(4).unwrap(), &[4.0]);
+        assert!(g.get(3).is_none());
+        // Accumulation still works after compaction.
+        g.row_mut(3)[0] = 30.0;
+        assert_eq!(g.get(3).unwrap(), &[30.0]);
+    }
+
+    #[test]
+    fn norms_and_threshold_count() {
+        let mut g = SparseGrad::new(2);
+        g.row_mut(0).copy_from_slice(&[3.0, 4.0]); // norm 5
+        g.row_mut(1).copy_from_slice(&[1e-9, 0.0]);
+        let norms = g.row_norms();
+        assert_eq!(norms[0], (0, 5.0));
+        assert_eq!(g.rows_above_norm(1e-6), 1);
+        assert_eq!(g.rows_above_norm(10.0), 0);
+    }
+
+    #[test]
+    fn scale_scales_everything() {
+        let mut g = SparseGrad::new(2);
+        g.row_mut(0).copy_from_slice(&[2.0, -4.0]);
+        g.scale(0.5);
+        assert_eq!(g.get(0).unwrap(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn scatter_into_adds_to_existing() {
+        let mut g = SparseGrad::new(1);
+        g.row_mut(0)[0] = 1.0;
+        let mut dense = vec![10.0f32, 20.0];
+        g.scatter_into(&mut dense);
+        assert_eq!(dense, vec![11.0, 20.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Parameter initialization schemes.
+
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(−√(6/dim), +√(6/dim))`.
+///
+/// KGE implementations (OpenKE, DGL-KE) initialize embedding rows with a
+/// fan-based uniform; for an embedding row both fans equal the row width.
+pub fn xavier_uniform<R: Rng>(buf: &mut [f32], dim: usize, rng: &mut R) {
+    assert!(dim > 0);
+    let bound = (6.0 / dim as f64).sqrt() as f32;
+    for x in buf.iter_mut() {
+        *x = rng.gen_range(-bound..=bound);
+    }
+}
+
+/// Uniform in `[-bound, bound]`.
+pub fn uniform<R: Rng>(buf: &mut [f32], bound: f32, rng: &mut R) {
+    assert!(bound > 0.0);
+    for x in buf.iter_mut() {
+        *x = rng.gen_range(-bound..=bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0.0f32; 1000];
+        xavier_uniform(&mut buf, 50, &mut rng);
+        let bound = (6.0f32 / 50.0).sqrt() + 1e-6;
+        assert!(buf.iter().all(|&x| x.abs() <= bound));
+        // Values should be spread out, not constant.
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![0.0f32; 100];
+        uniform(&mut buf, 0.5, &mut rng);
+        assert!(buf.iter().all(|&x| x.abs() <= 0.5));
+    }
+}

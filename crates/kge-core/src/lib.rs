@@ -1,0 +1,33 @@
+//! # kge-core — numeric core for knowledge-graph embeddings
+//!
+//! This crate provides the model zoo and numeric machinery the paper's
+//! trainer is built on, playing the role TensorFlow + OpenKE's model code
+//! played for the authors:
+//!
+//! - [`EmbeddingTable`]: row-major `f32` parameter matrices with seeded
+//!   Xavier initialization.
+//! - [`KgeModel`] and implementations: [`ComplEx`] (the paper's model),
+//!   plus [`DistMult`] and [`TransE`] baselines (the paper argues its
+//!   strategies generalize to other models; these let us check).
+//!   All scores and gradients are analytic — KGE scoring functions have
+//!   closed forms, so no autodiff framework is needed.
+//! - [`SparseGrad`]: a row-sparse gradient accumulator. KGE batches touch
+//!   only the entity/relation rows that appear in the batch, which is the
+//!   sparsity every strategy in the paper exploits.
+//! - [`Adam`] / [`Sgd`] optimizers with both **dense** and **lazy (row-
+//!   sparse)** update styles, mirroring the paper's dense (all-reduce) and
+//!   sparse (all-gather) update paths.
+
+pub mod grad;
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod model;
+pub mod optim;
+
+pub use grad::SparseGrad;
+pub use matrix::EmbeddingTable;
+pub use model::{ComplEx, DistMult, KgeModel, RotatE, SimplE, TransE};
+pub use optim::{
+    Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, RowOptimizer, Sgd,
+};

@@ -1,0 +1,622 @@
+//! KGE scoring models with analytic gradients.
+//!
+//! Every model maps a triple of embedding rows `(h, r, t)` to a scalar
+//! plausibility score `φ(h, r, t)` and exposes the exact gradient of `φ`
+//! with respect to each row. Training composes these with the loss
+//! derivative (chain rule) — no autodiff needed.
+
+use crate::matrix::dot;
+
+/// A knowledge-graph embedding scoring model.
+///
+/// `storage_dim(d)` says how many floats one embedding row needs for a
+/// model "rank" of `d` (ComplEx stores real and imaginary halves, so `2d`).
+pub trait KgeModel: Send + Sync {
+    /// Human-readable name, e.g. `"complex"`.
+    fn name(&self) -> &'static str;
+
+    /// Model rank (the `d` of the paper; embeddings live in C^d or R^d).
+    fn rank(&self) -> usize;
+
+    /// Floats stored per embedding row.
+    fn storage_dim(&self) -> usize;
+
+    /// Plausibility score of the triple.
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32;
+
+    /// Accumulate `coeff · ∂φ/∂(h,r,t)` into the three gradient rows.
+    ///
+    /// `coeff` is the upstream loss derivative `∂L/∂φ`, so after this call
+    /// the gradient rows hold `∂L/∂row` contributions for this triple.
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    );
+
+    /// Floating-point operations of one `score` call (for the simulated
+    /// clock). A `grad` call is costed at twice this.
+    fn score_flops(&self) -> f64 {
+        (6 * self.storage_dim()) as f64
+    }
+}
+
+/// ComplEx (Trouillon et al., 2016) — the paper's model.
+///
+/// Rows store `[Re(e_1..d) | Im(e_1..d)]`. The score is
+/// `φ = Re(⟨r, h, conj(t)⟩)`, expanded (paper Eq. 1) as
+///
+/// ```text
+/// φ = Σ_k  Re(r)(Re(h)Re(t) + Im(h)Im(t)) + Im(r)(Re(h)Im(t) − Im(h)Re(t))
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplEx {
+    rank: usize,
+}
+
+impl ComplEx {
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0);
+        ComplEx { rank }
+    }
+}
+
+impl KgeModel for ComplEx {
+    fn name(&self) -> &'static str {
+        "complex"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn storage_dim(&self) -> usize {
+        2 * self.rank
+    }
+
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let d = self.rank;
+        debug_assert_eq!(h.len(), 2 * d);
+        debug_assert_eq!(r.len(), 2 * d);
+        debug_assert_eq!(t.len(), 2 * d);
+        let (hr, hi) = h.split_at(d);
+        let (rr, ri) = r.split_at(d);
+        let (tr, ti) = t.split_at(d);
+        let mut s = 0.0f32;
+        for k in 0..d {
+            s += rr[k] * (hr[k] * tr[k] + hi[k] * ti[k]) + ri[k] * (hr[k] * ti[k] - hi[k] * tr[k]);
+        }
+        s
+    }
+
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        let d = self.rank;
+        let (hr, hi) = h.split_at(d);
+        let (rr, ri) = r.split_at(d);
+        let (tr, ti) = t.split_at(d);
+        let (ghr, ghi) = gh.split_at_mut(d);
+        let (grr, gri) = gr.split_at_mut(d);
+        let (gtr, gti) = gt.split_at_mut(d);
+        for k in 0..d {
+            // ∂φ/∂Re(h) = Re(r)Re(t) + Im(r)Im(t)
+            ghr[k] += coeff * (rr[k] * tr[k] + ri[k] * ti[k]);
+            // ∂φ/∂Im(h) = Re(r)Im(t) − Im(r)Re(t)
+            ghi[k] += coeff * (rr[k] * ti[k] - ri[k] * tr[k]);
+            // ∂φ/∂Re(r) = Re(h)Re(t) + Im(h)Im(t)
+            grr[k] += coeff * (hr[k] * tr[k] + hi[k] * ti[k]);
+            // ∂φ/∂Im(r) = Re(h)Im(t) − Im(h)Re(t)
+            gri[k] += coeff * (hr[k] * ti[k] - hi[k] * tr[k]);
+            // ∂φ/∂Re(t) = Re(r)Re(h) − Im(r)Im(h)
+            gtr[k] += coeff * (rr[k] * hr[k] - ri[k] * hi[k]);
+            // ∂φ/∂Im(t) = Re(r)Im(h) + Im(r)Re(h)
+            gti[k] += coeff * (rr[k] * hi[k] + ri[k] * hr[k]);
+        }
+    }
+
+    fn score_flops(&self) -> f64 {
+        (10 * self.rank) as f64
+    }
+}
+
+/// DistMult — ComplEx restricted to real embeddings: `φ = Σ h·r·t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistMult {
+    rank: usize,
+}
+
+impl DistMult {
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0);
+        DistMult { rank }
+    }
+}
+
+impl KgeModel for DistMult {
+    fn name(&self) -> &'static str {
+        "distmult"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn storage_dim(&self) -> usize {
+        self.rank
+    }
+
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let mut s = 0.0;
+        for k in 0..self.rank {
+            s += h[k] * r[k] * t[k];
+        }
+        s
+    }
+
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        for k in 0..self.rank {
+            gh[k] += coeff * r[k] * t[k];
+            gr[k] += coeff * h[k] * t[k];
+            gt[k] += coeff * h[k] * r[k];
+        }
+    }
+
+    fn score_flops(&self) -> f64 {
+        (3 * self.rank) as f64
+    }
+}
+
+/// TransE — translation model. The *score* here is the negated squared
+/// distance `φ = −‖h + r − t‖²` so that, like the multiplicative models,
+/// larger means more plausible and the same logistic loss applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransE {
+    rank: usize,
+}
+
+impl TransE {
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0);
+        TransE { rank }
+    }
+}
+
+impl KgeModel for TransE {
+    fn name(&self) -> &'static str {
+        "transe"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn storage_dim(&self) -> usize {
+        self.rank
+    }
+
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let mut s = 0.0;
+        for k in 0..self.rank {
+            let d = h[k] + r[k] - t[k];
+            s -= d * d;
+        }
+        s
+    }
+
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        for k in 0..self.rank {
+            let d = h[k] + r[k] - t[k];
+            // ∂φ/∂h = −2d, ∂φ/∂r = −2d, ∂φ/∂t = +2d
+            gh[k] += coeff * (-2.0 * d);
+            gr[k] += coeff * (-2.0 * d);
+            gt[k] += coeff * (2.0 * d);
+        }
+    }
+
+    fn score_flops(&self) -> f64 {
+        (4 * self.rank) as f64
+    }
+}
+
+
+/// RotatE-style rotation model (Sun et al. 2019), unconstrained variant:
+/// entities and relations are complex vectors and the score is the
+/// negated squared modulus of the rotation residual,
+/// `φ = −Σ_k |h_k · r_k − t_k|²`. The canonical RotatE constrains
+/// `|r_k| = 1`; this implementation leaves the modulus free (a common
+/// relaxation that keeps the parametrization unconstrained and the
+/// gradient simple) — relations can rotate *and* scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotatE {
+    rank: usize,
+}
+
+impl RotatE {
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0);
+        RotatE { rank }
+    }
+}
+
+impl KgeModel for RotatE {
+    fn name(&self) -> &'static str {
+        "rotate"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn storage_dim(&self) -> usize {
+        2 * self.rank
+    }
+
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let d = self.rank;
+        let (hr, hi) = h.split_at(d);
+        let (rr, ri) = r.split_at(d);
+        let (tr, ti) = t.split_at(d);
+        let mut s = 0.0f32;
+        for k in 0..d {
+            let ure = hr[k] * rr[k] - hi[k] * ri[k] - tr[k];
+            let uim = hr[k] * ri[k] + hi[k] * rr[k] - ti[k];
+            s -= ure * ure + uim * uim;
+        }
+        s
+    }
+
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        let d = self.rank;
+        let (hr, hi) = h.split_at(d);
+        let (rr, ri) = r.split_at(d);
+        let (tr, ti) = t.split_at(d);
+        let (ghr, ghi) = gh.split_at_mut(d);
+        let (grr, gri) = gr.split_at_mut(d);
+        let (gtr, gti) = gt.split_at_mut(d);
+        for k in 0..d {
+            let ure = hr[k] * rr[k] - hi[k] * ri[k] - tr[k];
+            let uim = hr[k] * ri[k] + hi[k] * rr[k] - ti[k];
+            let c = -2.0 * coeff;
+            ghr[k] += c * (ure * rr[k] + uim * ri[k]);
+            ghi[k] += c * (-ure * ri[k] + uim * rr[k]);
+            grr[k] += c * (ure * hr[k] + uim * hi[k]);
+            gri[k] += c * (-ure * hi[k] + uim * hr[k]);
+            gtr[k] += -c * ure;
+            gti[k] += -c * uim;
+        }
+    }
+
+    fn score_flops(&self) -> f64 {
+        (14 * self.rank) as f64
+    }
+}
+
+/// SimplE (Kazemi & Poole 2018): every entity keeps a head-role and a
+/// tail-role embedding, every relation a forward and an inverse vector;
+/// `φ = ½(⟨h_head, r, t_tail⟩ + ⟨t_head, r⁻¹, h_tail⟩)`. Rows store
+/// `[head-role | tail-role]` for entities and `[forward | inverse]` for
+/// relations, so the uniform `storage_dim = 2·rank` layout holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplE {
+    rank: usize,
+}
+
+impl SimplE {
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0);
+        SimplE { rank }
+    }
+}
+
+impl KgeModel for SimplE {
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn storage_dim(&self) -> usize {
+        2 * self.rank
+    }
+
+    fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let d = self.rank;
+        let (hh, ht) = h.split_at(d);
+        let (rf, rinv) = r.split_at(d);
+        let (th, tt) = t.split_at(d);
+        let mut s = 0.0f32;
+        for k in 0..d {
+            s += 0.5 * (hh[k] * rf[k] * tt[k] + th[k] * rinv[k] * ht[k]);
+        }
+        s
+    }
+
+    fn grad(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeff: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        let d = self.rank;
+        let (hh, ht) = h.split_at(d);
+        let (rf, rinv) = r.split_at(d);
+        let (th, tt) = t.split_at(d);
+        let (ghh, ght) = gh.split_at_mut(d);
+        let (grf, grinv) = gr.split_at_mut(d);
+        let (gth, gtt) = gt.split_at_mut(d);
+        let half = 0.5 * coeff;
+        for k in 0..d {
+            ghh[k] += half * rf[k] * tt[k];
+            ght[k] += half * th[k] * rinv[k];
+            grf[k] += half * hh[k] * tt[k];
+            grinv[k] += half * th[k] * ht[k];
+            gth[k] += half * rinv[k] * ht[k];
+            gtt[k] += half * hh[k] * rf[k];
+        }
+    }
+
+    fn score_flops(&self) -> f64 {
+        (6 * self.rank) as f64
+    }
+}
+
+/// Helper for tests and evaluation: score a triple given whole tables.
+pub fn score_rows(
+    model: &dyn KgeModel,
+    ent: &crate::EmbeddingTable,
+    rel: &crate::EmbeddingTable,
+    h: usize,
+    r: usize,
+    t: usize,
+) -> f32 {
+    model.score(ent.row(h), rel.row(r), ent.row(t))
+}
+
+/// Check two slices are elementwise within `tol` (test helper, re-used by
+/// downstream crates' tests).
+pub fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// ComplEx score expressed via complex-number arithmetic; slow oracle used
+/// by tests to validate the fused implementation.
+pub fn complex_score_oracle(rank: usize, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    let (hr, hi) = h.split_at(rank);
+    let (rr, ri) = r.split_at(rank);
+    let (tr, ti) = t.split_at(rank);
+    let mut total = 0.0f32;
+    for k in 0..rank {
+        // Re( r * h * conj(t) )
+        let (a, b) = (rr[k], ri[k]); // r
+        let (c, d) = (hr[k], hi[k]); // h
+        let (e, f) = (tr[k], -ti[k]); // conj(t)
+        // (a+bi)(c+di) = (ac−bd) + (ad+bc)i
+        let (x, y) = (a * c - b * d, a * d + b * c);
+        // (x+yi)(e+fi) real part = xe − yf
+        total += x * e - y * f;
+    }
+    total
+}
+
+/// Convenience: the plain real dot-product triple score used in sanity
+/// tests (`h·t` ignoring the relation).
+pub fn dot_score(h: &[f32], t: &[f32]) -> f32 {
+    dot(h, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn numeric_grad(
+        model: &dyn KgeModel,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let eps = 1e-3f32;
+        let d = model.storage_dim();
+        let mut gh = vec![0.0; d];
+        let mut gr = vec![0.0; d];
+        let mut gt = vec![0.0; d];
+        let mut hh = h.to_vec();
+        let mut rr = r.to_vec();
+        let mut tt = t.to_vec();
+        for k in 0..d {
+            hh[k] = h[k] + eps;
+            let up = model.score(&hh, r, t);
+            hh[k] = h[k] - eps;
+            let dn = model.score(&hh, r, t);
+            hh[k] = h[k];
+            gh[k] = (up - dn) / (2.0 * eps);
+
+            rr[k] = r[k] + eps;
+            let up = model.score(h, &rr, t);
+            rr[k] = r[k] - eps;
+            let dn = model.score(h, &rr, t);
+            rr[k] = r[k];
+            gr[k] = (up - dn) / (2.0 * eps);
+
+            tt[k] = t[k] + eps;
+            let up = model.score(h, r, &tt);
+            tt[k] = t[k] - eps;
+            let dn = model.score(h, r, &tt);
+            tt[k] = t[k];
+            gt[k] = (up - dn) / (2.0 * eps);
+        }
+        (gh, gr, gt)
+    }
+
+    fn check_model_grads(model: &dyn KgeModel) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = model.storage_dim();
+        for _ in 0..5 {
+            let h = rand_vec(&mut rng, d);
+            let r = rand_vec(&mut rng, d);
+            let t = rand_vec(&mut rng, d);
+            let (nh, nr, nt) = numeric_grad(model, &h, &r, &t);
+            let mut gh = vec![0.0; d];
+            let mut gr = vec![0.0; d];
+            let mut gt = vec![0.0; d];
+            model.grad(&h, &r, &t, 1.0, &mut gh, &mut gr, &mut gt);
+            assert!(approx_eq(&gh, &nh, 2e-2), "{} dφ/dh", model.name());
+            assert!(approx_eq(&gr, &nr, 2e-2), "{} dφ/dr", model.name());
+            assert!(approx_eq(&gt, &nt, 2e-2), "{} dφ/dt", model.name());
+        }
+    }
+
+    #[test]
+    fn complex_grad_matches_numeric() {
+        check_model_grads(&ComplEx::new(6));
+    }
+
+    #[test]
+    fn distmult_grad_matches_numeric() {
+        check_model_grads(&DistMult::new(8));
+    }
+
+    #[test]
+    fn transe_grad_matches_numeric() {
+        check_model_grads(&TransE::new(8));
+    }
+
+    #[test]
+    fn complex_matches_complex_arithmetic_oracle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = ComplEx::new(5);
+        for _ in 0..20 {
+            let h = rand_vec(&mut rng, 10);
+            let r = rand_vec(&mut rng, 10);
+            let t = rand_vec(&mut rng, 10);
+            let fused = m.score(&h, &r, &t);
+            let oracle = complex_score_oracle(5, &h, &r, &t);
+            assert!((fused - oracle).abs() < 1e-4, "{fused} vs {oracle}");
+        }
+    }
+
+    #[test]
+    fn grad_accumulates_with_coeff() {
+        let m = DistMult::new(2);
+        let h = [1.0, 2.0];
+        let r = [3.0, 4.0];
+        let t = [5.0, 6.0];
+        let mut gh = vec![100.0, 100.0];
+        let mut gr = vec![0.0, 0.0];
+        let mut gt = vec![0.0, 0.0];
+        m.grad(&h, &r, &t, 0.5, &mut gh, &mut gr, &mut gt);
+        // gh += 0.5 * r*t = 0.5*[15, 24]
+        assert_eq!(gh, vec![107.5, 112.0]);
+    }
+
+    #[test]
+    fn storage_dims() {
+        assert_eq!(ComplEx::new(100).storage_dim(), 200);
+        assert_eq!(DistMult::new(100).storage_dim(), 100);
+        assert_eq!(TransE::new(100).storage_dim(), 100);
+    }
+
+    #[test]
+    fn transe_score_is_negative_distance() {
+        let m = TransE::new(2);
+        // perfect translation: h + r == t
+        assert_eq!(m.score(&[1.0, 0.0], &[0.5, 0.5], &[1.5, 0.5]), 0.0);
+        assert!(m.score(&[1.0, 0.0], &[0.5, 0.5], &[0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn score_rows_reads_tables() {
+        use crate::EmbeddingTable;
+        let mut ent = EmbeddingTable::zeros(2, 2);
+        let mut rel = EmbeddingTable::zeros(1, 2);
+        ent.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        ent.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        rel.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        let m = DistMult::new(2);
+        assert_eq!(score_rows(&m, &ent, &rel, 0, 0, 1), 1.0 * 3.0 + 2.0 * 4.0);
+    }
+
+    #[test]
+    fn rotate_grad_matches_numeric() {
+        check_model_grads(&RotatE::new(5));
+    }
+
+    #[test]
+    fn simple_grad_matches_numeric() {
+        check_model_grads(&SimplE::new(6));
+    }
+
+    #[test]
+    fn rotate_score_zero_for_exact_rotation() {
+        // h = (1, 0), r = (0, 1) [rotation by 90°], t = h·r = (0, 1).
+        let m = RotatE::new(1);
+        assert_eq!(m.score(&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]), 0.0);
+        // Any other tail scores negative.
+        assert!(m.score(&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn simple_is_symmetric_in_inverse_direction() {
+        // Swapping (h, t) while swapping r's forward/inverse halves
+        // leaves the score unchanged.
+        let m = SimplE::new(2);
+        let h = [0.3, -0.7, 0.2, 0.9];
+        let t = [-0.4, 0.5, 0.8, -0.1];
+        let r = [0.6, 0.2, -0.3, 0.7];
+        let r_swapped = [-0.3, 0.7, 0.6, 0.2];
+        let a = m.score(&h, &r, &t);
+        let b = m.score(&t, &r_swapped, &h);
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}

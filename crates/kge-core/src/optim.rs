@@ -1,0 +1,484 @@
+//! Optimizers: Adam (dense and lazy row-sparse) and SGD.
+//!
+//! The paper trains with Adam (§3.3). In the all-reduce path the aggregated
+//! gradient arrives as a dense matrix and a **dense** Adam step is applied
+//! (all moments decay every step, like Horovod + `tf.train.AdamOptimizer`);
+//! in the all-gather path only touched rows are known, so a **lazy** step
+//! updates just those rows, with per-row step counters for bias correction
+//! (like TensorFlow's sparse Adam). Both styles are provided and the
+//! trainer picks per communication mode, mirroring the paper's baseline
+//! "dense updates" vs "sparse updates" distinction.
+
+use crate::grad::SparseGrad;
+use crate::matrix::EmbeddingTable;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Moment state for one embedding table.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    /// Global step count (dense style).
+    t: u64,
+    /// Per-row step counts (lazy style).
+    row_t: Vec<u32>,
+    dim: usize,
+}
+
+impl AdamState {
+    pub fn new(rows: usize, dim: usize) -> Self {
+        AdamState {
+            m: vec![0.0; rows * dim],
+            v: vec![0.0; rows * dim],
+            t: 0,
+            row_t: vec![0; rows],
+            dim,
+        }
+    }
+
+    /// Number of flops a dense step costs (for the simulated clock).
+    pub fn dense_step_flops(&self) -> f64 {
+        (self.m.len() * 12) as f64
+    }
+
+    /// Flops for a lazy step over `nnz` rows.
+    pub fn lazy_step_flops(&self, nnz: usize) -> f64 {
+        (nnz * self.dim * 12) as f64
+    }
+}
+
+impl Adam {
+    /// Dense step: apply `grad` (same shape as the table) everywhere with a
+    /// single global step counter. `lr_scale` multiplies the base learning
+    /// rate (the paper's capped linear scaling / plateau schedule).
+    pub fn step_dense(
+        &self,
+        state: &mut AdamState,
+        table: &mut EmbeddingTable,
+        grad: &[f32],
+        lr_scale: f32,
+    ) {
+        assert_eq!(grad.len(), table.as_slice().len());
+        assert_eq!(grad.len(), state.m.len());
+        state.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(state.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(state.t as i32);
+        let lr = self.lr * lr_scale;
+        let params = table.as_mut_slice();
+        for i in 0..grad.len() {
+            let g = grad[i];
+            state.m[i] = self.beta1 * state.m[i] + (1.0 - self.beta1) * g;
+            state.v[i] = self.beta2 * state.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = state.m[i] / bc1;
+            let vhat = state.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Lazy step: update only the rows present in `grad`, with per-row bias
+    /// correction. Rows never touched keep their stale moments untouched
+    /// (TensorFlow `sparse_apply_adam` semantics).
+    pub fn step_lazy(
+        &self,
+        state: &mut AdamState,
+        table: &mut EmbeddingTable,
+        grad: &SparseGrad,
+        lr_scale: f32,
+    ) {
+        assert_eq!(grad.dim(), table.dim());
+        let dim = table.dim();
+        let lr = self.lr * lr_scale;
+        for (row, g) in grad.iter_sorted() {
+            let r = row as usize;
+            assert!(r < table.rows(), "gradient row {r} out of range");
+            state.row_t[r] += 1;
+            let t = state.row_t[r];
+            let bc1 = 1.0 - self.beta1.powi(t as i32);
+            let bc2 = 1.0 - self.beta2.powi(t as i32);
+            let ms = &mut state.m[r * dim..(r + 1) * dim];
+            let vs = &mut state.v[r * dim..(r + 1) * dim];
+            let ps = table.row_mut(r);
+            for k in 0..dim {
+                let gv = g[k];
+                ms[k] = self.beta1 * ms[k] + (1.0 - self.beta1) * gv;
+                vs[k] = self.beta2 * vs[k] + (1.0 - self.beta2) * gv * gv;
+                let mhat = ms[k] / bc1;
+                let vhat = vs[k] / bc2;
+                ps[k] -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+
+/// AdaGrad — the optimizer DGL-KE ships for KGE training; simpler state
+/// than Adam (one accumulator) and well-suited to sparse rows because the
+/// per-coordinate scaling is independent of update frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adagrad {
+    pub lr: f32,
+    pub eps: f32,
+}
+
+impl Default for Adagrad {
+    fn default() -> Self {
+        Adagrad { lr: 0.1, eps: 1e-10 }
+    }
+}
+
+/// Squared-gradient accumulator for one table.
+#[derive(Debug, Clone)]
+pub struct AdagradState {
+    accum: Vec<f32>,
+    dim: usize,
+}
+
+impl AdagradState {
+    pub fn new(rows: usize, dim: usize) -> Self {
+        AdagradState {
+            accum: vec![0.0; rows * dim],
+            dim,
+        }
+    }
+
+    /// Flops for a lazy step over `nnz` rows (for the simulated clock).
+    pub fn lazy_step_flops(&self, nnz: usize) -> f64 {
+        (nnz * self.dim * 6) as f64
+    }
+}
+
+impl Adagrad {
+    /// Row-sparse step: update only the rows present in `grad`.
+    pub fn step_lazy(
+        &self,
+        state: &mut AdagradState,
+        table: &mut EmbeddingTable,
+        grad: &SparseGrad,
+        lr_scale: f32,
+    ) {
+        assert_eq!(grad.dim(), table.dim());
+        let dim = table.dim();
+        let lr = self.lr * lr_scale;
+        for (row, g) in grad.iter_sorted() {
+            let r = row as usize;
+            assert!(r < table.rows(), "gradient row {r} out of range");
+            let acc = &mut state.accum[r * dim..(r + 1) * dim];
+            let ps = table.row_mut(r);
+            for k in 0..dim {
+                let gv = g[k];
+                acc[k] += gv * gv;
+                ps[k] -= lr * gv / (acc[k].sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Dense step over the full table.
+    pub fn step_dense(
+        &self,
+        state: &mut AdagradState,
+        table: &mut EmbeddingTable,
+        grad: &[f32],
+        lr_scale: f32,
+    ) {
+        assert_eq!(grad.len(), table.as_slice().len());
+        let lr = self.lr * lr_scale;
+        let params = table.as_mut_slice();
+        for i in 0..grad.len() {
+            let gv = grad[i];
+            state.accum[i] += gv * gv;
+            params[i] -= lr * gv / (state.accum[i].sqrt() + self.eps);
+        }
+    }
+}
+
+
+/// Object-safe optimizer interface the trainer drives: one instance per
+/// embedding table, bundling hyper-parameters and state.
+pub trait RowOptimizer: Send {
+    /// Apply a dense gradient (same shape as the table).
+    fn step_dense(&mut self, table: &mut EmbeddingTable, grad: &[f32], lr_scale: f32);
+    /// Apply a row-sparse gradient.
+    fn step_lazy(&mut self, table: &mut EmbeddingTable, grad: &SparseGrad, lr_scale: f32);
+    /// Simulated flops of a dense step.
+    fn dense_step_flops(&self) -> f64;
+    /// Simulated flops of a lazy step over `nnz` rows.
+    fn lazy_step_flops(&self, nnz: usize) -> f64;
+}
+
+/// [`Adam`] + its state as a [`RowOptimizer`].
+pub struct AdamOptimizer {
+    pub cfg: Adam,
+    pub state: AdamState,
+}
+
+impl AdamOptimizer {
+    pub fn new(cfg: Adam, rows: usize, dim: usize) -> Self {
+        AdamOptimizer {
+            cfg,
+            state: AdamState::new(rows, dim),
+        }
+    }
+}
+
+impl RowOptimizer for AdamOptimizer {
+    fn step_dense(&mut self, table: &mut EmbeddingTable, grad: &[f32], lr_scale: f32) {
+        self.cfg.step_dense(&mut self.state, table, grad, lr_scale);
+    }
+
+    fn step_lazy(&mut self, table: &mut EmbeddingTable, grad: &SparseGrad, lr_scale: f32) {
+        self.cfg.step_lazy(&mut self.state, table, grad, lr_scale);
+    }
+
+    fn dense_step_flops(&self) -> f64 {
+        self.state.dense_step_flops()
+    }
+
+    fn lazy_step_flops(&self, nnz: usize) -> f64 {
+        self.state.lazy_step_flops(nnz)
+    }
+}
+
+/// [`Adagrad`] + its state as a [`RowOptimizer`].
+pub struct AdagradOptimizer {
+    pub cfg: Adagrad,
+    pub state: AdagradState,
+    rows: usize,
+    dim: usize,
+}
+
+impl AdagradOptimizer {
+    pub fn new(cfg: Adagrad, rows: usize, dim: usize) -> Self {
+        AdagradOptimizer {
+            cfg,
+            state: AdagradState::new(rows, dim),
+            rows,
+            dim,
+        }
+    }
+}
+
+impl RowOptimizer for AdagradOptimizer {
+    fn step_dense(&mut self, table: &mut EmbeddingTable, grad: &[f32], lr_scale: f32) {
+        self.cfg.step_dense(&mut self.state, table, grad, lr_scale);
+    }
+
+    fn step_lazy(&mut self, table: &mut EmbeddingTable, grad: &SparseGrad, lr_scale: f32) {
+        self.cfg.step_lazy(&mut self.state, table, grad, lr_scale);
+    }
+
+    fn dense_step_flops(&self) -> f64 {
+        (self.rows * self.dim * 6) as f64
+    }
+
+    fn lazy_step_flops(&self, nnz: usize) -> f64 {
+        self.state.lazy_step_flops(nnz)
+    }
+}
+
+/// Plain SGD (used in equivalence tests where Adam's statefulness would
+/// obscure the property being checked).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Apply `row -= lr_scale·lr·grad_row` for every stored row.
+    pub fn step_lazy(&self, table: &mut EmbeddingTable, grad: &SparseGrad, lr_scale: f32) {
+        let lr = self.lr * lr_scale;
+        for (row, g) in grad.iter_sorted() {
+            let ps = table.row_mut(row as usize);
+            for (p, &gv) in ps.iter_mut().zip(g) {
+                *p -= lr * gv;
+            }
+        }
+    }
+
+    /// Dense SGD step.
+    pub fn step_dense(&self, table: &mut EmbeddingTable, grad: &[f32], lr_scale: f32) {
+        assert_eq!(grad.len(), table.as_slice().len());
+        let lr = self.lr * lr_scale;
+        for (p, &g) in table.as_mut_slice().iter_mut().zip(grad) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(table: &EmbeddingTable) -> Vec<f32> {
+        // d/dx of 0.5‖x − 1‖²  =  x − 1
+        table.as_slice().iter().map(|&x| x - 1.0).collect()
+    }
+
+    #[test]
+    fn dense_adam_minimizes_quadratic() {
+        let mut table = EmbeddingTable::zeros(4, 3);
+        let mut state = AdamState::new(4, 3);
+        let adam = Adam {
+            lr: 0.05,
+            ..Adam::default()
+        };
+        for _ in 0..500 {
+            let g = quadratic_grad(&table);
+            adam.step_dense(&mut state, &mut table, &g, 1.0);
+        }
+        for &x in table.as_slice() {
+            assert!((x - 1.0).abs() < 1e-2, "did not converge: {x}");
+        }
+    }
+
+    #[test]
+    fn lazy_adam_only_touches_given_rows() {
+        let mut table = EmbeddingTable::zeros(3, 2);
+        let mut state = AdamState::new(3, 2);
+        let adam = Adam::default();
+        let mut g = SparseGrad::new(2);
+        g.row_mut(1).copy_from_slice(&[1.0, -1.0]);
+        adam.step_lazy(&mut state, &mut table, &g, 1.0);
+        assert_eq!(table.row(0), &[0.0, 0.0]);
+        assert_eq!(table.row(2), &[0.0, 0.0]);
+        assert!(table.row(1)[0] < 0.0 && table.row(1)[1] > 0.0);
+    }
+
+    #[test]
+    fn lazy_and_dense_agree_on_first_step_for_touched_rows() {
+        // On the very first step both styles have t=1 for the touched row,
+        // so the updates coincide exactly there.
+        let mut t_dense = EmbeddingTable::zeros(2, 2);
+        let mut t_lazy = t_dense.clone();
+        let mut s_dense = AdamState::new(2, 2);
+        let mut s_lazy = AdamState::new(2, 2);
+        let adam = Adam::default();
+
+        let mut sg = SparseGrad::new(2);
+        sg.row_mut(0).copy_from_slice(&[0.3, -0.7]);
+        let dg = sg.to_dense(2);
+
+        adam.step_dense(&mut s_dense, &mut t_dense, &dg, 1.0);
+        adam.step_lazy(&mut s_lazy, &mut t_lazy, &sg, 1.0);
+        assert_eq!(t_dense.row(0), t_lazy.row(0));
+        assert_eq!(t_lazy.row(1), &[0.0, 0.0]);
+        // Dense applied a (zero) update to row 1 as well — numerically zero.
+        assert_eq!(t_dense.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lr_scale_scales_first_step() {
+        let adam = Adam::default();
+        let mut t1 = EmbeddingTable::zeros(1, 1);
+        let mut s1 = AdamState::new(1, 1);
+        adam.step_dense(&mut s1, &mut t1, &[1.0], 1.0);
+        let mut t4 = EmbeddingTable::zeros(1, 1);
+        let mut s4 = AdamState::new(1, 1);
+        adam.step_dense(&mut s4, &mut t4, &[1.0], 4.0);
+        let u1 = -t1.as_slice()[0];
+        let u4 = -t4.as_slice()[0];
+        assert!((u4 - 4.0 * u1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgd_steps() {
+        let sgd = Sgd { lr: 0.1 };
+        let mut table = EmbeddingTable::zeros(2, 2);
+        let mut g = SparseGrad::new(2);
+        g.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        sgd.step_lazy(&mut table, &g, 2.0);
+        assert_eq!(table.row(0), &[-0.2, -0.4]);
+        assert_eq!(table.row(1), &[0.0, 0.0]);
+
+        let dense = vec![1.0, 1.0, 1.0, 1.0];
+        sgd.step_dense(&mut table, &dense, 1.0);
+        assert_eq!(table.row(1), &[-0.1, -0.1]);
+    }
+
+    #[test]
+    fn flop_estimates_positive() {
+        let s = AdamState::new(10, 4);
+        assert!(s.dense_step_flops() > 0.0);
+        assert!(s.lazy_step_flops(3) < s.dense_step_flops());
+    }
+
+    #[test]
+    fn adagrad_minimizes_quadratic() {
+        let mut table = EmbeddingTable::zeros(2, 2);
+        let mut state = AdagradState::new(2, 2);
+        let opt = Adagrad { lr: 0.5, eps: 1e-10 };
+        for _ in 0..800 {
+            let g = quadratic_grad(&table);
+            opt.step_dense(&mut state, &mut table, &g, 1.0);
+        }
+        for &x in table.as_slice() {
+            assert!((x - 1.0).abs() < 5e-2, "did not converge: {x}");
+        }
+    }
+
+    #[test]
+    fn adagrad_lazy_touches_only_given_rows() {
+        let mut table = EmbeddingTable::zeros(3, 2);
+        let mut state = AdagradState::new(3, 2);
+        let opt = Adagrad::default();
+        let mut g = SparseGrad::new(2);
+        g.row_mut(2).copy_from_slice(&[1.0, -2.0]);
+        opt.step_lazy(&mut state, &mut table, &g, 1.0);
+        assert_eq!(table.row(0), &[0.0, 0.0]);
+        assert_eq!(table.row(1), &[0.0, 0.0]);
+        assert!(table.row(2)[0] < 0.0 && table.row(2)[1] > 0.0);
+        assert!(state.lazy_step_flops(1) > 0.0);
+    }
+
+    #[test]
+    fn adagrad_steps_shrink_over_time() {
+        // The accumulator grows, so constant gradients produce shrinking
+        // updates — AdaGrad's defining property.
+        let mut table = EmbeddingTable::zeros(1, 1);
+        let mut state = AdagradState::new(1, 1);
+        let opt = Adagrad { lr: 1.0, eps: 1e-10 };
+        let mut prev = f32::INFINITY;
+        for _ in 0..5 {
+            let before = table.as_slice()[0];
+            opt.step_dense(&mut state, &mut table, &[1.0], 1.0);
+            let step = (before - table.as_slice()[0]).abs();
+            assert!(step < prev);
+            prev = step;
+        }
+    }
+
+    #[test]
+    fn row_optimizer_trait_objects_step() {
+        let mut opts: Vec<Box<dyn RowOptimizer>> = vec![
+            Box::new(AdamOptimizer::new(Adam::default(), 2, 2)),
+            Box::new(AdagradOptimizer::new(Adagrad::default(), 2, 2)),
+        ];
+        for opt in opts.iter_mut() {
+            let mut table = EmbeddingTable::zeros(2, 2);
+            let mut g = SparseGrad::new(2);
+            g.row_mut(1).copy_from_slice(&[1.0, -1.0]);
+            opt.step_lazy(&mut table, &g, 1.0);
+            assert_eq!(table.row(0), &[0.0, 0.0]);
+            assert!(table.row(1)[0] < 0.0);
+            assert!(opt.dense_step_flops() > opt.lazy_step_flops(1));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests on the numeric core: analytic gradients match numeric
+//! differentiation for every model at arbitrary points, optimizer steps
+//! stay finite, and the sparse-gradient accumulator behaves like a map of
+//! dense rows.
+
+use kge_core::loss::{logistic_loss, logistic_loss_grad};
+use kge_core::{Adam, AdamState, ComplEx, DistMult, EmbeddingTable, KgeModel, SparseGrad, TransE};
+use proptest::prelude::*;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n..=n)
+}
+
+fn numeric_matches_analytic(model: &dyn KgeModel, h: &[f32], r: &[f32], t: &[f32]) -> bool {
+    let d = model.storage_dim();
+    let eps = 1e-2f32;
+    let mut gh = vec![0.0; d];
+    let mut gr = vec![0.0; d];
+    let mut gt = vec![0.0; d];
+    model.grad(h, r, t, 1.0, &mut gh, &mut gr, &mut gt);
+    let mut hh = h.to_vec();
+    for k in 0..d {
+        hh[k] = h[k] + eps;
+        let up = model.score(&hh, r, t);
+        hh[k] = h[k] - eps;
+        let dn = model.score(&hh, r, t);
+        hh[k] = h[k];
+        let num = (up - dn) / (2.0 * eps);
+        if (num - gh[k]).abs() > 0.05 * (1.0 + num.abs().max(gh[k].abs())) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn complex_gradient_is_exact(
+        h in vec_strategy(8), r in vec_strategy(8), t in vec_strategy(8),
+    ) {
+        prop_assert!(numeric_matches_analytic(&ComplEx::new(4), &h, &r, &t));
+    }
+
+    #[test]
+    fn distmult_gradient_is_exact(
+        h in vec_strategy(6), r in vec_strategy(6), t in vec_strategy(6),
+    ) {
+        prop_assert!(numeric_matches_analytic(&DistMult::new(6), &h, &r, &t));
+    }
+
+    #[test]
+    fn transe_gradient_is_exact(
+        h in vec_strategy(6), r in vec_strategy(6), t in vec_strategy(6),
+    ) {
+        prop_assert!(numeric_matches_analytic(&TransE::new(6), &h, &r, &t));
+    }
+
+    #[test]
+    fn loss_grad_is_loss_derivative(phi in -20.0f32..20.0, pos in any::<bool>()) {
+        let y = if pos { 1.0 } else { -1.0 };
+        let eps = 1e-2f32;
+        let num = (logistic_loss(y, phi + eps) - logistic_loss(y, phi - eps)) / (2.0 * eps);
+        let ana = logistic_loss_grad(y, phi);
+        prop_assert!((num - ana).abs() < 5e-2, "phi={phi} y={y}: {num} vs {ana}");
+        // Loss and gradient are always finite and the loss non-negative.
+        prop_assert!(logistic_loss(y, phi).is_finite());
+        prop_assert!(logistic_loss(y, phi) >= 0.0);
+        prop_assert!(ana.abs() <= 1.0);
+    }
+
+    #[test]
+    fn adam_steps_stay_finite(
+        grads in proptest::collection::vec(vec_strategy(4), 1..30),
+        lr_scale in 0.1f32..4.0,
+    ) {
+        let mut table = EmbeddingTable::zeros(1, 4);
+        let mut state = AdamState::new(1, 4);
+        let adam = Adam::default();
+        for g in &grads {
+            adam.step_dense(&mut state, &mut table, g, lr_scale);
+        }
+        for &x in table.as_slice() {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn sparse_grad_matches_dense_semantics(
+        updates in proptest::collection::vec((0u32..20, 0usize..3, -10.0f32..10.0), 0..100),
+    ) {
+        let dim = 3;
+        let mut sparse = SparseGrad::new(dim);
+        let mut dense = vec![0.0f32; 20 * dim];
+        for &(row, col, v) in &updates {
+            sparse.row_mut(row)[col] += v;
+            dense[row as usize * dim + col] += v;
+        }
+        prop_assert_eq!(sparse.to_dense(20), dense.clone());
+        // Merging the gradient with itself doubles it.
+        let copy = sparse.clone();
+        sparse.merge(&copy);
+        let doubled: Vec<f32> = dense.iter().map(|x| x * 2.0).collect();
+        prop_assert_eq!(sparse.to_dense(20), doubled);
+    }
+
+    #[test]
+    fn lazy_and_dense_adam_agree_when_all_rows_touched(
+        g0 in vec_strategy(3),
+        g1 in vec_strategy(3),
+    ) {
+        // When every row receives a gradient every step, lazy and dense
+        // Adam follow identical trajectories.
+        let adam = Adam::default();
+        let mut t_dense = EmbeddingTable::zeros(2, 3);
+        let mut t_lazy = t_dense.clone();
+        let mut s_dense = AdamState::new(2, 3);
+        let mut s_lazy = AdamState::new(2, 3);
+        for _ in 0..3 {
+            let mut sg = SparseGrad::new(3);
+            sg.row_mut(0).copy_from_slice(&g0);
+            sg.row_mut(1).copy_from_slice(&g1);
+            let dg = sg.to_dense(2);
+            adam.step_dense(&mut s_dense, &mut t_dense, &dg, 1.0);
+            adam.step_lazy(&mut s_lazy, &mut t_lazy, &sg, 1.0);
+        }
+        prop_assert_eq!(t_dense.as_slice(), t_lazy.as_slice());
+    }
+}

@@ -1,0 +1,123 @@
+//! Epoch shuffling, batching, and sharding across nodes.
+
+use crate::triple::Triple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Split `triples` into `p` contiguous shards of near-equal size
+/// (difference ≤ 1), the baseline uniform distribution of the paper.
+pub fn uniform_shards(triples: &[Triple], p: usize) -> Vec<Vec<Triple>> {
+    assert!(p >= 1);
+    let n = triples.len();
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for r in 0..p {
+        let len = base + usize::from(r < extra);
+        out.push(triples[start..start + len].to_vec());
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Deterministic per-epoch shuffler: same `(seed, epoch)` ⇒ same order.
+#[derive(Debug, Clone)]
+pub struct EpochShuffler {
+    seed: u64,
+}
+
+impl EpochShuffler {
+    pub fn new(seed: u64) -> Self {
+        EpochShuffler { seed }
+    }
+
+    /// Shuffle `data` in place for the given epoch.
+    pub fn shuffle(&self, data: &mut [Triple], epoch: u64) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E3779B97F4A7C15));
+        for i in (1..data.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Iterate `data` in batches of `batch_size` (last batch may be short).
+pub fn batches(data: &[Triple], batch_size: usize) -> impl Iterator<Item = &[Triple]> {
+    assert!(batch_size >= 1);
+    data.chunks(batch_size)
+}
+
+/// Number of batches every node runs per epoch when each node holds
+/// `shard_len` triples: the paper trains "equal number of batches per
+/// worker", so all nodes use the max shard's batch count (short nodes
+/// simply run their last batch smaller or resample — we use the count of
+/// the *largest* shard for the synchronous schedule).
+pub fn batches_per_epoch(shard_len: usize, batch_size: usize) -> usize {
+    shard_len.div_ceil(batch_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(n: usize) -> Vec<Triple> {
+        (0..n as u32).map(|i| Triple::new(i, 0, i)).collect()
+    }
+
+    #[test]
+    fn shards_cover_and_balance() {
+        let data = triples(10);
+        let shards = uniform_shards(&data, 3);
+        assert_eq!(shards.len(), 3);
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // Union reproduces the input set.
+        let mut all: Vec<Triple> = shards.concat();
+        all.sort();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    fn single_shard_is_whole_input() {
+        let data = triples(5);
+        let shards = uniform_shards(&data, 1);
+        assert_eq!(shards[0], data);
+    }
+
+    #[test]
+    fn more_shards_than_triples_leaves_empties() {
+        let data = triples(2);
+        let shards = uniform_shards(&data, 4);
+        assert_eq!(shards.iter().filter(|s| s.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn shuffler_is_deterministic_and_epoch_dependent() {
+        let sh = EpochShuffler::new(99);
+        let mut a = triples(50);
+        let mut b = triples(50);
+        sh.shuffle(&mut a, 3);
+        sh.shuffle(&mut b, 3);
+        assert_eq!(a, b);
+        let mut c = triples(50);
+        sh.shuffle(&mut c, 4);
+        assert_ne!(a, c);
+        // Still a permutation.
+        let mut sorted = c.clone();
+        sorted.sort();
+        assert_eq!(sorted, triples(50));
+    }
+
+    #[test]
+    fn batch_iteration() {
+        let data = triples(7);
+        let got: Vec<usize> = batches(&data, 3).map(|b| b.len()).collect();
+        assert_eq!(got, vec![3, 3, 1]);
+        assert_eq!(batches_per_epoch(7, 3), 3);
+        assert_eq!(batches_per_epoch(6, 3), 2);
+        assert_eq!(batches_per_epoch(0, 3), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The all-known-triples index for filtered evaluation and true-negative
+//! sampling.
+
+use crate::dataset::Dataset;
+use crate::triple::Triple;
+use std::collections::{HashMap, HashSet};
+
+/// Index over every triple of a dataset (train + valid + test).
+///
+/// Supports the two queries KGE evaluation needs:
+/// - membership (`contains`), for filtered ranking and for rejecting
+///   corrupted triples that are accidentally true;
+/// - the known heads/tails of a `(rel, entity)` pair, for filtered-rank
+///   computation without scanning.
+#[derive(Debug, Clone, Default)]
+pub struct FilterIndex {
+    all: HashSet<Triple>,
+    /// (rel, head) -> tails
+    tails: HashMap<(u32, u32), Vec<u32>>,
+    /// (rel, tail) -> heads
+    heads: HashMap<(u32, u32), Vec<u32>>,
+}
+
+impl FilterIndex {
+    /// Build from every split of `ds`.
+    pub fn build(ds: &Dataset) -> Self {
+        Self::from_triples(ds.all_triples())
+    }
+
+    /// Build from an explicit triple stream.
+    pub fn from_triples(triples: impl Iterator<Item = Triple>) -> Self {
+        let mut idx = FilterIndex::default();
+        for t in triples {
+            if idx.all.insert(t) {
+                idx.tails.entry((t.rel, t.head)).or_default().push(t.tail);
+                idx.heads.entry((t.rel, t.tail)).or_default().push(t.head);
+            }
+        }
+        idx
+    }
+
+    /// Is `(h, r, t)` a known true triple?
+    #[inline]
+    pub fn contains(&self, t: Triple) -> bool {
+        self.all.contains(&t)
+    }
+
+    /// All known tails for `(rel, head)`.
+    pub fn known_tails(&self, rel: u32, head: u32) -> &[u32] {
+        self.tails.get(&(rel, head)).map_or(&[], Vec::as_slice)
+    }
+
+    /// All known heads for `(rel, tail)`.
+    pub fn known_heads(&self, rel: u32, tail: u32) -> &[u32] {
+        self.heads.get(&(rel, tail)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of indexed triples.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> FilterIndex {
+        FilterIndex::from_triples(
+            [
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(3, 0, 1),
+                Triple::new(0, 1, 1),
+            ]
+            .into_iter(),
+        )
+    }
+
+    #[test]
+    fn membership() {
+        let idx = index();
+        assert!(idx.contains(Triple::new(0, 0, 1)));
+        assert!(!idx.contains(Triple::new(1, 0, 0)));
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn known_tails_and_heads() {
+        let idx = index();
+        assert_eq!(idx.known_tails(0, 0), &[1, 2]);
+        assert_eq!(idx.known_heads(0, 1), &[0, 3]);
+        assert_eq!(idx.known_tails(9, 9), &[] as &[u32]);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let idx = FilterIndex::from_triples(
+            [Triple::new(0, 0, 1), Triple::new(0, 0, 1)].into_iter(),
+        );
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.known_tails(0, 0), &[1]);
+    }
+
+    #[test]
+    fn build_from_dataset_spans_splits() {
+        let ds = Dataset {
+            name: "t".into(),
+            n_entities: 4,
+            n_relations: 1,
+            train: vec![Triple::new(0, 0, 1)],
+            valid: vec![Triple::new(1, 0, 2)],
+            test: vec![Triple::new(2, 0, 3)],
+        };
+        let idx = FilterIndex::build(&ds);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.contains(Triple::new(2, 0, 3)));
+    }
+}

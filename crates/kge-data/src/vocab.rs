@@ -1,0 +1,79 @@
+//! String ⇄ dense-id vocabularies for entities and relations.
+
+use std::collections::HashMap;
+
+/// An append-only bidirectional mapping between names and dense `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Vocab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `name`, inserting it if unseen.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Id for `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name for `id`.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("/m/alpha");
+        let b = v.intern("/m/beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("/m/alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocab::new();
+        let id = v.intern("capital_of");
+        assert_eq!(v.get("capital_of"), Some(id));
+        assert_eq!(v.name(id), Some("capital_of"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.name(999), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut v = Vocab::new();
+        for i in 0..10 {
+            assert_eq!(v.intern(&format!("e{i}")), i as u32);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # kge-eval — evaluation of knowledge-graph embeddings
+//!
+//! Plays the role OpenKE's evaluation protocol plays in the paper (§3.2):
+//!
+//! - [`ranking`]: link-prediction ranking — **raw and filtered MRR**,
+//!   Hits@{1,3,10} and mean rank, replacing heads and tails against every
+//!   entity, with the filtered variant skipping candidates that are known
+//!   true triples.
+//! - [`tca`]: **triple classification accuracy** — per-relation score
+//!   thresholds fitted on validation (positives + sampled negatives),
+//!   applied to test.
+//! - [`quick`]: the cheap per-epoch validation signal the trainer's
+//!   learning-rate plateau schedule watches (the paper reduces the LR when
+//!   "validation accuracy" stalls for 15 epochs).
+
+pub mod quick;
+pub mod ranking;
+pub mod tca;
+
+pub use quick::fast_valid_accuracy;
+pub use ranking::{evaluate_ranking, evaluate_ranking_by_category, RankingMetrics, RankingOptions};
+pub use tca::{triple_classification, TcaResult};

@@ -1,0 +1,338 @@
+//! Link-prediction ranking metrics (raw & filtered MRR, Hits@k, mean rank).
+
+use kge_core::{EmbeddingTable, KgeModel};
+use kge_data::{FilterIndex, RelationCategory, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Options for a ranking evaluation.
+#[derive(Debug, Clone)]
+pub struct RankingOptions {
+    /// Skip candidate entities that form known true triples (the paper's
+    /// filtered-MRR, its headline accuracy metric).
+    pub filtered: bool,
+    /// Evaluate at most this many queries, deterministically subsampled —
+    /// keeps large-dataset evaluations tractable. `None` = all.
+    pub max_queries: Option<usize>,
+    /// Subsample seed.
+    pub seed: u64,
+}
+
+impl Default for RankingOptions {
+    fn default() -> Self {
+        RankingOptions {
+            filtered: true,
+            max_queries: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregated ranking metrics over both head- and tail-replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    pub mrr: f64,
+    pub mean_rank: f64,
+    pub hits1: f64,
+    pub hits3: f64,
+    pub hits10: f64,
+    /// Number of (triple, direction) queries evaluated.
+    pub n_queries: usize,
+}
+
+impl RankingMetrics {
+    fn from_ranks(ranks: &[usize]) -> Self {
+        let n = ranks.len().max(1);
+        let mrr = ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / n as f64;
+        let mean_rank = ranks.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+        let hits = |k: usize| ranks.iter().filter(|&&r| r <= k).count() as f64 / n as f64;
+        RankingMetrics {
+            mrr,
+            mean_rank,
+            hits1: hits(1),
+            hits3: hits(3),
+            hits10: hits(10),
+            n_queries: ranks.len(),
+        }
+    }
+}
+
+/// Rank of the true entity among all candidates for one query.
+///
+/// Rank = 1 + number of candidates scoring strictly higher, plus half of
+/// the ties (the unbiased tie treatment; with continuous scores ties are
+/// rare and this matches the strict definition).
+fn rank_of(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    triple: Triple,
+    replace_head: bool,
+    filter: Option<&FilterIndex>,
+) -> usize {
+    let r = rel.row(triple.rel as usize);
+    let true_score = model.score(
+        ent.row(triple.head as usize),
+        r,
+        ent.row(triple.tail as usize),
+    );
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    let n_entities = ent.rows();
+    for e in 0..n_entities {
+        let e32 = e as u32;
+        if replace_head {
+            if e32 == triple.head {
+                continue;
+            }
+            if let Some(f) = filter {
+                if f.contains(triple.with_head(e32)) {
+                    continue;
+                }
+            }
+        } else {
+            if e32 == triple.tail {
+                continue;
+            }
+            if let Some(f) = filter {
+                if f.contains(triple.with_tail(e32)) {
+                    continue;
+                }
+            }
+        }
+        let s = if replace_head {
+            model.score(ent.row(e), r, ent.row(triple.tail as usize))
+        } else {
+            model.score(ent.row(triple.head as usize), r, ent.row(e))
+        };
+        if s > true_score {
+            better += 1;
+        } else if s == true_score {
+            ties += 1;
+        }
+    }
+    1 + better + ties / 2
+}
+
+/// Evaluate ranking metrics on `queries` (both directions per triple).
+pub fn evaluate_ranking(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    queries: &[Triple],
+    filter: &FilterIndex,
+    opts: &RankingOptions,
+) -> RankingMetrics {
+    let subsampled: Vec<Triple> = match opts.max_queries {
+        Some(k) if k < queries.len() => {
+            // Deterministic reservoir-free subsample: shuffle indices.
+            let mut idx: Vec<usize> = (0..queries.len()).collect();
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx[..k].iter().map(|&i| queries[i]).collect()
+        }
+        _ => queries.to_vec(),
+    };
+    let f = if opts.filtered { Some(filter) } else { None };
+    let ranks: Vec<usize> = subsampled
+        .par_iter()
+        .flat_map_iter(|&t| {
+            let head_rank = rank_of(model, ent, rel, t, true, f);
+            let tail_rank = rank_of(model, ent, rel, t, false, f);
+            [head_rank, tail_rank]
+        })
+        .collect();
+    RankingMetrics::from_ranks(&ranks)
+}
+
+
+/// Ranking metrics broken down by Bordes relation category (1-1 / 1-N /
+/// N-1 / N-N) — the standard analysis for where a KGE model's MRR comes
+/// from. `categories[r]` classifies relation id `r` (see
+/// [`kge_data::classify_relations`]).
+pub fn evaluate_ranking_by_category(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    queries: &[Triple],
+    categories: &[RelationCategory],
+    filter: &FilterIndex,
+    opts: &RankingOptions,
+) -> Vec<(RelationCategory, RankingMetrics)> {
+    use RelationCategory::*;
+    [OneToOne, OneToMany, ManyToOne, ManyToMany]
+        .into_iter()
+        .map(|cat| {
+            let subset: Vec<Triple> = queries
+                .iter()
+                .filter(|t| categories[t.rel as usize] == cat)
+                .copied()
+                .collect();
+            (cat, evaluate_ranking(model, ent, rel, &subset, filter, opts))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kge_core::DistMult;
+
+    /// Build tables where entity i has a one-hot-ish embedding, so scores
+    /// are fully controlled.
+    fn setup() -> (DistMult, EmbeddingTable, EmbeddingTable) {
+        let model = DistMult::new(4);
+        let mut ent = EmbeddingTable::zeros(4, 4);
+        for i in 0..4 {
+            ent.row_mut(i)[i] = 1.0;
+        }
+        let mut rel = EmbeddingTable::zeros(1, 4);
+        rel.row_mut(0).copy_from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        (model, ent, rel)
+    }
+
+    #[test]
+    fn perfect_model_has_rank_one() {
+        // Make entity 3's embedding align with entity 0 under relation 0 so
+        // the true tail scores highest.
+        let (model, mut ent, rel) = setup();
+        ent.row_mut(3).copy_from_slice(&[2.0, 0.0, 0.0, 0.0]); // matches head 0
+        let t = Triple::new(0, 0, 3);
+        // (3,0,3) also scores high; it is a known true triple, so the
+        // filtered ranking skips it as a head candidate.
+        let filter = FilterIndex::from_triples([t, Triple::new(3, 0, 3)].into_iter());
+        let m = evaluate_ranking(
+            &model,
+            &ent,
+            &rel,
+            &[t],
+            &filter,
+            &RankingOptions::default(),
+        );
+        // Tail query: candidates 1, 2 score 0 < 2 → rank 1. Head query:
+        // true head 0 scores 2; other heads score 0 → rank 1.
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.hits1, 1.0);
+        assert_eq!(m.n_queries, 2);
+    }
+
+    #[test]
+    fn filtering_removes_known_true_competitors() {
+        let (model, mut ent, rel) = setup();
+        // Entity 2 outscores the true tail 3 for head 0, but (0,0,2) is a
+        // known true triple, so filtering removes it as a competitor.
+        ent.row_mut(2).copy_from_slice(&[3.0, 0.0, 0.0, 0.0]);
+        ent.row_mut(3).copy_from_slice(&[2.0, 0.0, 0.0, 0.0]);
+        let test = Triple::new(0, 0, 3);
+        let known = Triple::new(0, 0, 2);
+        let filter = FilterIndex::from_triples([test, known].into_iter());
+
+        let raw = evaluate_ranking(
+            &model,
+            &ent,
+            &rel,
+            &[test],
+            &filter,
+            &RankingOptions {
+                filtered: false,
+                ..Default::default()
+            },
+        );
+        let filt = evaluate_ranking(
+            &model,
+            &ent,
+            &rel,
+            &[test],
+            &filter,
+            &RankingOptions::default(),
+        );
+        assert!(
+            filt.mrr > raw.mrr,
+            "filtered {} must beat raw {}",
+            filt.mrr,
+            raw.mrr
+        );
+        // The tail query is rank 1 after filtering (the head query still
+        // has legitimate higher-scoring competitors).
+        assert!(filt.hits1 >= 0.5);
+    }
+
+    #[test]
+    fn random_model_has_low_mrr() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = DistMult::new(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ent = EmbeddingTable::xavier(200, 8, &mut rng);
+        let rel = EmbeddingTable::xavier(4, 8, &mut rng);
+        let queries: Vec<Triple> = (0..50)
+            .map(|i| Triple::new(i as u32, (i % 4) as u32, (i as u32 + 50) % 200))
+            .collect();
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        let m = evaluate_ranking(&model, &ent, &rel, &queries, &filter, &RankingOptions::default());
+        // Random ranks over 200 entities: MRR far below a trained model.
+        assert!(m.mrr < 0.2, "random model MRR {}", m.mrr);
+        assert!(m.mean_rank > 20.0);
+    }
+
+    #[test]
+    fn max_queries_subsamples_deterministically() {
+        let (model, ent, rel) = setup();
+        let queries: Vec<Triple> = (0..4).map(|i| Triple::new(i, 0, (i + 1) % 4)).collect();
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        let opts = RankingOptions {
+            max_queries: Some(2),
+            ..Default::default()
+        };
+        let a = evaluate_ranking(&model, &ent, &rel, &queries, &filter, &opts);
+        let b = evaluate_ranking(&model, &ent, &rel, &queries, &filter, &opts);
+        assert_eq!(a.n_queries, 4); // 2 triples × 2 directions
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_bounds() {
+        let (model, ent, rel) = setup();
+        let queries: Vec<Triple> = (0..4).map(|i| Triple::new(i, 0, (i + 2) % 4)).collect();
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        let m = evaluate_ranking(&model, &ent, &rel, &queries, &filter, &RankingOptions::default());
+        assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        assert!(m.hits1 <= m.hits3 && m.hits3 <= m.hits10);
+        assert!(m.hits10 <= 1.0);
+        assert!(m.mean_rank >= 1.0);
+    }
+
+    #[test]
+    fn category_breakdown_partitions_queries() {
+        let (model, ent, rel2) = setup();
+        let mut rel = EmbeddingTable::zeros(2, 4);
+        rel.row_mut(0).copy_from_slice(rel2.row(0));
+        rel.row_mut(1).copy_from_slice(rel2.row(0));
+        let queries = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 3),
+        ];
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        let categories = vec![
+            kge_data::RelationCategory::OneToOne,
+            kge_data::RelationCategory::ManyToMany,
+        ];
+        let by_cat = evaluate_ranking_by_category(
+            &model, &ent, &rel, &queries, &categories, &filter,
+            &RankingOptions::default(),
+        );
+        let total: usize = by_cat.iter().map(|(_, m)| m.n_queries).sum();
+        assert_eq!(total, queries.len() * 2);
+        let one_one = by_cat
+            .iter()
+            .find(|(c, _)| *c == kge_data::RelationCategory::OneToOne)
+            .unwrap();
+        assert_eq!(one_one.1.n_queries, 4); // two rel-0 triples × 2 dirs
+    }
+}

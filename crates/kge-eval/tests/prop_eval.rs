@@ -1,0 +1,124 @@
+//! Property tests for evaluation: metric bounds, filtering monotonicity,
+//! and threshold-fit optimality.
+
+use kge_core::{DistMult, EmbeddingTable};
+use kge_data::{FilterIndex, Triple};
+use kge_eval::{evaluate_ranking, triple_classification, RankingOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world(seed: u64, n_ent: usize, n_rel: usize) -> (DistMult, EmbeddingTable, EmbeddingTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        DistMult::new(4),
+        EmbeddingTable::xavier(n_ent, 4, &mut rng),
+        EmbeddingTable::xavier(n_rel, 4, &mut rng),
+    )
+}
+
+fn triples_strategy(n_ent: u32, n_rel: u32) -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (0..n_ent, 0..n_rel, 0..n_ent).prop_map(Triple::from),
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranking_metrics_are_bounded_and_ordered(
+        triples in triples_strategy(40, 3),
+        seed in any::<u64>(),
+    ) {
+        let (model, ent, rel) = world(seed, 40, 3);
+        let filter = FilterIndex::from_triples(triples.iter().copied());
+        let m = evaluate_ranking(&model, &ent, &rel, &triples, &filter, &RankingOptions::default());
+        prop_assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        prop_assert!(m.mean_rank >= 1.0 && m.mean_rank <= 40.0);
+        prop_assert!(m.hits1 <= m.hits3 + 1e-12);
+        prop_assert!(m.hits3 <= m.hits10 + 1e-12);
+        prop_assert!(m.hits10 <= 1.0);
+        prop_assert_eq!(m.n_queries, triples.len() * 2);
+        // MRR is at least 1/mean_rank-ish lower bound sanity: reciprocal
+        // mean ≥ 1/max rank.
+        prop_assert!(m.mrr >= 1.0 / 40.0 - 1e-12);
+    }
+
+    #[test]
+    fn filtered_mrr_never_below_raw(
+        triples in triples_strategy(30, 2),
+        seed in any::<u64>(),
+    ) {
+        let (model, ent, rel) = world(seed, 30, 2);
+        let filter = FilterIndex::from_triples(triples.iter().copied());
+        let raw = evaluate_ranking(
+            &model, &ent, &rel, &triples, &filter,
+            &RankingOptions { filtered: false, ..Default::default() },
+        );
+        let filt = evaluate_ranking(
+            &model, &ent, &rel, &triples, &filter,
+            &RankingOptions::default(),
+        );
+        // Filtering only removes competitors, so ranks can only improve.
+        prop_assert!(filt.mrr >= raw.mrr - 1e-9, "filt {} < raw {}", filt.mrr, raw.mrr);
+        prop_assert!(filt.mean_rank <= raw.mean_rank + 1e-9);
+    }
+
+    #[test]
+    fn tca_bounded_and_deterministic(
+        triples in triples_strategy(30, 2),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(triples.len() >= 4);
+        let (model, ent, rel) = world(seed, 30, 2);
+        let filter = FilterIndex::from_triples(triples.iter().copied());
+        let half = triples.len() / 2;
+        let a = triple_classification(
+            &model, &ent, &rel, &triples[..half], &triples[half..], &filter, 30, 2, seed,
+        );
+        let b = triple_classification(
+            &model, &ent, &rel, &triples[..half], &triples[half..], &filter, 30, 2, seed,
+        );
+        prop_assert!((0.0..=100.0).contains(&a.accuracy_pct));
+        prop_assert_eq!(a.accuracy_pct, b.accuracy_pct);
+        prop_assert_eq!(a.n_test, (triples.len() - half) * 2);
+    }
+
+    #[test]
+    fn perfectly_separable_scores_classify_perfectly(
+        margin in 0.5f32..5.0,
+        n in 2usize..10,
+    ) {
+        // Positives score +margin; every *legal* corruption must involve
+        // one of the two all-zero spare entities (all other combinations
+        // are registered as known-true), so corruptions score 0.
+        let model = DistMult::new(4);
+        let mut ent = EmbeddingTable::zeros(2 * n + 2, 4);
+        for i in 0..n {
+            ent.row_mut(i)[0] = margin; // heads
+            ent.row_mut(n + i)[0] = 1.0; // tails
+        }
+        let mut rel = EmbeddingTable::zeros(1, 4);
+        rel.row_mut(0)[0] = 1.0;
+        let triples: Vec<Triple> = (0..n as u32)
+            .map(|i| Triple::new(i, 0, n as u32 + i))
+            .collect();
+        let mut known = Vec::new();
+        for a in 0..(2 * n) as u32 {
+            for b in 0..(2 * n) as u32 {
+                known.push(Triple::new(a, 0, b));
+            }
+        }
+        let filter = FilterIndex::from_triples(known.iter().copied());
+        let res = triple_classification(
+            &model, &ent, &rel, &triples, &triples, &filter, 2 * n + 2, 1, 5,
+        );
+        prop_assert!(
+            res.accuracy_pct >= 95.0,
+            "separable world must classify near-perfectly: {}",
+            res.accuracy_pct
+        );
+    }
+}

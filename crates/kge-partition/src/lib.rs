@@ -1,0 +1,250 @@
+//! # kge-partition — triple partitioning for distributed KGE training
+//!
+//! Implements strategy S4 of the paper (§4.4, *Relation Partition*) plus
+//! the baselines it is compared against:
+//!
+//! - [`relation_partition`] — sort triples by relation, prefix-sum the
+//!   per-relation counts, and binary-search `p` split points so that every
+//!   node receives a balanced number of triples while **no relation spans
+//!   two nodes**. Because relations never overlap across nodes, the
+//!   relation-gradient matrix needs no inter-node communication at all —
+//!   and can therefore stay full-precision even when entity gradients are
+//!   quantized, which is where the paper's accuracy benefit comes from.
+//! - [`uniform_partition`] — the baseline contiguous equal split.
+//! - [`hash_partition`] — assign relation `r` to node `hash(r) mod p`;
+//!   also relation-disjoint but ignores balance, included as an ablation.
+//!
+//! [`PartitionStats`] quantifies balance and relation-disjointness.
+
+pub mod stats;
+
+pub use stats::PartitionStats;
+
+use kge_data::batch::uniform_shards;
+use kge_data::Triple;
+
+/// A `p`-way split of the training triples.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// One triple shard per node.
+    pub shards: Vec<Vec<Triple>>,
+    /// True if the scheme guarantees no relation appears on two nodes
+    /// (and therefore relation gradients need no communication).
+    pub relation_disjoint: bool,
+}
+
+impl Partition {
+    /// Balance/disjointness statistics.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats::measure(&self.shards)
+    }
+}
+
+/// Baseline: contiguous equal shards (sizes differ by at most one).
+pub fn uniform_partition(triples: &[Triple], p: usize) -> Partition {
+    Partition {
+        shards: uniform_shards(triples, p),
+        relation_disjoint: false,
+    }
+}
+
+/// The paper's relation partition (§4.4).
+///
+/// 1. Sort triples by relation id.
+/// 2. Build `count[r]` = triples of relation `r`, prefix-sum it.
+/// 3. For each split `k = 1..p`, binary-search the prefix array for the
+///    relation boundary closest to `k · total / p`.
+/// 4. Emit the triple ranges between consecutive boundaries.
+///
+/// The split points land on relation boundaries, so relations never
+/// straddle nodes; balance is within one relation's triple count of ideal
+/// (heavily skewed head relations bound the achievable balance, which
+/// [`PartitionStats::imbalance`] makes visible).
+pub fn relation_partition(triples: &[Triple], n_relations: usize, p: usize) -> Partition {
+    assert!(p >= 1);
+    let mut sorted: Vec<Triple> = triples.to_vec();
+    sorted.sort_by_key(|t| t.rel);
+
+    // Per-relation counts and prefix sums (prefix[r] = triples with
+    // relation id ≤ r).
+    let mut prefix = vec![0usize; n_relations];
+    for t in &sorted {
+        prefix[t.rel as usize] += 1;
+    }
+    for r in 1..n_relations {
+        prefix[r] += prefix[r - 1];
+    }
+    let total = sorted.len();
+
+    // Relation boundary for each split target via binary search.
+    let mut shards = Vec::with_capacity(p);
+    let mut start_triple = 0usize; // index into `sorted`
+    for k in 1..=p {
+        let end_triple = if k == p {
+            total
+        } else {
+            let target = k * total / p;
+            // First relation whose prefix reaches the target; the shard
+            // boundary is that relation's end.
+            let rel_end = prefix.partition_point(|&c| c < target);
+            if rel_end >= n_relations {
+                total
+            } else {
+                prefix[rel_end]
+            }
+        };
+        let end_triple = end_triple.max(start_triple);
+        shards.push(sorted[start_triple..end_triple].to_vec());
+        start_triple = end_triple;
+    }
+    debug_assert_eq!(start_triple, total);
+
+    Partition {
+        shards,
+        relation_disjoint: true,
+    }
+}
+
+/// Ablation: relation-disjoint but balance-oblivious hashing.
+pub fn hash_partition(triples: &[Triple], p: usize) -> Partition {
+    assert!(p >= 1);
+    let mut shards = vec![Vec::new(); p];
+    for &t in triples {
+        let mut x = t.rel as u64;
+        // SplitMix64 finalizer as the hash.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        shards[(x % p as u64) as usize].push(t);
+    }
+    Partition {
+        shards,
+        relation_disjoint: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 3 worked example: 5 triples, 2 processors.
+    fn table3() -> Vec<Triple> {
+        vec![
+            Triple::new(1, 1, 2),
+            Triple::new(2, 1, 10),
+            Triple::new(3, 2, 5),
+            Triple::new(6, 3, 9),
+            Triple::new(7, 3, 8),
+        ]
+    }
+
+    #[test]
+    fn paper_table3_example() {
+        // Expected (§4.4): triples 1–2 (relation 1) on processor 1, the
+        // rest (relations 2, 3) on processor 2 — no relation overlaps.
+        let part = relation_partition(&table3(), 4, 2);
+        assert_eq!(part.shards[0], &table3()[0..2]);
+        assert_eq!(part.shards[1], &table3()[2..5]);
+        let stats = part.stats();
+        assert!(stats.relation_disjoint);
+        assert!(part.relation_disjoint);
+    }
+
+    fn skewed_triples(n_relations: u32, per_rel: &[usize]) -> Vec<Triple> {
+        assert_eq!(per_rel.len(), n_relations as usize);
+        let mut out = Vec::new();
+        let mut e = 0u32;
+        for (r, &cnt) in per_rel.iter().enumerate() {
+            for _ in 0..cnt {
+                out.push(Triple::new(e, r as u32, e + 1));
+                e += 2;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn relation_partition_is_relation_disjoint_and_complete() {
+        let triples = skewed_triples(8, &[100, 3, 50, 7, 20, 20, 1, 40]);
+        for p in [1usize, 2, 3, 4, 8] {
+            let part = relation_partition(&triples, 8, p);
+            assert_eq!(part.shards.len(), p);
+            let stats = part.stats();
+            assert!(stats.relation_disjoint, "p={p}");
+            assert_eq!(stats.total_triples, triples.len(), "p={p}");
+            // Union must be a permutation of the input.
+            let mut all: Vec<Triple> = part.shards.concat();
+            all.sort();
+            let mut want = triples.clone();
+            want.sort();
+            assert_eq!(all, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn relation_partition_balances_when_relations_are_uniform() {
+        let triples = skewed_triples(16, &[10; 16]);
+        let part = relation_partition(&triples, 16, 4);
+        let stats = part.stats();
+        assert!(stats.imbalance() < 1.05, "imbalance {}", stats.imbalance());
+    }
+
+    #[test]
+    fn relation_partition_handles_more_nodes_than_relations() {
+        let triples = skewed_triples(2, &[5, 5]);
+        let part = relation_partition(&triples, 2, 4);
+        assert_eq!(part.shards.len(), 4);
+        assert_eq!(part.stats().total_triples, 10);
+        assert!(part.stats().relation_disjoint);
+        // Some shards are inevitably empty.
+        assert!(part.shards.iter().filter(|s| s.is_empty()).count() >= 2);
+    }
+
+    #[test]
+    fn uniform_partition_balances_but_shares_relations() {
+        let triples = skewed_triples(4, &[10, 10, 10, 10]);
+        let part = uniform_partition(&triples, 3);
+        let stats = part.stats();
+        assert!(stats.imbalance() < 1.1);
+        assert!(!part.relation_disjoint);
+    }
+
+    #[test]
+    fn hash_partition_is_relation_disjoint() {
+        let triples = skewed_triples(32, &[5; 32]);
+        let part = hash_partition(&triples, 4);
+        assert!(part.stats().relation_disjoint);
+        assert_eq!(part.stats().total_triples, triples.len());
+    }
+
+    #[test]
+    fn single_node_gets_everything() {
+        let triples = table3();
+        for part in [
+            relation_partition(&triples, 4, 1),
+            uniform_partition(&triples, 1),
+            hash_partition(&triples, 1),
+        ] {
+            assert_eq!(part.shards.len(), 1);
+            assert_eq!(part.shards[0].len(), 5);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_shards() {
+        let part = relation_partition(&[], 4, 3);
+        assert_eq!(part.shards.len(), 3);
+        assert!(part.shards.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn skewed_head_relation_bounds_balance() {
+        // One relation holds 90% of triples: it must land on one node,
+        // making perfect balance impossible — the stats must report that.
+        let triples = skewed_triples(4, &[90, 4, 3, 3]);
+        let part = relation_partition(&triples, 4, 2);
+        let stats = part.stats();
+        assert!(stats.relation_disjoint);
+        assert!(stats.imbalance() > 1.5);
+    }
+}

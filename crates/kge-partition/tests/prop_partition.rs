@@ -1,0 +1,103 @@
+//! Property tests: every partitioner emits a permutation of its input;
+//! relation partition and hash partition are relation-disjoint; uniform
+//! partition is balanced.
+
+use kge_data::Triple;
+use kge_partition::{hash_partition, relation_partition, uniform_partition};
+use proptest::prelude::*;
+
+fn triples_strategy() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec((0u32..500, 0u32..30, 0u32..500), 0..400)
+        .prop_map(|v| v.into_iter().map(Triple::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relation_partition_is_permutation_and_disjoint(
+        triples in triples_strategy(),
+        p in 1usize..9,
+    ) {
+        let part = relation_partition(&triples, 30, p);
+        prop_assert_eq!(part.shards.len(), p);
+
+        // Permutation of the input.
+        let mut all: Vec<Triple> = part.shards.concat();
+        all.sort();
+        let mut want = triples.clone();
+        want.sort();
+        prop_assert_eq!(all, want);
+
+        // No relation spans two shards.
+        let stats = part.stats();
+        prop_assert!(stats.relation_disjoint);
+    }
+
+    #[test]
+    fn relation_partition_balance_bounded_by_largest_relation(
+        triples in triples_strategy(),
+        p in 1usize..6,
+    ) {
+        prop_assume!(!triples.is_empty());
+        let part = relation_partition(&triples, 30, p);
+        let mut per_rel = [0usize; 30];
+        for t in &triples {
+            per_rel[t.rel as usize] += 1;
+        }
+        let max_rel = *per_rel.iter().max().unwrap();
+        let ideal = triples.len().div_ceil(p);
+        let max_shard = part.shards.iter().map(Vec::len).max().unwrap();
+        // A shard never exceeds the ideal share by more than the largest
+        // single relation (which is indivisible).
+        prop_assert!(
+            max_shard <= ideal + max_rel,
+            "max shard {max_shard}, ideal {ideal}, largest relation {max_rel}"
+        );
+    }
+
+    #[test]
+    fn uniform_partition_is_balanced_permutation(
+        triples in triples_strategy(),
+        p in 1usize..9,
+    ) {
+        let part = uniform_partition(&triples, p);
+        let sizes: Vec<usize> = part.shards.iter().map(Vec::len).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), triples.len());
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        let mut all: Vec<Triple> = part.shards.concat();
+        all.sort();
+        let mut want = triples.clone();
+        want.sort();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn hash_partition_is_disjoint_permutation(
+        triples in triples_strategy(),
+        p in 1usize..9,
+    ) {
+        let part = hash_partition(&triples, p);
+        prop_assert!(part.stats().relation_disjoint);
+        let mut all: Vec<Triple> = part.shards.concat();
+        all.sort();
+        let mut want = triples.clone();
+        want.sort();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn partitioners_are_deterministic(
+        triples in triples_strategy(),
+        p in 1usize..5,
+    ) {
+        let a = relation_partition(&triples, 30, p);
+        let b = relation_partition(&triples, 30, p);
+        prop_assert_eq!(a.shards, b.shards);
+        let a = hash_partition(&triples, p);
+        let b = hash_partition(&triples, p);
+        prop_assert_eq!(a.shards, b.shards);
+    }
+}

@@ -1,0 +1,165 @@
+//! §4.1 — Dynamic selection between all-reduce and all-gather.
+//!
+//! The paper starts training with all-reduce. Every `k`-th epoch (k = 10)
+//! it runs one epoch with all-gather and compares the measured epoch
+//! times; if the all-gather epoch was faster, it switches to all-gather
+//! for the rest of training, otherwise it stays on all-reduce. (Fig. 2's
+//! observation that the number of non-zero gradient rows shrinks as
+//! training converges is what makes the later switch profitable.)
+//!
+//! The selector is a small state machine fed one epoch-time observation
+//! per epoch; it is deterministic and identical on every node because the
+//! simulated epoch times are identical on every node.
+
+use serde::{Deserialize, Serialize};
+
+/// Which collective an epoch should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommChoice {
+    AllReduce,
+    AllGather,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Running all-reduce; `last_ar_time` remembered for comparison.
+    Reduce,
+    /// This epoch is an all-gather probe.
+    Probing,
+    /// Switched to all-gather permanently.
+    Gather,
+}
+
+/// The DRS state machine.
+#[derive(Debug, Clone)]
+pub struct DynamicCommSelector {
+    state: State,
+    check_every: usize,
+    epoch: usize,
+    last_allreduce_time: Option<f64>,
+}
+
+impl DynamicCommSelector {
+    pub fn new(check_every: usize) -> Self {
+        assert!(check_every >= 1);
+        DynamicCommSelector {
+            state: State::Reduce,
+            check_every,
+            epoch: 0,
+            last_allreduce_time: None,
+        }
+    }
+
+    /// Collective to use for the upcoming epoch.
+    pub fn choice(&self) -> CommChoice {
+        match self.state {
+            State::Reduce => CommChoice::AllReduce,
+            State::Probing => CommChoice::AllGather,
+            State::Gather => CommChoice::AllGather,
+        }
+    }
+
+    /// True while the permanent switch has not happened.
+    pub fn still_dynamic(&self) -> bool {
+        self.state != State::Gather
+    }
+
+    /// Report the epoch that just finished and its (simulated) duration.
+    pub fn observe_epoch(&mut self, epoch_time_s: f64) {
+        self.epoch += 1;
+        match self.state {
+            State::Reduce => {
+                self.last_allreduce_time = Some(epoch_time_s);
+                if self.epoch % self.check_every == 0 {
+                    self.state = State::Probing;
+                }
+            }
+            State::Probing => {
+                // Compare the probe against the most recent all-reduce epoch.
+                let prev = self
+                    .last_allreduce_time
+                    .expect("probe always follows an all-reduce epoch");
+                if epoch_time_s < prev {
+                    self.state = State::Gather;
+                } else {
+                    self.state = State::Reduce;
+                }
+            }
+            State::Gather => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_allreduce() {
+        let s = DynamicCommSelector::new(10);
+        assert_eq!(s.choice(), CommChoice::AllReduce);
+        assert!(s.still_dynamic());
+    }
+
+    #[test]
+    fn probes_every_kth_epoch() {
+        let mut s = DynamicCommSelector::new(3);
+        s.observe_epoch(1.0);
+        assert_eq!(s.choice(), CommChoice::AllReduce);
+        s.observe_epoch(1.0);
+        assert_eq!(s.choice(), CommChoice::AllReduce);
+        s.observe_epoch(1.0); // epoch 3 done → next is a probe
+        assert_eq!(s.choice(), CommChoice::AllGather);
+        assert!(s.still_dynamic());
+    }
+
+    #[test]
+    fn switches_permanently_when_probe_wins() {
+        let mut s = DynamicCommSelector::new(2);
+        s.observe_epoch(1.0);
+        s.observe_epoch(1.0); // → probe next
+        assert_eq!(s.choice(), CommChoice::AllGather);
+        s.observe_epoch(0.5); // probe faster → permanent
+        assert_eq!(s.choice(), CommChoice::AllGather);
+        assert!(!s.still_dynamic());
+        // Slower epochs later don't flip it back.
+        s.observe_epoch(100.0);
+        assert_eq!(s.choice(), CommChoice::AllGather);
+    }
+
+    #[test]
+    fn reverts_when_probe_loses_then_probes_again() {
+        let mut s = DynamicCommSelector::new(2);
+        s.observe_epoch(1.0);
+        s.observe_epoch(1.0); // → probe
+        assert_eq!(s.choice(), CommChoice::AllGather);
+        s.observe_epoch(2.0); // probe slower → back to all-reduce
+        assert_eq!(s.choice(), CommChoice::AllReduce);
+        assert!(s.still_dynamic());
+        // k more all-reduce epochs → probes again.
+        s.observe_epoch(1.0);
+        // epoch counter is now 4 (multiple of 2) → probe
+        assert_eq!(s.choice(), CommChoice::AllGather);
+    }
+
+    #[test]
+    fn shrinking_gather_times_eventually_win() {
+        // Simulate Fig. 2: all-gather gets cheaper as rows sparsify.
+        let mut s = DynamicCommSelector::new(5);
+        let mut gather_time = 2.0;
+        let mut switched_at = None;
+        for epoch in 0..100 {
+            let t = match s.choice() {
+                CommChoice::AllReduce => 1.0,
+                CommChoice::AllGather => gather_time,
+            };
+            s.observe_epoch(t);
+            gather_time *= 0.9;
+            if !s.still_dynamic() && switched_at.is_none() {
+                switched_at = Some(epoch);
+            }
+        }
+        assert!(switched_at.is_some(), "must eventually switch");
+        assert_eq!(s.choice(), CommChoice::AllGather);
+    }
+}

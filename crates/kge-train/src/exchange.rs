@@ -1,0 +1,307 @@
+//! Gradient exchange: the communication step of one training batch.
+//!
+//! Two paths, matching the paper's baseline taxonomy (§3.4):
+//!
+//! - **Dense all-reduce**: the local row-sparse gradient is scattered into
+//!   a dense `rows × dim` matrix (zeros included) and sum-all-reduced.
+//!   Quantization does not apply here — signs cannot be summed — which is
+//!   exactly why the paper's quantization benefits show up on the gather
+//!   path and why DRS picks all-gather more often once quantization is on.
+//! - **Sparse all-gather**: the non-zero rows (after row selection) are
+//!   encoded — raw `f32`, 1-bit or 2-bit — into a byte payload, gathered
+//!   from every rank, decoded, and summed locally.
+//!
+//! Both paths return the aggregated gradient **averaged** over ranks.
+
+use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
+use kge_compress::quant::{quantize_row, QuantScheme};
+use kge_compress::{ResidualStore, WireFormat};
+use kge_core::SparseGrad;
+use rand::rngs::StdRng;
+use simgrid::{Communicator, SimError};
+
+/// Aggregated gradient, shaped by the path that produced it.
+#[derive(Debug, Clone)]
+pub enum AggGrad {
+    /// Dense `rows × dim` buffer (all-reduce path).
+    Dense(Vec<f32>),
+    /// Row-sparse gradient (all-gather path).
+    Sparse(SparseGrad),
+}
+
+impl AggGrad {
+    /// View as sparse, converting a dense buffer by extracting rows with
+    /// any non-zero entry (used when the optimizer runs in lazy style).
+    pub fn into_sparse(self, dim: usize) -> SparseGrad {
+        match self {
+            AggGrad::Sparse(g) => g,
+            AggGrad::Dense(buf) => {
+                let mut g = SparseGrad::new(dim);
+                for (row, chunk) in buf.chunks(dim).enumerate() {
+                    if chunk.iter().any(|&x| x != 0.0) {
+                        g.row_mut(row as u32).copy_from_slice(chunk);
+                    }
+                }
+                g
+            }
+        }
+    }
+}
+
+/// Statistics of one exchange.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExchangeStats {
+    /// Bytes this rank contributed.
+    pub bytes_sent: usize,
+    /// Rows this rank contributed (post-selection).
+    pub rows_sent: usize,
+    /// Total rows gathered across ranks (gather path only).
+    pub rows_gathered: usize,
+}
+
+/// Dense all-reduce of `grad` scattered over a reusable `dense` buffer of
+/// `rows × dim` floats. Returns the rank-averaged dense gradient in
+/// `dense` and the stats.
+pub fn exchange_allreduce(
+    comm: &mut Communicator,
+    grad: &SparseGrad,
+    dense: &mut [f32],
+) -> Result<ExchangeStats, SimError> {
+    dense.fill(0.0);
+    grad.scatter_into(dense);
+    comm.allreduce_sum_f32(dense)?;
+    let inv = 1.0 / comm.size() as f32;
+    for v in dense.iter_mut() {
+        *v *= inv;
+    }
+    Ok(ExchangeStats {
+        bytes_sent: std::mem::size_of_val(dense),
+        rows_sent: grad.nnz(),
+        rows_gathered: 0,
+    })
+}
+
+/// Sparse all-gather of `grad` rows under `scheme`.
+///
+/// When `scheme` quantizes and `residuals` is provided, the quantization
+/// error of every transmitted row is accumulated as error feedback
+/// (Karimireddy-style); the caller is responsible for having added the
+/// previous residuals into `grad` *before* row selection.
+pub fn exchange_allgather(
+    comm: &mut Communicator,
+    grad: &SparseGrad,
+    dim: usize,
+    scheme: QuantScheme,
+    residuals: Option<&mut ResidualStore>,
+    rng: &mut StdRng,
+) -> Result<(SparseGrad, ExchangeStats), SimError> {
+    let format = wire_format(scheme);
+    // Quantize + encode local rows (sorted order: deterministic).
+    let mut payload_rows: Vec<RowPayload> = Vec::with_capacity(grad.nnz());
+    for (row, g) in grad.iter_sorted() {
+        payload_rows.push(RowPayload {
+            row,
+            data: quantize_row(scheme, g, rng),
+        });
+    }
+    if let Some(store) = residuals {
+        if !matches!(scheme, QuantScheme::None) {
+            let sent: std::collections::HashMap<u32, Vec<f32>> = payload_rows
+                .iter()
+                .map(|rp| (rp.row, rp.data.dequantize()))
+                .collect();
+            store.record_error(grad, |row| sent.get(&row).cloned());
+        }
+    }
+    let bytes = encode_rows(format, dim, &payload_rows).expect("encode of freshly quantized rows");
+    let bytes_sent = bytes.len();
+    let gathered = comm.allgatherv_bytes(&bytes)?;
+
+    // Decode every rank's payload and sum.
+    let mut agg = SparseGrad::new(dim);
+    let mut rows_gathered = 0usize;
+    for payload in &gathered {
+        let (rows, payload_dim) =
+            decode_rows(payload).expect("peer payload encoded by the same code");
+        debug_assert_eq!(payload_dim, dim);
+        rows_gathered += rows.len();
+        for rp in rows {
+            rp.data.add_into(agg.row_mut(rp.row));
+        }
+    }
+    agg.scale(1.0 / comm.size() as f32);
+    Ok((
+        agg,
+        ExchangeStats {
+            bytes_sent,
+            rows_sent: payload_rows.len(),
+            rows_gathered,
+        },
+    ))
+}
+
+/// Wire format implied by a quantization scheme.
+pub fn wire_format(scheme: QuantScheme) -> WireFormat {
+    match scheme {
+        QuantScheme::None => WireFormat::F32,
+        QuantScheme::OneBit { rule } => WireFormat::OneBit {
+            two_scales: matches!(
+                rule,
+                kge_compress::ScaleRule::PosNegMax | kge_compress::ScaleRule::PosNegAvg
+            ),
+        },
+        QuantScheme::TwoBit => WireFormat::TwoBit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simgrid::{Cluster, ClusterSpec};
+
+    fn local_grad(rank: usize, dim: usize) -> SparseGrad {
+        let mut g = SparseGrad::new(dim);
+        // Rank r contributes rows r and 10+r plus a shared row 5.
+        for row in [rank as u32, 10 + rank as u32, 5] {
+            for (k, v) in g.row_mut(row).iter_mut().enumerate() {
+                *v = (rank + 1) as f32 * 0.1 + k as f32;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn allreduce_averages_dense() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let g = local_grad(ctx.rank(), 2);
+            let mut dense = vec![0.0f32; 16 * 2];
+            let stats = exchange_allreduce(ctx.comm_mut(), &g, &mut dense).unwrap();
+            (dense, stats.bytes_sent)
+        });
+        // Shared row 5: sum over ranks of (r+1)*0.1 + k, divided by 4.
+        let expect_5_0: f32 = (1..=4).map(|r| r as f32 * 0.1).sum::<f32>() / 4.0;
+        for (dense, bytes) in &out {
+            assert!((dense[5 * 2] - expect_5_0).abs() < 1e-6);
+            assert_eq!(*bytes, 16 * 2 * 4);
+        }
+        // All replicas identical.
+        for (dense, _) in &out[1..] {
+            assert_eq!(dense, &out[0].0);
+        }
+    }
+
+    #[test]
+    fn allgather_f32_matches_allreduce() {
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let g = local_grad(ctx.rank(), 4);
+            let mut dense = vec![0.0f32; 16 * 4];
+            exchange_allreduce(ctx.comm_mut(), &g, &mut dense).unwrap();
+
+            let g = local_grad(ctx.rank(), 4);
+            let mut rng = StdRng::seed_from_u64(0);
+            let (sparse, stats) =
+                exchange_allgather(ctx.comm_mut(), &g, 4, QuantScheme::None, None, &mut rng)
+                    .unwrap();
+            (dense, sparse.to_dense(16), stats)
+        });
+        for (dense, sparse_dense, stats) in out {
+            for (a, b) in dense.iter().zip(&sparse_dense) {
+                assert!((a - b).abs() < 1e-6, "paths must agree: {a} vs {b}");
+            }
+            assert_eq!(stats.rows_sent, 3);
+            assert_eq!(stats.rows_gathered, 9);
+            assert!(stats.bytes_sent > 0);
+        }
+    }
+
+    #[test]
+    fn quantized_gather_is_smaller_and_sign_faithful() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let dim = 32;
+        let out = cluster.run(|ctx| {
+            let mut g = SparseGrad::new(dim);
+            for (k, v) in g.row_mut(7).iter_mut().enumerate() {
+                *v = if k % 2 == 0 { 0.5 } else { -0.5 };
+            }
+            let mut rng = StdRng::seed_from_u64(1);
+            let (f32_agg, f32_stats) =
+                exchange_allgather(ctx.comm_mut(), &g, dim, QuantScheme::None, None, &mut rng)
+                    .unwrap();
+            let (q_agg, q_stats) = exchange_allgather(
+                ctx.comm_mut(),
+                &g,
+                dim,
+                QuantScheme::paper_one_bit(),
+                None,
+                &mut rng,
+            )
+            .unwrap();
+            (f32_agg, f32_stats, q_agg, q_stats)
+        });
+        for (f32_agg, f32_stats, q_agg, q_stats) in out {
+            assert!(q_stats.bytes_sent * 4 < f32_stats.bytes_sent);
+            // Same magnitude everywhere (|v| constant ⇒ max == |v|), so the
+            // quantized aggregate is exact here.
+            let a = f32_agg.get(7).unwrap();
+            let b = q_agg.get(7).unwrap();
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_records_quantization_error() {
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut g = SparseGrad::new(2);
+            g.row_mut(0).copy_from_slice(&[1.0, -0.25]);
+            let mut store = ResidualStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let _ = exchange_allgather(
+                ctx.comm_mut(),
+                &g,
+                2,
+                QuantScheme::paper_one_bit(),
+                Some(&mut store),
+                &mut rng,
+            )
+            .unwrap();
+            // Sent [1, -1]; error = original − sent = [0, 0.75].
+            let mut next = SparseGrad::new(2);
+            next.row_mut(0); // touch row 0 so the residual re-enters
+            store.add_into(&mut next);
+            next.get(0).unwrap().to_vec()
+        });
+        assert!((out[0][0] - 0.0).abs() < 1e-6);
+        assert!((out[0][1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_sparse_extracts_nonzero_rows() {
+        let dense = AggGrad::Dense(vec![0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
+        let sparse = dense.into_sparse(2);
+        assert_eq!(sparse.nnz(), 1);
+        assert_eq!(sparse.get(1).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn wire_format_mapping() {
+        use kge_compress::ScaleRule;
+        assert_eq!(wire_format(QuantScheme::None), WireFormat::F32);
+        assert_eq!(
+            wire_format(QuantScheme::paper_one_bit()),
+            WireFormat::OneBit { two_scales: false }
+        );
+        assert_eq!(
+            wire_format(QuantScheme::OneBit {
+                rule: ScaleRule::PosNegAvg
+            }),
+            WireFormat::OneBit { two_scales: true }
+        );
+        assert_eq!(wire_format(QuantScheme::TwoBit), WireFormat::TwoBit);
+    }
+}

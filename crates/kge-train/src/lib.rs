@@ -1,0 +1,44 @@
+//! # kge-train — the paper's distributed KGE trainer
+//!
+//! Assembles the substrates (`simgrid`, `kge-core`, `kge-data`,
+//! `kge-compress`, `kge-partition`, `kge-eval`) into the synchronous
+//! data-parallel trainer of *"Dynamic Strategies for High Performance
+//! Training of Knowledge Graph Embeddings"* (ICPP '22), with all five
+//! strategies toggleable:
+//!
+//! | Strategy | Paper | Module |
+//! |----------|-------|--------|
+//! | S1 dynamic all-reduce/all-gather selection (DRS) | §4.1 | [`comm_select`] |
+//! | S2 random selection of gradient rows (RS)        | §4.2 | via [`kge_compress::row_select`] |
+//! | S3 1-/2-bit gradient quantization                | §4.3 | via [`kge_compress::quant`] |
+//! | S4 relation partition (RP)                       | §4.4 | via [`kge_partition`] |
+//! | S5 negative sample selection (SS)                | §4.5 | [`neg`] |
+//!
+//! plus the paper's training regime: Adam, capped linear LR scaling
+//! (`lr × min(4, p)`), plateau decay (×0.1 after `tolerance` epochs
+//! without validation improvement, down to a floor), and convergence
+//! detection.
+//!
+//! The trainer runs on a [`simgrid::Cluster`]: every logical node holds a
+//! full model replica, computes gradients on its shard, and exchanges
+//! entity/relation gradients through collectives whose bytes are real and
+//! whose time is charged to the simulated clock.
+
+pub mod comm_select;
+pub mod config;
+pub mod exchange;
+pub mod lr;
+pub mod neg;
+pub mod ps;
+pub mod report;
+pub mod trainer;
+
+pub use comm_select::{CommChoice, DynamicCommSelector};
+pub use config::{
+    CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig, TrainConfig, UpdateStyle,
+};
+pub use exchange::AggGrad;
+pub use lr::{LrDecision, PlateauSchedule};
+pub use ps::train_ps;
+pub use report::{EpochTrace, TrainOutcome, TrainReport};
+pub use trainer::train;

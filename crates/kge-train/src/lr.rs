@@ -1,0 +1,165 @@
+//! The paper's learning-rate regime (§3.3/§3.4): capped linear scaling
+//! plus reduce-on-plateau with convergence detection.
+
+use serde::{Deserialize, Serialize};
+
+/// What the schedule decided after observing an epoch's validation signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrDecision {
+    /// Keep going at the current LR.
+    Continue,
+    /// LR was decayed this epoch.
+    Decayed { new_scale: f32 },
+    /// The schedule is exhausted: training has converged.
+    Converged,
+}
+
+/// Reduce-on-plateau schedule.
+///
+/// The effective learning rate is `base_lr × node_scale × decay_scale`
+/// where `node_scale = min(cap, p)` (the paper's capped linear scaling)
+/// and `decay_scale` shrinks by `decay` whenever the validation metric
+/// fails to improve for `tolerance` consecutive epochs. After
+/// `max_drops` decays, the next plateau declares convergence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlateauSchedule {
+    node_scale: f32,
+    decay_scale: f32,
+    decay: f32,
+    tolerance: usize,
+    max_drops: usize,
+    drops: usize,
+    best: f64,
+    since_best: usize,
+    converged: bool,
+}
+
+impl PlateauSchedule {
+    /// `p` is the node count; `cap` the paper's scaling cap (4).
+    pub fn new(p: usize, cap: f32, decay: f32, tolerance: usize, max_drops: usize) -> Self {
+        assert!(p >= 1);
+        assert!((0.0..1.0).contains(&decay));
+        assert!(tolerance >= 1);
+        PlateauSchedule {
+            node_scale: (p as f32).min(cap),
+            decay_scale: 1.0,
+            decay,
+            tolerance,
+            max_drops,
+            drops: 0,
+            best: f64::NEG_INFINITY,
+            since_best: 0,
+            converged: false,
+        }
+    }
+
+    /// Multiplier applied to the base learning rate this epoch.
+    pub fn lr_scale(&self) -> f32 {
+        self.node_scale * self.decay_scale
+    }
+
+    /// Has the schedule declared convergence?
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of LR decays so far.
+    pub fn drops(&self) -> usize {
+        self.drops
+    }
+
+    /// Best validation metric observed.
+    pub fn best_metric(&self) -> f64 {
+        self.best
+    }
+
+    /// Feed this epoch's validation metric (higher = better).
+    pub fn observe(&mut self, metric: f64) -> LrDecision {
+        if self.converged {
+            return LrDecision::Converged;
+        }
+        if metric > self.best {
+            self.best = metric;
+            self.since_best = 0;
+            return LrDecision::Continue;
+        }
+        self.since_best += 1;
+        if self.since_best >= self.tolerance {
+            self.since_best = 0;
+            if self.drops >= self.max_drops {
+                self.converged = true;
+                return LrDecision::Converged;
+            }
+            self.drops += 1;
+            self.decay_scale *= self.decay;
+            return LrDecision::Decayed {
+                new_scale: self.lr_scale(),
+            };
+        }
+        LrDecision::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_scale_is_capped() {
+        assert_eq!(PlateauSchedule::new(1, 4.0, 0.1, 15, 2).lr_scale(), 1.0);
+        assert_eq!(PlateauSchedule::new(2, 4.0, 0.1, 15, 2).lr_scale(), 2.0);
+        assert_eq!(PlateauSchedule::new(16, 4.0, 0.1, 15, 2).lr_scale(), 4.0);
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut s = PlateauSchedule::new(1, 4.0, 0.1, 3, 2);
+        assert_eq!(s.observe(0.5), LrDecision::Continue);
+        assert_eq!(s.observe(0.4), LrDecision::Continue);
+        assert_eq!(s.observe(0.6), LrDecision::Continue); // new best
+        assert_eq!(s.observe(0.5), LrDecision::Continue);
+        assert_eq!(s.observe(0.5), LrDecision::Continue);
+        // Third stale epoch triggers the decay.
+        match s.observe(0.5) {
+            LrDecision::Decayed { new_scale } => assert!((new_scale - 0.1).abs() < 1e-6),
+            d => panic!("expected decay, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn converges_after_max_drops_plus_plateau() {
+        let mut s = PlateauSchedule::new(1, 4.0, 0.1, 2, 1);
+        s.observe(1.0);
+        // plateau 1 → drop
+        s.observe(0.9);
+        assert!(matches!(s.observe(0.9), LrDecision::Decayed { .. }));
+        // plateau 2 → converged (max_drops = 1 exhausted)
+        s.observe(0.9);
+        assert_eq!(s.observe(0.9), LrDecision::Converged);
+        assert!(s.converged());
+        // Further observations keep reporting convergence.
+        assert_eq!(s.observe(5.0), LrDecision::Converged);
+    }
+
+    #[test]
+    fn decay_compounds() {
+        let mut s = PlateauSchedule::new(4, 4.0, 0.5, 1, 3);
+        s.observe(1.0);
+        s.observe(0.0);
+        assert!((s.lr_scale() - 2.0).abs() < 1e-6); // 4 × 0.5
+        s.observe(0.0);
+        assert!((s.lr_scale() - 1.0).abs() < 1e-6);
+        assert_eq!(s.drops(), 2);
+        assert_eq!(s.best_metric(), 1.0);
+    }
+
+    #[test]
+    fn monotonically_improving_never_decays() {
+        let mut s = PlateauSchedule::new(2, 4.0, 0.1, 2, 2);
+        for i in 0..100 {
+            assert_eq!(s.observe(i as f64), LrDecision::Continue);
+        }
+        assert_eq!(s.lr_scale(), 2.0);
+        assert!(!s.converged());
+    }
+}

@@ -1,0 +1,145 @@
+//! Training reports: per-epoch traces and end-of-run summaries.
+
+use crate::comm_select::CommChoice;
+use kge_core::EmbeddingTable;
+use serde::{Deserialize, Serialize};
+use simgrid::TimeBreakdown;
+
+/// One epoch's worth of measurements (identical on every node; recorded
+/// on rank 0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochTrace {
+    pub epoch: usize,
+    /// Simulated duration of this epoch (seconds).
+    pub sim_seconds: f64,
+    /// Collective used this epoch.
+    pub comm: CommChoice,
+    /// Plateau-schedule validation signal after this epoch.
+    pub valid_acc: f64,
+    /// Mean training loss over the epoch's examples.
+    pub train_loss: f64,
+    /// LR multiplier in effect during this epoch.
+    pub lr_scale: f32,
+    /// Mean entity-gradient rows above the zero threshold per batch,
+    /// before row selection (the paper's Fig. 2 metric).
+    pub mean_nonzero_rows: f64,
+    /// Mean entity rows actually communicated per batch (post selection).
+    pub mean_rows_sent: f64,
+    /// Fraction of rows dropped by row selection (Fig. 3b).
+    pub rs_sparsity: f64,
+    /// Bytes this node contributed to gradient collectives this epoch.
+    pub bytes_sent: u64,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub dataset: String,
+    pub nodes: usize,
+    /// Epochs executed (the paper's `N`).
+    pub epochs: usize,
+    /// Whether the plateau schedule declared convergence (vs epoch cap).
+    pub converged: bool,
+    /// Total simulated training time in seconds (the paper's `TT`).
+    pub sim_total_seconds: f64,
+    /// Where rank 0's simulated time went.
+    pub breakdown: TimeBreakdown,
+    /// Per-epoch measurements.
+    pub trace: Vec<EpochTrace>,
+    /// Epochs run with each collective.
+    pub allreduce_epochs: usize,
+    pub allgather_epochs: usize,
+}
+
+impl TrainReport {
+    /// `TT` in hours, as the paper's tables report it.
+    pub fn total_hours(&self) -> f64 {
+        self.sim_total_seconds / 3600.0
+    }
+
+    /// Mean simulated epoch time in seconds (Fig. 1d's metric).
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.trace.is_empty() {
+            0.0
+        } else {
+            self.sim_total_seconds / self.trace.len() as f64
+        }
+    }
+
+    /// Fraction of epochs that used all-reduce (the paper notes this
+    /// drops ~60% once quantization makes all-gather cheaper).
+    pub fn allreduce_fraction(&self) -> f64 {
+        let total = self.allreduce_epochs + self.allgather_epochs;
+        if total == 0 {
+            0.0
+        } else {
+            self.allreduce_epochs as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a training run produces: the report plus the final model.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    pub report: TrainReport,
+    pub entities: EmbeddingTable,
+    pub relations: EmbeddingTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(epoch: usize, secs: f64, comm: CommChoice) -> EpochTrace {
+        EpochTrace {
+            epoch,
+            sim_seconds: secs,
+            comm,
+            valid_acc: 0.5,
+            train_loss: 0.3,
+            lr_scale: 1.0,
+            mean_nonzero_rows: 10.0,
+            mean_rows_sent: 8.0,
+            rs_sparsity: 0.2,
+            bytes_sent: 1000,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = TrainReport {
+            dataset: "d".into(),
+            nodes: 4,
+            epochs: 2,
+            converged: true,
+            sim_total_seconds: 7200.0,
+            breakdown: TimeBreakdown::default(),
+            trace: vec![
+                trace(0, 3600.0, CommChoice::AllReduce),
+                trace(1, 3600.0, CommChoice::AllGather),
+            ],
+            allreduce_epochs: 1,
+            allgather_epochs: 1,
+        };
+        assert_eq!(r.total_hours(), 2.0);
+        assert_eq!(r.mean_epoch_seconds(), 3600.0);
+        assert_eq!(r.allreduce_fraction(), 0.5);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = TrainReport {
+            dataset: "d".into(),
+            nodes: 1,
+            epochs: 0,
+            converged: false,
+            sim_total_seconds: 0.0,
+            breakdown: TimeBreakdown::default(),
+            trace: vec![],
+            allreduce_epochs: 0,
+            allgather_epochs: 0,
+        };
+        assert_eq!(r.mean_epoch_seconds(), 0.0);
+        assert_eq!(r.allreduce_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,762 @@
+//! The synchronous data-parallel trainer.
+//!
+//! [`train`] runs one SPMD program per cluster node. Every node holds a
+//! full replica of the ComplEx model; each batch it computes gradients on
+//! its own triples, exchanges the entity (and, without relation partition,
+//! relation) gradients through the epoch's collective, and applies an
+//! identical optimizer step — so replicas stay bit-identical, which the
+//! integration tests assert. With relation partition, relation rows are
+//! owned and updated node-locally and re-assembled once per epoch.
+//!
+//! Simulated time: local compute is charged analytically per batch
+//! (forward/backward/optimizer flops) to each node's clock; collectives
+//! charge and synchronize clocks through the communicator. The reported
+//! `TT`/epoch times are those simulated clocks — the real wall time of
+//! the host machine never enters the results.
+
+use crate::comm_select::{CommChoice, DynamicCommSelector};
+use crate::config::{CommMode, TrainConfig, UpdateStyle};
+use crate::exchange::{exchange_allgather, exchange_allreduce, AggGrad};
+use crate::lr::PlateauSchedule;
+use crate::neg::{sample_negatives, CorruptionBias};
+use crate::report::{EpochTrace, TrainOutcome, TrainReport};
+use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
+use kge_compress::quant::{QuantizedRow, QuantScheme};
+use kge_compress::row_select::select_rows;
+use kge_compress::ResidualStore;
+use kge_core::loss::{logistic_loss, logistic_loss_grad};
+use kge_core::matrix::axpy;
+use kge_core::{EmbeddingTable, KgeModel, RowOptimizer, SparseGrad};
+use kge_data::batch::{uniform_shards, EpochShuffler};
+use kge_data::{Dataset, FilterIndex, Triple};
+use kge_eval::fast_valid_accuracy;
+use kge_partition::relation_partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgrid::{Cluster, Collective, NodeCtx};
+
+/// Threshold below which a gradient row counts as "zero" for the Fig. 2
+/// statistic (f32 rows of well-fit triples underflow toward this).
+const ZERO_ROW_EPS: f32 = 1e-7;
+
+/// Train on `dataset` with `config` across `cluster`. Returns rank 0's
+/// report and the final (assembled) model.
+pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> TrainOutcome {
+    config.validate().expect("invalid training config");
+    dataset.validate().expect("invalid dataset");
+    let mut results = cluster.run(|ctx| run_node(ctx, dataset, config));
+    let (report, entities, relations) = results.swap_remove(0);
+    TrainOutcome {
+        report: report.expect("rank 0 returns the report"),
+        entities,
+        relations,
+    }
+}
+
+/// Per-batch working state that is reused across batches to keep the hot
+/// loop allocation-free.
+struct Scratch {
+    ent_grad: SparseGrad,
+    rel_grad: SparseGrad,
+    gh: Vec<f32>,
+    gr: Vec<f32>,
+    gt: Vec<f32>,
+    dense_ent: Vec<f32>,
+    dense_rel: Vec<f32>,
+}
+
+fn run_node(
+    ctx: &mut NodeCtx,
+    dataset: &Dataset,
+    config: &TrainConfig,
+) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable) {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let model = config.model.build(config.rank);
+    let model: &dyn KgeModel = model.as_ref();
+    let dim = model.storage_dim();
+    let strategy = config.strategy;
+
+    // --- Data distribution (identical computation on every node). -------
+    let partition = if strategy.relation_partition {
+        relation_partition(&dataset.train, dataset.n_relations, p)
+    } else {
+        kge_partition::Partition {
+            shards: uniform_shards(&dataset.train, p),
+            relation_disjoint: false,
+        }
+    };
+    let batches_per_epoch = partition
+        .shards
+        .iter()
+        .map(|s| s.len().div_ceil(config.batch_size))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut shard: Vec<Triple> = partition.shards[rank].clone();
+    // Relations this node owns (for the end-of-epoch assembly under RP).
+    let mut owned_rels: Vec<u32> = shard.iter().map(|t| t.rel).collect();
+    owned_rels.sort_unstable();
+    owned_rels.dedup();
+
+    let filter = FilterIndex::build(dataset);
+    let bias = if strategy.bern {
+        Some(CorruptionBias::fit(dataset))
+    } else {
+        None
+    };
+
+    // --- Model replicas: identical initialization on every node. --------
+    let mut init_rng = StdRng::seed_from_u64(config.seed);
+    let mut ent = EmbeddingTable::xavier(dataset.n_entities, dim, &mut init_rng);
+    let mut rel = EmbeddingTable::xavier(dataset.n_relations, dim, &mut init_rng);
+    let mut ent_opt = config
+        .optimizer
+        .build(config.base_lr, dataset.n_entities, dim);
+    let mut rel_opt = config
+        .optimizer
+        .build(config.base_lr, dataset.n_relations, dim);
+    let mut ent_residual = ResidualStore::new();
+    let mut rel_residual = ResidualStore::new();
+
+    // Per-node RNG streams (data order / negatives / stochastic strategies
+    // differ per node; model state stays identical because aggregated
+    // gradients are identical).
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (rank as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+    );
+    let shuffler = EpochShuffler::new(config.seed ^ (rank as u64) << 32);
+
+    let mut schedule = PlateauSchedule::new(
+        p,
+        config.lr_scale_cap,
+        config.lr_decay,
+        config.plateau_tolerance,
+        config.max_lr_drops,
+    );
+    let mut selector = match strategy.comm {
+        CommMode::Dynamic { check_every } => Some(DynamicCommSelector::new(check_every)),
+        _ => None,
+    };
+
+    let mut scratch = Scratch {
+        ent_grad: SparseGrad::new(dim),
+        rel_grad: SparseGrad::new(dim),
+        gh: vec![0.0; dim],
+        gr: vec![0.0; dim],
+        gt: vec![0.0; dim],
+        dense_ent: vec![0.0; dataset.n_entities * dim],
+        dense_rel: vec![0.0; dataset.n_relations * dim],
+    };
+
+    let mut trace: Vec<EpochTrace> = Vec::new();
+    let mut converged = false;
+    let mut allreduce_epochs = 0usize;
+    let mut allgather_epochs = 0usize;
+
+    for epoch in 0..config.max_epochs {
+        // Epoch barrier: aligns every clock so that the per-epoch times —
+        // which the dynamic comm selector compares — are identical on all
+        // nodes (every post-collective charge below derives from shared
+        // quantities, so clocks stay equal through the epoch's end).
+        ctx.comm_mut().barrier();
+        let epoch_start = ctx.comm().clock().now_s();
+        let bytes_at_start = ctx.comm().traffic().total_sent();
+        shuffler.shuffle(&mut shard, epoch as u64);
+
+        let choice = match strategy.comm {
+            CommMode::AllReduce => CommChoice::AllReduce,
+            CommMode::AllGather => CommChoice::AllGather,
+            CommMode::Dynamic { .. } => selector.as_ref().expect("dynamic selector").choice(),
+        };
+        match choice {
+            CommChoice::AllReduce => allreduce_epochs += 1,
+            CommChoice::AllGather => allgather_epochs += 1,
+        }
+
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_examples = 0usize;
+        let mut nonzero_rows_sum = 0usize;
+        let mut rows_sent_sum = 0usize;
+        let mut rows_before_rs = 0usize;
+        let mut rows_after_rs = 0usize;
+        let lr_scale = schedule.lr_scale();
+
+        for b in 0..batches_per_epoch {
+            let (loss, n_examples) = compute_batch_gradients(
+                model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), &mut rng,
+                &mut scratch,
+            );
+            epoch_loss += loss;
+            epoch_examples += n_examples;
+
+            // Charge the batch's forward+backward compute.
+            let fwd_bwd = n_examples as f64 * model.score_flops() * 3.0;
+            let pool_extra = if strategy.neg.uses_selection() {
+                // pool scored per positive; positives = examples / (1+train)
+                let positives = n_examples / (1 + strategy.neg.train);
+                (positives * strategy.neg.pool) as f64 * model.score_flops()
+            } else {
+                0.0
+            };
+            ctx.comm_mut().clock_mut().charge_flops(fwd_bwd + pool_extra);
+
+            nonzero_rows_sum += scratch.ent_grad.rows_above_norm(ZERO_ROW_EPS);
+
+            // --- Entity gradient pipeline. ---------------------------
+            if strategy.error_feedback && !matches!(strategy.quant, QuantScheme::None) {
+                ent_residual.add_into(&mut scratch.ent_grad);
+            }
+            let sel = select_rows(strategy.row_select, &mut scratch.ent_grad, &mut rng);
+            rows_before_rs += sel.rows_before;
+            rows_after_rs += sel.rows_after;
+            // Norm computation + selection cost.
+            ctx.comm_mut()
+                .clock_mut()
+                .charge_flops((sel.rows_before * dim * 2) as f64);
+
+            let ent_agg: AggGrad = match choice {
+                CommChoice::AllReduce => {
+                    let stats = exchange_allreduce(
+                        ctx.comm_mut(),
+                        &scratch.ent_grad,
+                        &mut scratch.dense_ent,
+                    )
+                    .expect("entity allreduce");
+                    rows_sent_sum += stats.rows_sent;
+                    AggGrad::Dense(std::mem::take(&mut scratch.dense_ent))
+                }
+                CommChoice::AllGather => {
+                    // Quantization costs ~2 flops per element.
+                    ctx.comm_mut()
+                        .clock_mut()
+                        .charge_flops((scratch.ent_grad.nnz() * dim * 2) as f64);
+                    let residuals = if strategy.error_feedback
+                        && !matches!(strategy.quant, QuantScheme::None)
+                    {
+                        Some(&mut ent_residual)
+                    } else {
+                        None
+                    };
+                    let (agg, stats) = exchange_allgather(
+                        ctx.comm_mut(),
+                        &scratch.ent_grad,
+                        dim,
+                        strategy.quant,
+                        residuals,
+                        &mut rng,
+                    )
+                    .expect("entity allgather");
+                    rows_sent_sum += stats.rows_sent;
+                    // Decode + local sum cost.
+                    ctx.comm_mut()
+                        .clock_mut()
+                        .charge_flops((stats.rows_gathered * dim) as f64);
+                    AggGrad::Sparse(agg)
+                }
+            };
+
+            // --- Relation gradient pipeline. --------------------------
+            let rel_agg: AggGrad = if strategy.relation_partition {
+                // No communication; relation rows are node-local and stay
+                // full precision (the paper's accuracy argument for RP).
+                AggGrad::Sparse(std::mem::replace(&mut scratch.rel_grad, SparseGrad::new(dim)))
+            } else {
+                match choice {
+                    CommChoice::AllReduce => {
+                        exchange_allreduce(
+                            ctx.comm_mut(),
+                            &scratch.rel_grad,
+                            &mut scratch.dense_rel,
+                        )
+                        .expect("relation allreduce");
+                        AggGrad::Dense(std::mem::take(&mut scratch.dense_rel))
+                    }
+                    CommChoice::AllGather => {
+                        let residuals = if strategy.error_feedback
+                            && !matches!(strategy.quant, QuantScheme::None)
+                        {
+                            Some(&mut rel_residual)
+                        } else {
+                            None
+                        };
+                        let (agg, _) = exchange_allgather(
+                            ctx.comm_mut(),
+                            &scratch.rel_grad,
+                            dim,
+                            strategy.quant,
+                            residuals,
+                            &mut rng,
+                        )
+                        .expect("relation allgather");
+                        AggGrad::Sparse(agg)
+                    }
+                }
+            };
+
+            // --- Optimizer step. ---------------------------------------
+            apply_update(
+                ctx,
+                ent_opt.as_mut(),
+                strategy.update_style,
+                choice,
+                &mut ent,
+                ent_agg,
+                lr_scale,
+                &mut scratch.dense_ent,
+            );
+            apply_update(
+                ctx,
+                rel_opt.as_mut(),
+                strategy.update_style,
+                choice,
+                &mut rel,
+                rel_agg,
+                lr_scale,
+                &mut scratch.dense_rel,
+            );
+        }
+
+        // --- Relation assembly under RP (once per epoch, so validation
+        // and the final model see every relation's owner copy). ----------
+        if strategy.relation_partition && p > 1 {
+            assemble_relations(ctx, &mut rel, &owned_rels, dim);
+        }
+
+        // --- Validation signal + schedule. ------------------------------
+        let acc = fast_valid_accuracy(
+            model,
+            &ent,
+            &rel,
+            &dataset.valid,
+            &filter,
+            dataset.n_entities,
+            config.valid_samples,
+            config.seed ^ (epoch as u64).wrapping_mul(0x2545F4914F6CDD1D),
+        );
+        ctx.comm_mut().clock_mut().charge_flops(
+            (config.valid_samples.min(dataset.valid.len()) * 2) as f64 * model.score_flops(),
+        );
+
+        let epoch_time = ctx.comm().clock().now_s() - epoch_start;
+        if let Some(sel) = selector.as_mut() {
+            sel.observe_epoch(epoch_time);
+        }
+
+        let batches = batches_per_epoch as f64;
+        trace.push(EpochTrace {
+            epoch,
+            sim_seconds: epoch_time,
+            comm: choice,
+            valid_acc: acc,
+            train_loss: if epoch_examples > 0 {
+                epoch_loss / epoch_examples as f64
+            } else {
+                0.0
+            },
+            lr_scale,
+            mean_nonzero_rows: nonzero_rows_sum as f64 / batches,
+            mean_rows_sent: rows_sent_sum as f64 / batches,
+            rs_sparsity: if rows_before_rs > 0 {
+                1.0 - rows_after_rs as f64 / rows_before_rs as f64
+            } else {
+                0.0
+            },
+            bytes_sent: ctx.comm().traffic().total_sent() - bytes_at_start,
+        });
+
+        if matches!(schedule.observe(acc), crate::lr::LrDecision::Converged) {
+            converged = true;
+            break;
+        }
+    }
+
+    let breakdown = ctx.comm().clock().breakdown();
+    let report = if rank == 0 {
+        Some(TrainReport {
+            dataset: dataset.name.clone(),
+            nodes: p,
+            epochs: trace.len(),
+            converged,
+            sim_total_seconds: ctx.comm().clock().now_s(),
+            breakdown,
+            trace,
+            allreduce_epochs,
+            allgather_epochs,
+        })
+    } else {
+        None
+    };
+    (report, ent, rel)
+}
+
+/// Accumulate one batch's gradients into `scratch.{ent,rel}_grad`
+/// (cleared first). Returns `(summed loss, trained examples)`.
+#[allow(clippy::too_many_arguments)]
+fn compute_batch_gradients(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    shard: &[Triple],
+    batch_idx: usize,
+    config: &TrainConfig,
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+) -> (f64, usize) {
+    scratch.ent_grad.clear();
+    scratch.rel_grad.clear();
+    if shard.is_empty() {
+        return (0.0, 0);
+    }
+    let bs = config.batch_size.min(shard.len());
+    let start = batch_idx * config.batch_size;
+    let mut loss_sum = 0.0f64;
+    let mut examples = 0usize;
+
+    // First pass: collect examples (positive + selected negatives).
+    let mut batch_examples: Vec<(Triple, f32)> = Vec::with_capacity(bs * 2);
+    for i in 0..bs {
+        let pos = shard[(start + i) % shard.len()];
+        batch_examples.push((pos, 1.0));
+        let negs = sample_negatives(
+            config.strategy.neg,
+            pos,
+            model,
+            ent,
+            rel,
+            filter,
+            bias,
+            ent.rows(),
+            rng,
+        );
+        for neg in negs.train {
+            batch_examples.push((neg, -1.0));
+        }
+    }
+
+    let inv_batch = 1.0f32 / batch_examples.len() as f32;
+    for &(t, y) in &batch_examples {
+        let (h, r, tt) = (t.head as usize, t.rel as usize, t.tail as usize);
+        let score = model.score(ent.row(h), rel.row(r), ent.row(tt));
+        loss_sum += logistic_loss(y, score) as f64;
+        let coeff = logistic_loss_grad(y, score) * inv_batch;
+
+        scratch.gh.fill(0.0);
+        scratch.gr.fill(0.0);
+        scratch.gt.fill(0.0);
+        model.grad(
+            ent.row(h),
+            rel.row(r),
+            ent.row(tt),
+            coeff,
+            &mut scratch.gh,
+            &mut scratch.gr,
+            &mut scratch.gt,
+        );
+        // L2 regularization on the touched rows.
+        let reg = 2.0 * config.l2 * inv_batch;
+        axpy(reg, ent.row(h), &mut scratch.gh);
+        axpy(reg, rel.row(r), &mut scratch.gr);
+        axpy(reg, ent.row(tt), &mut scratch.gt);
+
+        // Head and tail may be the same entity; accumulate sequentially.
+        axpy(1.0, &scratch.gh, scratch.ent_grad.row_mut(t.head));
+        axpy(1.0, &scratch.gt, scratch.ent_grad.row_mut(t.tail));
+        axpy(1.0, &scratch.gr, scratch.rel_grad.row_mut(t.rel));
+        examples += 1;
+    }
+    (loss_sum, examples)
+}
+
+/// Apply the optimizer step for one table, honoring the update style, and
+/// charge its simulated compute. Restores the scratch dense buffer when
+/// the aggregate consumed it.
+#[allow(clippy::too_many_arguments)]
+fn apply_update(
+    ctx: &mut NodeCtx,
+    opt: &mut dyn RowOptimizer,
+    style: UpdateStyle,
+    choice: CommChoice,
+    table: &mut EmbeddingTable,
+    agg: AggGrad,
+    lr_scale: f32,
+    dense_home: &mut Vec<f32>,
+) {
+    let dim = table.dim();
+    let dense_style = match style {
+        UpdateStyle::Auto => matches!(choice, CommChoice::AllReduce),
+        UpdateStyle::Dense => true,
+        UpdateStyle::Lazy => false,
+    };
+    match agg {
+        AggGrad::Dense(buf) => {
+            if dense_style {
+                opt.step_dense(table, &buf, lr_scale);
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops(opt.dense_step_flops());
+            } else {
+                let sparse = sparse_from_dense(&buf, dim);
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops(opt.lazy_step_flops(sparse.nnz()));
+                opt.step_lazy(table, &sparse, lr_scale);
+            }
+            *dense_home = buf; // hand the scratch buffer back for reuse
+        }
+        AggGrad::Sparse(g) => {
+            if dense_style {
+                let buf = g.to_dense(table.rows());
+                opt.step_dense(table, &buf, lr_scale);
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops(opt.dense_step_flops());
+            } else {
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops(opt.lazy_step_flops(g.nnz()));
+                opt.step_lazy(table, &g, lr_scale);
+            }
+        }
+    }
+}
+
+/// Rows of a dense buffer with any non-zero entry, as a sparse gradient.
+fn sparse_from_dense(buf: &[f32], dim: usize) -> SparseGrad {
+    let mut g = SparseGrad::new(dim);
+    for (row, chunk) in buf.chunks(dim).enumerate() {
+        if chunk.iter().any(|&x| x != 0.0) {
+            g.row_mut(row as u32).copy_from_slice(chunk);
+        }
+    }
+    g
+}
+
+/// Under relation partition, gather every node's owned relation rows so
+/// all replicas hold the complete relation table (once per epoch).
+fn assemble_relations(ctx: &mut NodeCtx, rel: &mut EmbeddingTable, owned: &[u32], dim: usize) {
+    let rows: Vec<RowPayload> = owned
+        .iter()
+        .map(|&r| RowPayload {
+            row: r,
+            data: QuantizedRow::Full(rel.row(r as usize).to_vec()),
+        })
+        .collect();
+    let payload =
+        encode_rows(kge_compress::WireFormat::F32, dim, &rows).expect("encode relation rows");
+    let gathered = ctx
+        .comm_mut()
+        .allgatherv_bytes(&payload)
+        .expect("relation assembly allgather");
+    for peer in gathered {
+        let (rows, _) = decode_rows(&peer).expect("peer relation payload");
+        for rp in rows {
+            if let QuantizedRow::Full(v) = rp.data {
+                rel.row_mut(rp.row as usize).copy_from_slice(&v);
+            }
+        }
+    }
+}
+
+/// Extension trait: total bytes sent across all collectives (used for the
+/// per-epoch byte accounting in the trace).
+trait TotalSent {
+    fn total_sent(&self) -> u64;
+}
+
+impl TotalSent for simgrid::TrafficStats {
+    fn total_sent(&self) -> u64 {
+        let r = self.report();
+        r.bytes_sent(Collective::AllReduce)
+            + r.bytes_sent(Collective::AllGatherV)
+            + r.bytes_sent(Collective::Broadcast)
+            + r.bytes_sent(Collective::Gather)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyConfig;
+    use kge_data::synth::{generate, SynthConfig};
+    use simgrid::ClusterSpec;
+
+    fn tiny_config(seed: u64) -> SynthConfig {
+        SynthConfig {
+            name: "tiny".into(),
+            n_entities: 120,
+            n_relations: 8,
+            n_triples: 1500,
+            relation_zipf: 1.0,
+            entity_zipf: 0.8,
+            noise_frac: 0.05,
+            valid_frac: 0.08,
+            test_frac: 0.08,
+            seed,
+        }
+    }
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        generate(&tiny_config(seed))
+    }
+
+    fn quick_config(strategy: StrategyConfig) -> TrainConfig {
+        let mut c = TrainConfig::new(4, 64, strategy);
+        c.plateau_tolerance = 3;
+        c.max_lr_drops = 1;
+        c.max_epochs = 12;
+        c.valid_samples = 64;
+        // Tiny datasets have few optimizer steps per epoch; use a larger
+        // base rate so a dozen epochs show clear movement.
+        c.base_lr = 5e-3;
+        c
+    }
+
+    #[test]
+    fn single_node_loss_decreases() {
+        let ds = tiny_dataset(1);
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = train(&ds, &cluster, &quick_config(StrategyConfig::baseline_allreduce(2)));
+        let first = out.report.trace.first().unwrap().train_loss;
+        let last = out.report.trace.last().unwrap().train_loss;
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        assert!(out.report.sim_total_seconds > 0.0);
+        assert_eq!(out.report.nodes, 1);
+    }
+
+    #[test]
+    fn replicas_stay_identical_across_nodes() {
+        let ds = tiny_dataset(2);
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let config = quick_config(StrategyConfig::baseline_allgather(2));
+        let results = cluster.run(|ctx| {
+            let (_, ent, rel) = run_node(ctx, &ds, &config);
+            (ent, rel)
+        });
+        for (ent, rel) in &results[1..] {
+            assert_eq!(ent.as_slice(), results[0].0.as_slice(), "entity replicas diverged");
+            assert_eq!(rel.as_slice(), results[0].1.as_slice(), "relation replicas diverged");
+        }
+    }
+
+    #[test]
+    fn allreduce_and_allgather_agree_under_forced_lazy_updates() {
+        // With no compression and lazy updates on both paths, the two
+        // collectives aggregate the same values — models must match.
+        let ds = tiny_dataset(3);
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let mut c_ar = quick_config(StrategyConfig::baseline_allreduce(1));
+        c_ar.strategy.update_style = UpdateStyle::Lazy;
+        c_ar.max_epochs = 3;
+        let mut c_ag = quick_config(StrategyConfig::baseline_allgather(1));
+        c_ag.strategy.update_style = UpdateStyle::Lazy;
+        c_ag.max_epochs = 3;
+        let a = train(&ds, &cluster, &c_ar);
+        let b = train(&ds, &cluster, &c_ag);
+        assert_eq!(a.entities.as_slice(), b.entities.as_slice());
+        assert_eq!(a.relations.as_slice(), b.relations.as_slice());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = tiny_dataset(4);
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let config = quick_config(StrategyConfig::combined(3));
+        let a = train(&ds, &cluster, &config);
+        let b = train(&ds, &cluster, &config);
+        assert_eq!(a.entities.as_slice(), b.entities.as_slice());
+        assert_eq!(a.report.epochs, b.report.epochs);
+        assert_eq!(a.report.sim_total_seconds, b.report.sim_total_seconds);
+    }
+
+    #[test]
+    fn combined_strategy_trains_and_reports() {
+        let ds = tiny_dataset(5);
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = train(&ds, &cluster, &quick_config(StrategyConfig::combined(4)));
+        assert!(out.report.epochs > 0);
+        let t = out.report.trace.last().unwrap();
+        assert!(t.train_loss.is_finite());
+        // RS must be dropping some rows.
+        assert!(t.rs_sparsity > 0.0, "sparsity {}", t.rs_sparsity);
+    }
+
+    #[test]
+    fn relation_partition_keeps_relation_bytes_off_the_wire() {
+        // Use uniform relation frequencies and enough relations that the
+        // partition's relation-boundary quantization is fine-grained, so
+        // the comparison isolates the relation-gradient bytes RP
+        // eliminates (at paper scale, 1345+ relations, this is the
+        // operating regime).
+        let ds = generate(&SynthConfig {
+            relation_zipf: 0.0,
+            n_relations: 32,
+            n_triples: 6000,
+            ..tiny_config(6)
+        });
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let mut with_rp = quick_config(StrategyConfig::baseline_allgather(1));
+        with_rp.strategy.relation_partition = true;
+        with_rp.max_epochs = 4;
+        let mut without = quick_config(StrategyConfig::baseline_allgather(1));
+        without.max_epochs = 4;
+        let a = train(&ds, &cluster, &with_rp);
+        let b = train(&ds, &cluster, &without);
+        let bytes_rp: u64 = a.report.trace.iter().map(|t| t.bytes_sent).sum();
+        let bytes_no: u64 = b.report.trace.iter().map(|t| t.bytes_sent).sum();
+        assert!(
+            bytes_rp < bytes_no,
+            "RP should communicate less: {bytes_rp} vs {bytes_no}"
+        );
+    }
+
+    #[test]
+    fn dynamic_mode_starts_with_allreduce() {
+        let ds = tiny_dataset(7);
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let mut c = quick_config(StrategyConfig::baseline_allreduce(1));
+        c.strategy.comm = CommMode::Dynamic { check_every: 2 };
+        c.max_epochs = 6;
+        let out = train(&ds, &cluster, &c);
+        assert_eq!(out.report.trace[0].comm, CommChoice::AllReduce);
+        assert!(out.report.allreduce_epochs + out.report.allgather_epochs == out.report.epochs);
+    }
+
+    #[test]
+    fn distmult_and_transe_also_train() {
+        // The paper's generality claim: the strategies apply to other KGE
+        // models. Run the full combined stack under each model.
+        use crate::config::ModelKind;
+        let ds = tiny_dataset(10);
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        for kind in [ModelKind::DistMult, ModelKind::TransE] {
+            let mut c = quick_config(StrategyConfig::combined(3));
+            c.model = kind;
+            c.max_epochs = 6;
+            let out = train(&ds, &cluster, &c);
+            assert_eq!(out.report.epochs, 6, "{kind:?}");
+            let first = out.report.trace.first().unwrap().train_loss;
+            let last = out.report.trace.last().unwrap().train_loss;
+            assert!(last < first, "{kind:?} loss {first} -> {last}");
+            assert_eq!(out.entities.dim(), c.model.build(c.rank).storage_dim());
+        }
+    }
+
+    #[test]
+    fn quantized_gather_sends_fewer_bytes_than_f32_gather() {
+        let ds = tiny_dataset(8);
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let mut q = quick_config(StrategyConfig::baseline_allgather(1));
+        q.strategy.quant = QuantScheme::paper_one_bit();
+        q.max_epochs = 3;
+        let mut f = quick_config(StrategyConfig::baseline_allgather(1));
+        f.max_epochs = 3;
+        let a = train(&ds, &cluster, &q);
+        let b = train(&ds, &cluster, &f);
+        let qb: u64 = a.report.trace.iter().map(|t| t.bytes_sent).sum();
+        let fb: u64 = b.report.trace.iter().map(|t| t.bytes_sent).sum();
+        assert!(qb * 3 < fb, "1-bit {qb} should be ≪ f32 {fb}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on trainer components: the LR schedule's invariants,
+//! the DRS state machine, and negative-sampling guarantees.
+
+use kge_train::{CommChoice, DynamicCommSelector, LrDecision, PlateauSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lr_scale_never_increases_and_stays_positive(
+        metrics in proptest::collection::vec(0.0f64..1.0, 1..200),
+        p in 1usize..20,
+        tolerance in 1usize..10,
+        max_drops in 0usize..4,
+    ) {
+        let mut s = PlateauSchedule::new(p, 4.0, 0.1, tolerance, max_drops);
+        let mut prev = s.lr_scale();
+        prop_assert!(prev <= 4.0 && prev >= 1.0);
+        for &m in &metrics {
+            let _ = s.observe(m);
+            let cur = s.lr_scale();
+            prop_assert!(cur > 0.0);
+            prop_assert!(cur <= prev + 1e-9, "lr scale must be non-increasing");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn schedule_converges_within_bounded_stale_epochs(
+        tolerance in 1usize..8,
+        max_drops in 0usize..4,
+    ) {
+        // A never-improving metric must converge after at most
+        // (max_drops + 1) × tolerance stale epochs.
+        let mut s = PlateauSchedule::new(1, 4.0, 0.1, tolerance, max_drops);
+        s.observe(1.0); // set the best
+        let bound = (max_drops + 1) * tolerance + 1;
+        let mut converged_at = None;
+        for i in 0..bound {
+            if matches!(s.observe(0.0), LrDecision::Converged) {
+                converged_at = Some(i);
+                break;
+            }
+        }
+        prop_assert!(converged_at.is_some(), "did not converge within {bound} epochs");
+        prop_assert_eq!(s.drops(), max_drops);
+    }
+
+    #[test]
+    fn improving_metric_never_converges(
+        steps in 1usize..100,
+        tolerance in 1usize..5,
+    ) {
+        let mut s = PlateauSchedule::new(2, 4.0, 0.5, tolerance, 2);
+        for i in 0..steps {
+            let d = s.observe(i as f64);
+            prop_assert_eq!(d, LrDecision::Continue);
+        }
+        prop_assert!(!s.converged());
+    }
+
+    #[test]
+    fn drs_switch_is_permanent(times in proptest::collection::vec(0.0f64..10.0, 1..100)) {
+        let mut sel = DynamicCommSelector::new(3);
+        let mut switched = false;
+        for &t in &times {
+            if !sel.still_dynamic() {
+                switched = true;
+            }
+            let before = sel.choice();
+            sel.observe_epoch(t);
+            if switched {
+                // Once switched, the choice is pinned to all-gather.
+                prop_assert_eq!(before, CommChoice::AllGather);
+                prop_assert_eq!(sel.choice(), CommChoice::AllGather);
+            }
+        }
+    }
+
+    #[test]
+    fn drs_probe_cadence(check_every in 1usize..20) {
+        // With all-gather always slower, the selector must stay on
+        // all-reduce except at probe epochs, which occur every
+        // `check_every` all-reduce epochs.
+        let mut sel = DynamicCommSelector::new(check_every);
+        let mut probes = 0usize;
+        for _ in 0..100 {
+            let choice = sel.choice();
+            let t = match choice {
+                CommChoice::AllReduce => 1.0,
+                CommChoice::AllGather => {
+                    probes += 1;
+                    2.0 // always slower: never switch
+                }
+            };
+            sel.observe_epoch(t);
+        }
+        prop_assert!(sel.still_dynamic());
+        prop_assert!(probes >= 100 / (check_every + 1) / 2, "probes {probes}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Calibration check referenced by `ClusterSpec::cray_xc40()` docs: the
+//! analytic cost model must price one epoch of the paper's full-scale
+//! FB250K single-node run near the paper's measured ~500 s (Fig. 1d).
+//!
+//! Nothing trains here — the check is purely on the pricing formulas, so
+//! it stays meaningful (and fast) even though running the full-scale
+//! workload itself would take hours.
+
+use simgrid::ClusterSpec;
+
+/// Paper-scale FB250K numbers.
+const TRIPLES: f64 = 16_000_000.0;
+const ENTITIES: f64 = 240_000.0;
+const RANK: usize = 100; // paper: up to 200 dims = 2×100 (complex)
+const BATCH: f64 = 10_000.0;
+const NEG_PER_POS: f64 = 1.0;
+
+#[test]
+fn single_node_fb250k_epoch_prices_near_paper() {
+    let spec = ClusterSpec::cray_xc40();
+    let storage_dim = 2 * RANK;
+    let score_flops = (10 * RANK) as f64;
+
+    // Forward + backward over every example (1 positive + 1 negative per
+    // training triple), backward costed at 2× forward.
+    let examples = TRIPLES * (1.0 + NEG_PER_POS);
+    let fwd_bwd = examples * score_flops * 3.0;
+
+    // Dense Adam on the entity matrix once per batch (the paper's
+    // all-reduce baseline semantics at p=1).
+    let batches = TRIPLES / BATCH;
+    let adam = batches * ENTITIES * storage_dim as f64 * 12.0;
+
+    let epoch_s = spec.compute_time(fwd_bwd + adam);
+    assert!(
+        (300.0..800.0).contains(&epoch_s),
+        "single-node FB250K epoch priced at {epoch_s:.0} s; paper Fig. 1d shows ~500 s"
+    );
+}
+
+#[test]
+fn sixteen_node_allreduce_epoch_time_is_paper_magnitude() {
+    // Paper Fig. 1d: at 16 nodes an all-reduce epoch costs ~150-250 s.
+    let spec = ClusterSpec::cray_xc40();
+    let model = simgrid::CostModel::new(spec.clone());
+    let p = 16;
+    let storage_dim = 2 * RANK;
+
+    let batches_per_node = TRIPLES / BATCH / p as f64;
+    let dense_bytes = (ENTITIES as usize) * storage_dim * 4;
+    let comm_per_batch = model.allreduce(p, dense_bytes);
+
+    let score_flops = (10 * RANK) as f64;
+    let examples_per_node = TRIPLES * 2.0 / p as f64;
+    let compute = spec.compute_time(
+        examples_per_node * score_flops * 3.0
+            + batches_per_node * ENTITIES * storage_dim as f64 * 12.0,
+    );
+    let epoch_s = compute + batches_per_node * comm_per_batch;
+    assert!(
+        (50.0..600.0).contains(&epoch_s),
+        "16-node all-reduce epoch priced at {epoch_s:.0} s; paper shows order 100-250 s"
+    );
+}
+
+#[test]
+fn allgather_crossover_lives_between_4_and_8_nodes_at_paper_scale() {
+    // Paper Tables 1–2 / Fig 1: all-gather beats all-reduce at p ≤ 4 and
+    // loses at p ≥ 8 on FB250K. Check the cost model places the crossover
+    // there for paper-scale message sizes.
+    let model = simgrid::CostModel::new(ClusterSpec::cray_xc40());
+    let storage_dim = 2 * RANK;
+    let dense_bytes = (ENTITIES as usize) * storage_dim * 4;
+    // ~30 k distinct entity rows touched by a 10 k-triple batch with one
+    // negative each (heads + tails, partially overlapping).
+    let sparse_rows = 30_000usize;
+    let sparse_bytes = sparse_rows * (storage_dim * 4 + 4);
+
+    let gather_wins = |p: usize| {
+        model.allgatherv(&vec![sparse_bytes; p]) < model.allreduce(p, dense_bytes)
+    };
+    assert!(gather_wins(2), "all-gather must win at p=2");
+    assert!(gather_wins(4), "all-gather must win at p=4");
+    assert!(!gather_wins(16), "all-reduce must win at p=16");
+}

@@ -1,0 +1,145 @@
+//! Per-node simulated clocks.
+
+use crate::spec::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of where a node's simulated time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Seconds spent in local computation.
+    pub compute_s: f64,
+    /// Seconds spent inside collectives (data movement + reduction).
+    pub comm_s: f64,
+    /// Seconds spent waiting for slower peers to enter a collective.
+    pub idle_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total simulated seconds.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.comm_s + self.idle_s
+    }
+}
+
+/// A node-local simulated clock.
+///
+/// Compute phases are charged explicitly by the code running on the node
+/// ([`SimClock::charge_flops`] / [`SimClock::charge_compute_seconds`]); collective
+/// phases are charged by the [`crate::Communicator`], which also aligns
+/// clocks across nodes (a synchronous collective starts when the *last*
+/// participant arrives).
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now_s: f64,
+    breakdown: TimeBreakdown,
+    node_flops: f64,
+}
+
+impl SimClock {
+    pub fn new(spec: &ClusterSpec) -> Self {
+        SimClock {
+            now_s: 0.0,
+            breakdown: TimeBreakdown::default(),
+            node_flops: spec.node_flops,
+        }
+    }
+
+    /// Current simulated time in seconds since the node started.
+    #[inline]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Where the time went so far.
+    #[inline]
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+
+    /// Charge a local-compute phase of `flops` floating point operations.
+    #[inline]
+    pub fn charge_flops(&mut self, flops: f64) {
+        debug_assert!(flops >= 0.0);
+        self.charge_compute_seconds(flops / self.node_flops);
+    }
+
+    /// Charge a local-compute phase of a known duration.
+    #[inline]
+    pub fn charge_compute_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.now_s += s;
+        self.breakdown.compute_s += s;
+    }
+
+    /// Charge idle time (waiting for peers). Used by the communicator.
+    #[inline]
+    pub fn charge_idle_until(&mut self, t: f64) {
+        if t > self.now_s {
+            self.breakdown.idle_s += t - self.now_s;
+            self.now_s = t;
+        }
+    }
+
+    /// Charge communication time. Used by the communicator.
+    #[inline]
+    pub fn charge_comm_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.now_s += s;
+        self.breakdown.comm_s += s;
+    }
+
+    /// Reset to t=0 with an empty breakdown (e.g. between epochs when the
+    /// caller keeps per-epoch accounts).
+    pub fn reset(&mut self) {
+        self.now_s = 0.0;
+        self.breakdown = TimeBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SimClock {
+        SimClock::new(&ClusterSpec::cray_xc40())
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let c = clock();
+        assert_eq!(c.now_s(), 0.0);
+        assert_eq!(c.breakdown().total_s(), 0.0);
+    }
+
+    #[test]
+    fn charges_accumulate_into_breakdown() {
+        let mut c = clock();
+        c.charge_flops(2.0e9); // exactly one second on the cray spec
+        c.charge_comm_seconds(0.5);
+        c.charge_idle_until(2.0);
+        let b = c.breakdown();
+        assert!((b.compute_s - 1.0).abs() < 1e-9);
+        assert!((b.comm_s - 0.5).abs() < 1e-12);
+        assert!((b.idle_s - 0.5).abs() < 1e-9);
+        assert!((c.now_s() - 2.0).abs() < 1e-9);
+        assert!((b.total_s() - c.now_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_until_past_time_is_noop() {
+        let mut c = clock();
+        c.charge_comm_seconds(3.0);
+        c.charge_idle_until(1.0);
+        assert_eq!(c.now_s(), 3.0);
+        assert_eq!(c.breakdown().idle_s, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = clock();
+        c.charge_flops(1e9);
+        c.reset();
+        assert_eq!(c.now_s(), 0.0);
+        assert_eq!(c.breakdown(), TimeBreakdown::default());
+    }
+}

@@ -1,0 +1,736 @@
+//! MPI-style collectives over shared memory, with simulated timing.
+//!
+//! All node threads of a [`crate::Cluster`] share one communication world. Each
+//! collective follows a deposit / barrier / combine / barrier protocol:
+//! contributions are staged in per-rank slots (disjoint writes), a barrier
+//! establishes that all deposits are visible, the combine step runs (a
+//! fixed-order reduction for all-reduce, concatenation-by-rank for
+//! all-gather), and further barriers make the staging area safely reusable.
+//!
+//! Reductions are performed in **fixed rank order**, so results are
+//! bit-for-bit deterministic across runs regardless of thread scheduling.
+//!
+//! Every collective also performs the *simulated-time* bookkeeping: clocks
+//! of all participants are aligned to the latest arrival (idle time), then
+//! advanced by the [`CostModel`] price of the operation (comm time).
+
+use crate::clock::SimClock;
+use crate::p2p::{Message, PostOffice};
+use crate::cost::{Collective, CostModel};
+use crate::error::SimError;
+use crate::spec::ClusterSpec;
+use crate::traffic::TrafficStats;
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// Shared state for one cluster's communicator.
+pub(crate) struct CommWorld {
+    size: usize,
+    barrier: Barrier,
+    f32_slots: Vec<Mutex<Vec<f32>>>,
+    byte_slots: Vec<Mutex<Vec<u8>>>,
+    f64_slots: Vec<Mutex<f64>>,
+    clock_slots: Vec<Mutex<f64>>,
+    result_f32: Mutex<Vec<f32>>,
+    error: Mutex<Option<SimError>>,
+    post: std::sync::Arc<PostOffice>,
+}
+
+impl CommWorld {
+    pub(crate) fn size(&self) -> usize {
+        self.size
+    }
+
+    pub(crate) fn new(size: usize) -> Arc<Self> {
+        assert!(size >= 1, "communicator needs at least one rank");
+        Arc::new(CommWorld {
+            size,
+            barrier: Barrier::new(size),
+            f32_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            byte_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            f64_slots: (0..size).map(|_| Mutex::new(0.0)).collect(),
+            clock_slots: (0..size).map(|_| Mutex::new(0.0)).collect(),
+            result_f32: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            post: PostOffice::new(size),
+        })
+    }
+}
+
+/// One rank's handle onto the cluster's collective-communication layer.
+///
+/// A `Communicator` owns the rank's [`SimClock`] and [`TrafficStats`]; the
+/// code running on the node charges compute time through
+/// [`Communicator::clock_mut`] and invokes collectives directly.
+pub struct Communicator {
+    world: Arc<CommWorld>,
+    rank: usize,
+    cost: CostModel,
+    clock: SimClock,
+    traffic: TrafficStats,
+}
+
+impl Communicator {
+    pub(crate) fn new(world: Arc<CommWorld>, rank: usize, spec: &ClusterSpec) -> Self {
+        assert!(rank < world.size);
+        Communicator {
+            rank,
+            cost: CostModel::new(spec.clone()),
+            clock: SimClock::new(spec),
+            traffic: TrafficStats::default(),
+            world,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// The simulated clock of this rank.
+    #[inline]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Mutable access for charging local compute time.
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    /// Communication traffic accounted so far on this rank.
+    #[inline]
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The cost model used for simulated timing, for what-if queries
+    /// (e.g. the dynamic all-reduce/all-gather selection strategy).
+    #[inline]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Align clocks with all peers (everyone leaves at the max arrival time
+    /// plus the barrier cost) without moving data.
+    pub fn barrier(&mut self) {
+        if self.size() == 1 {
+            return;
+        }
+        self.sync_clocks(Collective::Barrier, &[0]);
+        self.world.barrier.wait(); // release clock slots for reuse
+    }
+
+    /// In-place sum all-reduce over `buf`: afterwards every rank holds the
+    /// element-wise sum of all contributions. Deterministic (fixed-order
+    /// reduction). Errors if buffer lengths differ across ranks.
+    pub fn allreduce_sum_f32(&mut self, buf: &mut [f32]) -> Result<(), SimError> {
+        let bytes = std::mem::size_of_val(buf);
+        if self.size() == 1 {
+            self.traffic.record(Collective::AllReduce, bytes, bytes);
+            return Ok(());
+        }
+        // Deposit.
+        {
+            let mut slot = self.world.f32_slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        self.sync_clocks(Collective::AllReduce, &vec![bytes; self.size()]);
+        // Rank 0 validates shapes and reduces in rank order.
+        if self.rank == 0 {
+            let expected = buf.len();
+            let mut err = None;
+            let mut acc = self.world.result_f32.lock();
+            acc.clear();
+            acc.resize(expected, 0.0);
+            for r in 0..self.size() {
+                let slot = self.world.f32_slots[r].lock();
+                if slot.len() != expected {
+                    err = Some(SimError::ShapeMismatch {
+                        op: "allreduce_sum_f32",
+                        expected,
+                        got: slot.len(),
+                        rank: r,
+                    });
+                    break;
+                }
+                for (a, &v) in acc.iter_mut().zip(slot.iter()) {
+                    *a += v;
+                }
+            }
+            *self.world.error.lock() = err;
+        }
+        self.world.barrier.wait(); // result ready
+        let status = self.world.error.lock().clone();
+        if let Some(e) = status {
+            self.world.barrier.wait(); // keep protocol aligned
+            return Err(e);
+        }
+        {
+            let result = self.world.result_f32.lock();
+            buf.copy_from_slice(&result);
+        }
+        self.traffic.record(Collective::AllReduce, bytes, bytes);
+        self.world.barrier.wait(); // staging reusable
+        Ok(())
+    }
+
+    /// Variable-size all-gather of `f32` payloads. Returns the
+    /// concatenation of every rank's contribution in rank order, plus the
+    /// per-rank element counts.
+    pub fn allgatherv_f32(&mut self, data: &[f32]) -> Result<(Vec<f32>, Vec<usize>), SimError> {
+        if self.size() == 1 {
+            let bytes = std::mem::size_of_val(data);
+            self.traffic.record(Collective::AllGatherV, bytes, bytes);
+            return Ok((data.to_vec(), vec![data.len()]));
+        }
+        {
+            let mut slot = self.world.f32_slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        // Clock sync needs per-rank byte counts, which requires the data
+        // deposits to be visible, so deposit the clock alongside the data
+        // and align after the barrier.
+        *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
+        self.world.barrier.wait();
+        let mut counts = Vec::with_capacity(self.size());
+        let mut total = 0usize;
+        for r in 0..self.size() {
+            let n = self.world.f32_slots[r].lock().len();
+            counts.push(n);
+            total += n;
+        }
+        let per_rank_bytes: Vec<usize> = counts.iter().map(|&n| n * 4).collect();
+        self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
+        let mut out = Vec::with_capacity(total);
+        for r in 0..self.size() {
+            out.extend_from_slice(&self.world.f32_slots[r].lock());
+        }
+        self.traffic
+            .record(Collective::AllGatherV, data.len() * 4, total * 4);
+        self.world.barrier.wait(); // everyone done reading
+        Ok((out, counts))
+    }
+
+    /// Variable-size all-gather of opaque byte payloads (used for
+    /// quantized / bit-packed gradients). Returns per-rank payloads.
+    pub fn allgatherv_bytes(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, SimError> {
+        if self.size() == 1 {
+            self.traffic
+                .record(Collective::AllGatherV, data.len(), data.len());
+            return Ok(vec![data.to_vec()]);
+        }
+        {
+            let mut slot = self.world.byte_slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
+        self.world.barrier.wait();
+        let mut per_rank_bytes = Vec::with_capacity(self.size());
+        for r in 0..self.size() {
+            per_rank_bytes.push(self.world.byte_slots[r].lock().len());
+        }
+        self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
+        let mut out = Vec::with_capacity(self.size());
+        let mut total = 0usize;
+        for r in 0..self.size() {
+            let payload = self.world.byte_slots[r].lock().clone();
+            total += payload.len();
+            out.push(payload);
+        }
+        self.traffic.record(Collective::AllGatherV, data.len(), total);
+        self.world.barrier.wait();
+        Ok(out)
+    }
+
+    /// Broadcast `buf` from `root` to every rank.
+    pub fn broadcast_f32(&mut self, root: usize, buf: &mut [f32]) -> Result<(), SimError> {
+        if root >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        let bytes = std::mem::size_of_val(buf);
+        if self.size() == 1 {
+            self.traffic.record(Collective::Broadcast, bytes, bytes);
+            return Ok(());
+        }
+        if self.rank == root {
+            let mut slot = self.world.f32_slots[root].lock();
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        self.sync_clocks(Collective::Broadcast, &vec![bytes; self.size()]);
+        if self.rank != root {
+            let slot = self.world.f32_slots[root].lock();
+            if slot.len() != buf.len() {
+                // Align protocol before erroring so peers don't deadlock.
+                self.world.barrier.wait();
+                return Err(SimError::ShapeMismatch {
+                    op: "broadcast_f32",
+                    expected: buf.len(),
+                    got: slot.len(),
+                    rank: root,
+                });
+            }
+            buf.copy_from_slice(&slot);
+        }
+        self.traffic.record(
+            Collective::Broadcast,
+            if self.rank == root { bytes } else { 0 },
+            bytes,
+        );
+        self.world.barrier.wait();
+        Ok(())
+    }
+
+    /// Reduce-scatter: element-wise sum across ranks, with rank `i`
+    /// keeping only the `i`-th of `p` contiguous chunks (the first phase
+    /// of a ring all-reduce, exposed for algorithms that only need their
+    /// own shard — e.g. sharded optimizers). Returns this rank's chunk.
+    pub fn reduce_scatter_f32(&mut self, buf: &[f32]) -> Result<Vec<f32>, SimError> {
+        let p = self.size();
+        let n = buf.len();
+        let chunk = |r: usize| -> std::ops::Range<usize> { r * n / p..(r + 1) * n / p };
+        if p == 1 {
+            self.traffic.record(Collective::AllReduce, n * 4, n * 4);
+            return Ok(buf.to_vec());
+        }
+        {
+            let mut slot = self.world.f32_slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        // Priced as half a ring all-reduce: (p−1) steps moving m/p each.
+        let bytes = n * 4;
+        *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
+        self.world.barrier.wait();
+        {
+            let mut t_max = f64::NEG_INFINITY;
+            for r in 0..p {
+                t_max = t_max.max(*self.world.clock_slots[r].lock());
+            }
+            self.clock.charge_idle_until(t_max);
+            let price = self.cost.allreduce(p, bytes) / 2.0;
+            self.clock.charge_comm_seconds(price);
+        }
+        let my = chunk(self.rank);
+        let mut out = vec![0.0f32; my.len()];
+        let mut shape_err = None;
+        for r in 0..p {
+            let slot = self.world.f32_slots[r].lock();
+            if slot.len() != n {
+                shape_err = Some(SimError::ShapeMismatch {
+                    op: "reduce_scatter_f32",
+                    expected: n,
+                    got: slot.len(),
+                    rank: r,
+                });
+                break;
+            }
+            for (o, &v) in out.iter_mut().zip(slot[my.clone()].iter()) {
+                *o += v;
+            }
+        }
+        self.traffic.record(Collective::AllReduce, bytes, out.len() * 4);
+        self.world.barrier.wait();
+        match shape_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Gather variable-size contributions to `root` (other ranks get an
+    /// empty vec). Binomial-tree priced.
+    pub fn gatherv_to_root(
+        &mut self,
+        root: usize,
+        data: &[f32],
+    ) -> Result<Vec<Vec<f32>>, SimError> {
+        if root >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if self.size() == 1 {
+            self.traffic
+                .record(Collective::Gather, data.len() * 4, data.len() * 4);
+            return Ok(vec![data.to_vec()]);
+        }
+        {
+            let mut slot = self.world.f32_slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
+        self.world.barrier.wait();
+        let per_rank: Vec<usize> = (0..self.size())
+            .map(|r| self.world.f32_slots[r].lock().len() * 4)
+            .collect();
+        self.align_and_charge(Collective::Gather, &per_rank);
+        let out = if self.rank == root {
+            let mut all = Vec::with_capacity(self.size());
+            let mut total = 0usize;
+            for r in 0..self.size() {
+                let payload = self.world.f32_slots[r].lock().clone();
+                total += payload.len() * 4;
+                all.push(payload);
+            }
+            self.traffic.record(Collective::Gather, data.len() * 4, total);
+            all
+        } else {
+            self.traffic.record(Collective::Gather, data.len() * 4, 0);
+            Vec::new()
+        };
+        self.world.barrier.wait();
+        Ok(out)
+    }
+
+    /// Scalar sum all-reduce (f64).
+    pub fn allreduce_sum_f64(&mut self, v: f64) -> f64 {
+        self.scalar_reduce(v, |a, b| a + b)
+    }
+
+    /// Scalar max all-reduce (f64).
+    pub fn allreduce_max_f64(&mut self, v: f64) -> f64 {
+        self.scalar_reduce(v, f64::max)
+    }
+
+    /// Scalar min all-reduce (f64).
+    pub fn allreduce_min_f64(&mut self, v: f64) -> f64 {
+        self.scalar_reduce(v, f64::min)
+    }
+
+    /// Logical AND across ranks (encoded through a min-reduce).
+    pub fn allreduce_and(&mut self, v: bool) -> bool {
+        self.allreduce_min_f64(if v { 1.0 } else { 0.0 }) > 0.5
+    }
+
+    fn scalar_reduce(&mut self, v: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+        if self.size() == 1 {
+            self.traffic.record(Collective::AllReduce, 8, 8);
+            return v;
+        }
+        *self.world.f64_slots[self.rank].lock() = v;
+        self.sync_clocks(Collective::AllReduce, &vec![8usize; self.size()]);
+        let mut acc = *self.world.f64_slots[0].lock();
+        for r in 1..self.size() {
+            acc = f(acc, *self.world.f64_slots[r].lock());
+        }
+        self.traffic.record(Collective::AllReduce, 8, 8);
+        self.world.barrier.wait();
+        acc
+    }
+
+    /// Send `payload` to `dst`. The sender's clock advances by the
+    /// injection overhead α; the message arrives (for the receiver's
+    /// simulated clock) a full `α + bytes·β` after the send started.
+    pub fn send_bytes(&mut self, dst: usize, payload: &[u8]) -> Result<(), SimError> {
+        if dst >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: dst,
+                size: self.size(),
+            });
+        }
+        let alpha = self.cost.spec().latency_s;
+        let t_send = self.clock.now_s();
+        let arrival = t_send + self.cost.spec().p2p_time(payload.len());
+        self.clock.charge_comm_seconds(alpha);
+        self.traffic
+            .record(Collective::PointToPoint, payload.len(), 0);
+        self.world.post.deposit(
+            dst,
+            Message {
+                src: self.rank,
+                payload: payload.to_vec(),
+                arrival_s: arrival,
+            },
+        );
+        Ok(())
+    }
+
+    /// Receive the next message from `src`, blocking until it exists and
+    /// idling the simulated clock until its arrival time, then charging
+    /// the LogGP-style receive occupancy `bytes·β` — draining bytes off
+    /// the link is work the receiving NIC/node must serialize, which is
+    /// precisely what turns a many-to-one pattern (e.g. a parameter
+    /// server's ingress) into a bottleneck. Draining peers in a fixed
+    /// rank order keeps programs deterministic.
+    pub fn recv_bytes_from(&mut self, src: usize) -> Result<Message, SimError> {
+        if src >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        let msg = self.world.post.take_from(self.rank, src);
+        self.charge_receive(&msg);
+        Ok(msg)
+    }
+
+    fn charge_receive(&mut self, msg: &Message) {
+        self.clock.charge_idle_until(msg.arrival_s);
+        let occupancy = msg.payload.len() as f64 / self.cost.spec().bandwidth_bps;
+        self.clock.charge_comm_seconds(occupancy);
+        self.traffic
+            .record(Collective::PointToPoint, 0, msg.payload.len());
+    }
+
+    /// Non-blocking receive of any pending message (lowest source rank
+    /// first). **Scheduling-dependent**: whether a peer's message is
+    /// visible yet depends on host thread timing; use only in protocols
+    /// that tolerate reordering across sources.
+    pub fn try_recv_bytes_any(&mut self) -> Result<Option<Message>, SimError> {
+        match self.world.post.try_take_any(self.rank) {
+            Some(msg) => {
+                self.charge_receive(&msg);
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Deposit clock, barrier, align to latest arrival, charge the cost of
+    /// `op` moving `per_rank_bytes`.
+    fn sync_clocks(&mut self, op: Collective, per_rank_bytes: &[usize]) {
+        *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
+        self.world.barrier.wait();
+        self.align_and_charge(op, per_rank_bytes);
+    }
+
+    /// Assumes clock deposits are already visible (a barrier has been
+    /// crossed since every rank wrote its slot).
+    fn align_and_charge(&mut self, op: Collective, per_rank_bytes: &[usize]) {
+        let mut t_max = f64::NEG_INFINITY;
+        for r in 0..self.size() {
+            t_max = t_max.max(*self.world.clock_slots[r].lock());
+        }
+        self.clock.charge_idle_until(t_max);
+        let price = self.cost.price(op, per_rank_bytes);
+        self.clock.charge_comm_seconds(price);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Cluster;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut v = vec![(ctx.rank() + 1) as f32; 16];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap();
+            v
+        });
+        for v in out {
+            assert!(v.iter().all(|&x| x == 10.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_identity() {
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut v = vec![3.5f32, -1.0];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap();
+            v
+        });
+        assert_eq!(out[0], vec![3.5, -1.0]);
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let rank = ctx.rank();
+            let data: Vec<f32> = (0..=rank).map(|i| (rank * 10 + i) as f32).collect();
+            ctx.comm_mut().allgatherv_f32(&data).unwrap()
+        });
+        for (concat, counts) in out {
+            assert_eq!(counts, vec![1, 2, 3]);
+            assert_eq!(concat, vec![0.0, 10.0, 11.0, 20.0, 21.0, 22.0]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_bytes_roundtrip() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let payload = vec![ctx.rank() as u8; ctx.rank() + 1];
+            ctx.comm_mut().allgatherv_bytes(&payload).unwrap()
+        });
+        for per_rank in out {
+            assert_eq!(per_rank.len(), 4);
+            for (r, payload) in per_rank.iter().enumerate() {
+                assert_eq!(payload, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_data() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut buf = if ctx.rank() == 2 {
+                vec![7.0f32; 8]
+            } else {
+                vec![0.0f32; 8]
+            };
+            ctx.comm_mut().broadcast_f32(2, &mut buf).unwrap();
+            buf
+        });
+        for buf in out {
+            assert!(buf.iter().all(|&x| x == 7.0));
+        }
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let r = ctx.rank() as f64;
+            let sum = ctx.comm_mut().allreduce_sum_f64(r);
+            let max = ctx.comm_mut().allreduce_max_f64(r);
+            let min = ctx.comm_mut().allreduce_min_f64(r);
+            let not_two = ctx.rank() != 2;
+            let all = ctx.comm_mut().allreduce_and(not_two);
+            (sum, max, min, all)
+        });
+        for (sum, max, min, all) in out {
+            assert_eq!(sum, 6.0);
+            assert_eq!(max, 3.0);
+            assert_eq!(min, 0.0);
+            assert!(!all);
+        }
+    }
+
+    #[test]
+    fn allreduce_shape_mismatch_errors_on_all_ranks() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut v = vec![1.0f32; 4 + ctx.rank()];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).err()
+        });
+        assert!(out.iter().all(|e| e.is_some()));
+    }
+
+    #[test]
+    fn collectives_advance_simulated_clock_equally() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            // Skew the arrival times: slower ranks arrive later.
+            let skew = ctx.rank() as f64 * 0.25;
+            ctx.comm_mut().clock_mut().charge_compute_seconds(skew);
+            let mut v = vec![0.0f32; 1024];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap();
+            ctx.comm().clock().now_s()
+        });
+        // Synchronous collective: everyone leaves at the same simulated time.
+        for t in &out {
+            assert!((t - out[0]).abs() < 1e-12, "clocks diverged: {out:?}");
+        }
+        assert!(out[0] > 0.75, "must include the slowest arrival");
+    }
+
+    #[test]
+    fn idle_time_attributed_to_fast_ranks() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.comm_mut().clock_mut().charge_compute_seconds(1.0);
+            }
+            ctx.comm_mut().barrier();
+            ctx.comm().clock().breakdown()
+        });
+        assert!(out[0].idle_s > 0.9, "rank 0 should have idled: {:?}", out[0]);
+        assert!(out[1].idle_s < 1e-9, "rank 1 never waits: {:?}", out[1]);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut v = vec![1.0f32; 100];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap();
+            ctx.comm_mut().allgatherv_f32(&v).unwrap();
+            ctx.comm().traffic().report()
+        });
+        let rep = &out[0];
+        assert_eq!(rep.ops(Collective::AllReduce), 1);
+        assert_eq!(rep.ops(Collective::AllGatherV), 1);
+        assert_eq!(rep.bytes_sent(Collective::AllReduce), 400);
+        // allgather receives both ranks' 400-byte payloads.
+        assert_eq!(rep.bytes_recv(Collective::AllGatherV), 800);
+    }
+
+    #[test]
+    fn broadcast_invalid_root_errors() {
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut v = vec![0.0f32; 4];
+            ctx.comm_mut().broadcast_f32(5, &mut v).err()
+        });
+        assert_eq!(
+            out[0],
+            Some(SimError::InvalidRank { rank: 5, size: 1 })
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_summed_chunk() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let v: Vec<f32> = (0..8).map(|i| (i + ctx.rank() * 10) as f32).collect();
+            ctx.comm_mut().reduce_scatter_f32(&v).unwrap()
+        });
+        // Sum across ranks of element i = 4*i + (0+10+20+30) = 4i + 60.
+        for (rank, chunk) in out.iter().enumerate() {
+            assert_eq!(chunk.len(), 2);
+            for (j, &x) in chunk.iter().enumerate() {
+                let i = rank * 2 + j;
+                assert_eq!(x, (4 * i + 60) as f32, "rank {rank} elem {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_single_rank_is_identity() {
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| ctx.comm_mut().reduce_scatter_f32(&[1.0, 2.0]).unwrap());
+        assert_eq!(out[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn gatherv_root_receives_everything_others_nothing() {
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mine = vec![ctx.rank() as f32; ctx.rank() + 1];
+            ctx.comm_mut().gatherv_to_root(1, &mine).unwrap()
+        });
+        assert!(out[0].is_empty());
+        assert!(out[2].is_empty());
+        assert_eq!(out[1], vec![vec![0.0], vec![1.0, 1.0], vec![2.0, 2.0, 2.0]]);
+    }
+
+    #[test]
+    fn gatherv_invalid_root_errors() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| ctx.comm_mut().gatherv_to_root(7, &[1.0]).err());
+        assert!(out.iter().all(|e| e.is_some()));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for collective operations.
+
+use std::fmt;
+
+/// Errors raised by the simulated communication layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Participants presented buffers of different lengths to an operation
+    /// that requires congruent shapes (e.g. all-reduce).
+    ShapeMismatch {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+        rank: usize,
+    },
+    /// A rank outside `0..size` was referenced.
+    InvalidRank { rank: usize, size: usize },
+    /// A peer thread panicked or exited mid-collective.
+    PeerFailure { detail: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ShapeMismatch {
+                op,
+                expected,
+                got,
+                rank,
+            } => write!(
+                f,
+                "{op}: buffer length mismatch (rank {rank} presented {got}, expected {expected})"
+            ),
+            SimError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            SimError::PeerFailure { detail } => write!(f, "peer failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::ShapeMismatch {
+            op: "allreduce",
+            expected: 8,
+            got: 4,
+            rank: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("allreduce") && s.contains("rank 2"));
+
+        let e = SimError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-rank accounting of communication traffic.
+
+use crate::cost::Collective;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mutable per-rank traffic counters, updated by the communicator.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    entries: BTreeMap<Collective, Counter>,
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Counter {
+    ops: u64,
+    bytes_sent: u64,
+    bytes_recv: u64,
+}
+
+impl TrafficStats {
+    /// Record one collective in which this rank contributed `sent` bytes
+    /// and received `recv` bytes.
+    pub fn record(&mut self, op: Collective, sent: usize, recv: usize) {
+        let c = self.entries.entry(op).or_default();
+        c.ops += 1;
+        c.bytes_sent += sent as u64;
+        c.bytes_recv += recv as u64;
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Reset all counters (e.g. at an epoch boundary).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Immutable snapshot of [`TrafficStats`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficReport {
+    entries: BTreeMap<Collective, Counter>,
+}
+
+impl TrafficReport {
+    /// Number of collectives of kind `op` this rank took part in.
+    pub fn ops(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.ops)
+    }
+
+    /// Bytes this rank contributed to collectives of kind `op`.
+    pub fn bytes_sent(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.bytes_sent)
+    }
+
+    /// Bytes this rank received from collectives of kind `op`.
+    pub fn bytes_recv(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.bytes_recv)
+    }
+
+    /// Total bytes moved (sent + received) over all collectives.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|c| c.bytes_sent + c.bytes_recv)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = TrafficStats::default();
+        t.record(Collective::AllReduce, 100, 100);
+        t.record(Collective::AllReduce, 50, 50);
+        t.record(Collective::AllGatherV, 10, 40);
+        let r = t.report();
+        assert_eq!(r.ops(Collective::AllReduce), 2);
+        assert_eq!(r.bytes_sent(Collective::AllReduce), 150);
+        assert_eq!(r.bytes_recv(Collective::AllGatherV), 40);
+        assert_eq!(r.total_bytes(), 150 + 150 + 10 + 40);
+    }
+
+    #[test]
+    fn unknown_ops_report_zero() {
+        let r = TrafficStats::default().report();
+        assert_eq!(r.ops(Collective::Broadcast), 0);
+        assert_eq!(r.total_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut t = TrafficStats::default();
+        t.record(Collective::Barrier, 0, 0);
+        t.reset();
+        assert_eq!(t.report().ops(Collective::Barrier), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Scaling study: how simulated training time, epoch time and epochs-to-
+//! convergence change with the node count — the paper's central trade-off
+//! (epoch time shrinks with p, but effective batch size grows, so more
+//! epochs are needed; Fig. 1).
+//!
+//! ```text
+//! cargo run --release --example distributed_speedup
+//! ```
+
+use kge::prelude::*;
+
+fn main() {
+    let dataset = kge::data::synth::generate(&SynthPreset::Fb250kLike.config(0.01, 5));
+    println!(
+        "dataset: {} — {} entities, {} relations, {} train triples\n",
+        dataset.name,
+        dataset.n_entities,
+        dataset.n_relations,
+        dataset.train.len()
+    );
+
+    println!(
+        "{:<28} {:>5} {:>9} {:>6} {:>12} {:>10}",
+        "method", "nodes", "TT(h)", "N", "epoch(s)", "speedup"
+    );
+    for (name, strategy) in [
+        ("baseline all-reduce", StrategyConfig::baseline_allreduce(1)),
+        ("combined DRS+RS+1b+RP+SS", StrategyConfig::combined(5)),
+    ] {
+        let mut tt1 = None;
+        for p in [1usize, 2, 4, 8, 16] {
+            let mut config = TrainConfig::new(16, 256, strategy);
+            config.plateau_tolerance = 4;
+            config.max_epochs = 40;
+            config.seed = 5;
+            let cluster = Cluster::new(p, ClusterSpec::cray_xc40());
+            let outcome = train(&dataset, &cluster, &config);
+            let tt = outcome.report.total_hours();
+            let base = *tt1.get_or_insert(tt);
+            println!(
+                "{:<28} {:>5} {:>9.3} {:>6} {:>12.2} {:>9.2}x",
+                name,
+                p,
+                tt,
+                outcome.report.epochs,
+                outcome.report.mean_epoch_seconds(),
+                base / tt
+            );
+        }
+        println!();
+    }
+    println!(
+        "note: times are simulated Cray-XC40 hours (α-β network model + \
+         calibrated compute rate), not host wall time."
+    );
+}

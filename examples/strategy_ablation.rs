@@ -1,0 +1,95 @@
+//! Ablation: add the paper's five strategies one at a time on a fixed
+//! cluster and watch simulated training time, epochs and MRR move —
+//! the per-strategy story of §4.
+//!
+//! ```text
+//! cargo run --release --example strategy_ablation
+//! ```
+
+use kge::compress::{QuantScheme, RowSelector};
+use kge::prelude::*;
+
+fn main() {
+    let dataset = kge::data::synth::generate(&SynthPreset::Fb15kLike.config(0.05, 3));
+    let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+    let filter = FilterIndex::build(&dataset);
+    let model = ComplEx::new(16);
+
+    // Cumulative strategy ladder.
+    let ag = StrategyConfig::baseline_allgather(10);
+    let rs = StrategyConfig {
+        row_select: RowSelector::paper_rs(),
+        ..ag
+    };
+    let rs_1bit = StrategyConfig {
+        quant: QuantScheme::paper_one_bit(),
+        error_feedback: false,
+        ..rs
+    };
+    let rs_1bit_rp = StrategyConfig {
+        relation_partition: true,
+        ..rs_1bit
+    };
+    let full = StrategyConfig {
+        neg: NegSampling::select(1, 10),
+        ..rs_1bit_rp
+    };
+    let ladder: Vec<(&str, StrategyConfig)> = vec![
+        ("allreduce baseline", StrategyConfig::baseline_allreduce(10)),
+        ("allgather baseline", ag),
+        ("+ RS", rs),
+        ("+ 1-bit quant", rs_1bit),
+        ("+ relation partition", rs_1bit_rp),
+        ("+ sample selection", full),
+    ];
+
+    println!(
+        "{:<22} {:>9} {:>6} {:>8} {:>8} {:>10}",
+        "configuration", "TT(h)", "N", "MRR", "TCA(%)", "MB sent"
+    );
+    for (name, strategy) in ladder {
+        let mut config = TrainConfig::new(16, 512, strategy);
+        config.plateau_tolerance = 5;
+        config.max_epochs = 60;
+        config.seed = 3;
+        let outcome = train(&dataset, &cluster, &config);
+        let ranking = evaluate_ranking(
+            &model,
+            &outcome.entities,
+            &outcome.relations,
+            &dataset.test,
+            &filter,
+            &RankingOptions {
+                max_queries: Some(300),
+                ..Default::default()
+            },
+        );
+        let tca = triple_classification(
+            &model,
+            &outcome.entities,
+            &outcome.relations,
+            &dataset.valid,
+            &dataset.test,
+            &filter,
+            dataset.n_entities,
+            dataset.n_relations,
+            3,
+        );
+        let mb_sent: f64 = outcome
+            .report
+            .trace
+            .iter()
+            .map(|t| t.bytes_sent as f64)
+            .sum::<f64>()
+            / 1e6;
+        println!(
+            "{:<22} {:>9.3} {:>6} {:>8.3} {:>8.1} {:>10.1}",
+            name,
+            outcome.report.total_hours(),
+            outcome.report.epochs,
+            ranking.mrr,
+            tca.accuracy_pct,
+            mb_sent
+        );
+    }
+}

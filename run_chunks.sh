@@ -1,0 +1,21 @@
+#!/bin/bash
+# Sequential experiment chunks + final artifacts.
+set -x
+cd /root/repo
+target/release/repro table4 fig5 --out results > repro_B.log 2>&1
+target/release/repro fig6 ablation ps --out results > repro_C.log 2>&1
+target/release/repro fig8 --out results > repro_D.log 2>&1
+target/release/repro fig9 --nodes 2,8,16 --out results > repro_F.log 2>&1
+echo ALL_CHUNKS_DONE
+# Smoke-run the examples (release binaries already built? build to be safe).
+cargo build --release --examples > examples_build.log 2>&1
+for ex in quickstart link_prediction strategy_ablation ps_vs_allreduce distributed_speedup; do
+  timeout 600 target/release/examples/$ex > example_$ex.log 2>&1
+  echo "example $ex exit=$?"
+done
+echo EXAMPLES_DONE
+cargo bench --workspace > bench_output.txt 2>&1
+echo BENCH_DONE
+cargo test --workspace > test_output.txt 2>&1
+echo TESTS_DONE
+echo PIPELINE_COMPLETE

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Render measured experiment tables into EXPERIMENTS.md.
+
+Reads results/results.jsonl (written by `repro`) and replaces each
+`<!-- ID -->` placeholder in EXPERIMENTS.md with a markdown table of the
+latest rows recorded for that experiment id.
+"""
+import json
+import re
+import sys
+from collections import OrderedDict
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results" / "results.jsonl"
+DOC = ROOT / "EXPERIMENTS.md"
+
+PLACEHOLDERS = {
+    "TABLE1": ["table1"],
+    "TABLE2": ["table2"],
+    "TABLE4": ["table4"],
+    "FIG2": ["fig2"],
+    "FIG3": ["fig3"],
+    "FIG4": ["fig4"],
+    "FIG5": ["fig5"],
+    "FIG6": ["fig6a", "fig6b"],
+    "FIG8": ["fig8"],
+    "FIG9": ["fig9"],
+    "ABLATION": ["ablation"],
+    "PS": ["ps"],
+}
+
+
+def load_rows():
+    rows = OrderedDict()  # (exp, method, nodes) -> record, last wins
+    if not RESULTS.exists():
+        sys.exit(f"no results at {RESULTS}; run the repro binary first")
+    with RESULTS.open() as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            r = json.loads(line)
+            rows[(r["experiment"], r["method"], r["nodes"])] = r
+    return rows
+
+
+def table_for(rows, experiments):
+    recs = [r for (exp, _, _), r in rows.items() if exp in experiments]
+    if not recs:
+        return "*(not yet measured — run `repro " + " ".join(experiments) + "`)*"
+    out = [
+        "| experiment | method | nodes | TT(sim s) | N | TCA(%) | MRR | epoch(sim s) | AR-frac |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in recs:
+        out.append(
+            "| {exp} | {m} | {p} | {tt:.2f} | {n} | {tca:.1f} | {mrr:.4f} | {es:.3f} | {arf:.2f} |".format(
+                exp=r["experiment"],
+                m=r["method"],
+                p=r["nodes"],
+                tt=r["tt_hours"] * 3600.0,
+                n=r["epochs"],
+                tca=r["tca"],
+                mrr=r["mrr"],
+                es=r["epoch_seconds"],
+                arf=r["allreduce_fraction"],
+            )
+        )
+    return "\n".join(out)
+
+
+def main():
+    rows = load_rows()
+    doc = DOC.read_text()
+    for tag, exps in PLACEHOLDERS.items():
+        pattern = re.compile(
+            r"<!-- " + tag + r" -->.*?(?=\n## |\Z)", re.S
+        )
+        replacement = "<!-- " + tag + " -->\n" + table_for(rows, exps) + "\n\n"
+        if f"<!-- {tag} -->" in doc:
+            doc = pattern.sub(lambda _: replacement, doc, count=1)
+    DOC.write_text(doc)
+    print("EXPERIMENTS.md updated from", RESULTS)
+
+
+if __name__ == "__main__":
+    main()

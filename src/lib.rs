@@ -1,0 +1,71 @@
+//! # kge — dynamic strategies for high-performance KGE training
+//!
+//! A from-scratch Rust reproduction of *"Dynamic Strategies for High
+//! Performance Training of Knowledge Graph Embeddings"* (Panda &
+//! Vadhiyar, ICPP '22): a synchronous data-parallel ComplEx trainer with
+//! five composable communication/convergence strategies, running on a
+//! simulated distributed-memory cluster so that cluster-scale behaviour
+//! reproduces on a laptop.
+//!
+//! This crate re-exports the public API of the workspace:
+//!
+//! - [`sim`] (crate `simgrid`) — the cluster substrate: node threads,
+//!   MPI-style collectives, α-β simulated timing.
+//! - [`core`] (crate `kge-core`) — ComplEx/DistMult/TransE models,
+//!   embedding tables, sparse gradients, Adam.
+//! - [`data`] (crate `kge-data`) — triple stores, Freebase-shaped
+//!   synthetic datasets, TSV io, batching.
+//! - [`compress`] (crate `kge-compress`) — gradient row selection and
+//!   1-/2-bit quantization with wire codecs and error feedback.
+//! - [`partition`] (crate `kge-partition`) — relation partition and
+//!   baselines.
+//! - [`eval`] (crate `kge-eval`) — filtered MRR, Hits@k, triple
+//!   classification accuracy.
+//! - [`train`] (crate `kge-train`) — the paper's trainer with all five
+//!   strategies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kge::prelude::*;
+//!
+//! // A small Freebase-shaped dataset.
+//! let dataset = kge::data::synth::generate(&SynthPreset::Fb15kLike.config(0.01, 42));
+//!
+//! // Four simulated Cray-class nodes.
+//! let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+//!
+//! // The paper's full strategy stack: DRS + RS + 1-bit + RP + SS(1:5).
+//! let mut config = TrainConfig::new(8, 64, StrategyConfig::combined(5));
+//! config.max_epochs = 3; // doc-test sized
+//! config.plateau_tolerance = 2;
+//!
+//! let outcome = kge::train::train(&dataset, &cluster, &config);
+//! assert!(outcome.report.epochs > 0);
+//! println!("simulated training time: {:.2} h", outcome.report.total_hours());
+//! ```
+
+pub use kge_compress as compress;
+pub use kge_core as core;
+pub use kge_data as data;
+pub use kge_eval as eval;
+pub use kge_partition as partition;
+pub use kge_train as train;
+pub use simgrid as sim;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use kge_compress::{QuantScheme, RowSelector, ScaleRule};
+    pub use kge_core::{ComplEx, DistMult, EmbeddingTable, KgeModel, RotatE, SimplE, TransE};
+    pub use kge_data::{Dataset, FilterIndex, SynthConfig, SynthPreset, Triple};
+    pub use kge_eval::{
+        evaluate_ranking, fast_valid_accuracy, triple_classification, RankingOptions,
+    };
+    pub use kge_train::{
+        train, train_ps, CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig,
+        TrainConfig,
+        TrainOutcome,
+        UpdateStyle,
+    };
+    pub use simgrid::{Cluster, ClusterSpec};
+}
