@@ -1,0 +1,57 @@
+//! One batch of the chunked-parallel gradient hot path
+//! (`kge_train::batch_gradients`) under worker pools of 1 and 4 threads.
+//! The chunk structure is fixed by `(seed, rank, epoch, batch, chunk)`, so
+//! both pools produce bit-identical gradients; this measures only the
+//! wall-clock cost of the batch. On a single-core host the 4-thread pool
+//! measures scheduling overhead, not speedup — read results accordingly.
+
+use bench::{fb15k_bench, BenchScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kge_data::FilterIndex;
+use kge_train::{batch_gradients, StrategyConfig, TrainConfig};
+use std::hint::black_box;
+
+fn bench_batch_grad(c: &mut Criterion) {
+    let scale = BenchScale::default();
+    let (ds, batch) = fb15k_bench(&scale);
+    let mut config = TrainConfig::new(32, batch, StrategyConfig::baseline_allreduce(2));
+    config.seed = scale.seed;
+    let model = config.model.build(config.rank);
+    let dim = model.storage_dim();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(config.seed);
+    let ent = kge_core::EmbeddingTable::xavier(ds.n_entities, dim, &mut rng);
+    let rel = kge_core::EmbeddingTable::xavier(ds.n_relations, dim, &mut rng);
+    let filter = FilterIndex::build(&ds);
+    let examples = (batch * (1 + config.strategy.neg.train)) as u64;
+
+    let mut g = c.benchmark_group("batch_grad");
+    g.throughput(Throughput::Elements(examples));
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("bench thread pool");
+        g.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    batch_gradients(
+                        model.as_ref(),
+                        black_box(&ent),
+                        black_box(&rel),
+                        &ds.train,
+                        0,
+                        &config,
+                        &filter,
+                        None,
+                        0,
+                        0,
+                    )
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_grad);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Smoke benchmark for the chunked-parallel batch gradient hot path.
+//!
+//! Runs `kge_train::batch_gradients` on a bench-scale FB15K-like dataset
+//! (batch 10 000 positives, dim 64) under per-node worker pools of 1 and
+//! 4 threads, verifies the gradients are bit-identical across thread
+//! counts, and writes `BENCH_batch.json` with triples/sec per pool size.
+//!
+//! The JSON includes `host_cores`: on a host with fewer cores than the
+//! pool size the extra threads time-slice one core, so the "speedup" is
+//! honest scheduling overhead, not parallel scaling. Usage:
+//!
+//! ```text
+//! bench_batch [OUTPUT_PATH]   # default ./BENCH_batch.json
+//! ```
+
+use bench::{fb15k_bench, BenchScale};
+use kge_core::{EmbeddingTable, SparseGrad};
+use kge_data::FilterIndex;
+use kge_train::{batch_gradients, StrategyConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const BATCHES: usize = 5;
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn grad_rows(g: &SparseGrad) -> Vec<(u32, Vec<f32>)> {
+    g.iter_sorted().map(|(r, v)| (r, v.to_vec())).collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Full-scale FB15K-like shape so the harness batch size is the
+    // paper's 10 000 positives.
+    let scale = BenchScale {
+        fb15k_scale: 1.0,
+        ..BenchScale::default()
+    };
+    let (ds, batch) = fb15k_bench(&scale);
+    let mut config = TrainConfig::new(32, batch, StrategyConfig::baseline_allreduce(2));
+    config.seed = scale.seed;
+    let model = config.model.build(config.rank);
+    let dim = model.storage_dim();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let ent = EmbeddingTable::xavier(ds.n_entities, dim, &mut rng);
+    let rel = EmbeddingTable::xavier(ds.n_relations, dim, &mut rng);
+    let filter = FilterIndex::build(&ds);
+    let examples_per_batch = batch * (1 + config.strategy.neg.train);
+
+    eprintln!(
+        "bench_batch: {} | batch {} positives (+{} neg each), dim {}, host cores {}",
+        ds.name, batch, config.strategy.neg.train, dim, host_cores
+    );
+
+    let mut results = Vec::new();
+    let mut reference: Option<(Vec<(u32, Vec<f32>)>, Vec<(u32, Vec<f32>)>)> = None;
+    let mut identical = true;
+
+    for &threads in &THREAD_COUNTS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("bench thread pool");
+
+        // Warm-up batch; also the determinism probe across pool sizes.
+        let (_, _, ent_g, rel_g) = pool.install(|| {
+            batch_gradients(model.as_ref(), &ent, &rel, &ds.train, 0, &config, &filter, None, 0, 0)
+        });
+        match &reference {
+            None => reference = Some((grad_rows(&ent_g), grad_rows(&rel_g))),
+            Some((re, rr)) => {
+                identical &= *re == grad_rows(&ent_g) && *rr == grad_rows(&rel_g);
+            }
+        }
+
+        let start = Instant::now();
+        for b in 0..BATCHES {
+            let out = pool.install(|| {
+                batch_gradients(
+                    model.as_ref(), &ent, &rel, &ds.train, b, &config, &filter, None, 0, 0,
+                )
+            });
+            std::hint::black_box(&out);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let triples_per_sec = (examples_per_batch * BATCHES) as f64 / secs;
+        eprintln!(
+            "  threads {}: {:.3} s / {} batches -> {:.0} triples/sec",
+            threads, secs, BATCHES, triples_per_sec
+        );
+        results.push((threads, secs / BATCHES as f64, triples_per_sec));
+    }
+
+    let speedup = results[1].2 / results[0].2;
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|&(threads, seconds_per_batch, triples_per_sec)| {
+            serde_json::json!({
+                "threads": threads,
+                "seconds_per_batch": seconds_per_batch,
+                "triples_per_sec": triples_per_sec,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "bench": "batch_grad",
+        "dataset": ds.name,
+        "batch_size": batch,
+        "negatives_per_positive": config.strategy.neg.train,
+        "dim": dim,
+        "batches_timed": BATCHES,
+        "host_cores": host_cores,
+        "results": rows,
+        "speedup_4_threads_over_1": speedup,
+        "gradients_bit_identical_across_pools": identical,
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_batch.json");
+    eprintln!(
+        "bench_batch: speedup(4/1) = {:.2} on {} host core(s); grads identical: {}; wrote {}",
+        speedup, host_cores, identical, out_path
+    );
+    assert!(identical, "gradients diverged across pool sizes");
+}

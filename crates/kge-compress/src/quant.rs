@@ -74,18 +74,35 @@ pub enum QuantizedRow {
 impl QuantizedRow {
     /// Reconstruct the dense row.
     pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Reconstruct the dense row into a caller-owned buffer, overwriting
+    /// it — the allocation-free counterpart of
+    /// [`QuantizedRow::dequantize`] for hot paths that reuse one scratch
+    /// row (error-feedback recording, decode/apply loops).
+    ///
+    /// # Panics
+    /// If `out.len()` differs from [`QuantizedRow::len`].
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "dequantize buffer size mismatch");
         match self {
-            QuantizedRow::Full(v) => v.clone(),
+            QuantizedRow::Full(v) => out.copy_from_slice(v),
             QuantizedRow::OneBit {
                 signs,
                 pos_scale,
                 neg_scale,
-            } => signs
-                .iter()
-                .map(|&s| if s { *pos_scale } else { -*neg_scale })
-                .collect(),
+            } => {
+                for (o, &s) in out.iter_mut().zip(signs) {
+                    *o = if s { *pos_scale } else { -*neg_scale };
+                }
+            }
             QuantizedRow::TwoBit { levels, scale } => {
-                levels.iter().map(|&l| l as f32 * scale).collect()
+                for (o, &l) in out.iter_mut().zip(levels) {
+                    *o = l as f32 * scale;
+                }
             }
         }
     }
@@ -355,6 +372,25 @@ mod tests {
             let expect: Vec<f32> = q.dequantize().iter().map(|x| x + 1.0).collect();
             assert_eq!(acc, expect);
         }
+    }
+
+    #[test]
+    fn dequantize_into_overwrites_and_matches_dequantize() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for scheme in [QuantScheme::None, QuantScheme::paper_one_bit(), QuantScheme::TwoBit] {
+            let q = quantize_row(scheme, &V, &mut rng);
+            let mut buf = vec![f32::NAN; V.len()]; // stale contents ignored
+            q.dequantize_into(&mut buf);
+            assert_eq!(buf, q.dequantize(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn dequantize_into_rejects_wrong_size() {
+        let q = QuantizedRow::Full(vec![1.0, 2.0]);
+        let mut buf = [0.0f32; 3];
+        q.dequantize_into(&mut buf);
     }
 
     #[test]

@@ -45,30 +45,30 @@ impl ResidualStore {
         }
     }
 
-    /// Record `original − transmitted` for each row of `original` that
-    /// appears in `transmitted_dequant` (rows dropped entirely store the
-    /// whole original value).
+    /// Record `original − transmitted` for each row of `original`. The
+    /// `transmitted` callback fills the provided scratch buffer with the
+    /// dequantized form of what was actually sent for `row` and returns
+    /// `true`, or returns `false` for rows dropped entirely (which then
+    /// store the whole original value). The buffer is caller-reused across
+    /// rows, so recording allocates nothing per row.
     pub fn record_error(
         &mut self,
         original: &SparseGrad,
-        transmitted: impl Fn(u32) -> Option<Vec<f32>>,
+        mut transmitted: impl FnMut(u32, &mut [f32]) -> bool,
     ) {
+        let mut sent = vec![0.0f32; original.dim()];
         for (row, orig) in original.iter_sorted() {
             let entry = self
                 .rows
                 .entry(row)
                 .or_insert_with(|| vec![0.0; orig.len()]);
-            match transmitted(row) {
-                Some(sent) => {
-                    debug_assert_eq!(sent.len(), orig.len());
-                    for ((e, &o), s) in entry.iter_mut().zip(orig).zip(sent) {
-                        *e += o - s;
-                    }
+            if transmitted(row, &mut sent) {
+                for ((e, &o), &s) in entry.iter_mut().zip(orig).zip(sent.iter()) {
+                    *e += o - s;
                 }
-                None => {
-                    for (e, &o) in entry.iter_mut().zip(orig) {
-                        *e += o;
-                    }
+            } else {
+                for (e, &o) in entry.iter_mut().zip(orig) {
+                    *e += o;
                 }
             }
         }
@@ -100,11 +100,12 @@ mod tests {
         // Pretend we transmitted a crude sign approximation of row 0 and
         // dropped row 5 entirely.
         let sent_row0 = vec![1.0f32, -1.0];
-        store.record_error(&original, |row| {
+        store.record_error(&original, |row, buf| {
             if row == 0 {
-                Some(vec![1.0, -1.0])
+                buf.copy_from_slice(&[1.0, -1.0]);
+                true
             } else {
-                None
+                false
             }
         });
         let res0 = store.rows.get(&0).unwrap().clone();
@@ -119,7 +120,7 @@ mod tests {
     fn add_into_consumes_matching_rows_only() {
         let original = grad_with(&[(1, [1.0, 1.0]), (2, [2.0, 2.0])]);
         let mut store = ResidualStore::new();
-        store.record_error(&original, |_| None); // everything dropped
+        store.record_error(&original, |_, _| false); // everything dropped
         assert_eq!(store.len(), 2);
 
         let mut next = grad_with(&[(1, [0.5, 0.5])]);
@@ -139,15 +140,15 @@ mod tests {
     fn errors_accumulate_across_rounds() {
         let mut store = ResidualStore::new();
         let g = grad_with(&[(7, [0.2, 0.0])]);
-        store.record_error(&g, |_| None);
-        store.record_error(&g, |_| None);
+        store.record_error(&g, |_, _| false);
+        store.record_error(&g, |_, _| false);
         assert_eq!(store.rows.get(&7).unwrap(), &vec![0.4, 0.0]);
     }
 
     #[test]
     fn clear_empties_store() {
         let mut store = ResidualStore::new();
-        store.record_error(&grad_with(&[(0, [1.0, 1.0])]), |_| None);
+        store.record_error(&grad_with(&[(0, [1.0, 1.0])]), |_, _| false);
         store.clear();
         assert!(store.is_empty());
     }

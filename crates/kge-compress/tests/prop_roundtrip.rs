@@ -106,7 +106,13 @@ proptest! {
             })
             .collect();
         let mut store = ResidualStore::new();
-        store.record_error(&grad, |row| sent.get(&row).cloned());
+        store.record_error(&grad, |row, buf| match sent.get(&row) {
+            Some(v) => {
+                buf.copy_from_slice(v);
+                true
+            }
+            None => false,
+        });
 
         // Drain residuals back and check conservation.
         let mut drained = SparseGrad::new(6);

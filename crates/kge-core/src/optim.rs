@@ -11,6 +11,20 @@
 
 use crate::grad::SparseGrad;
 use crate::matrix::EmbeddingTable;
+use rayon::par_for_each_index;
+
+/// Raw-pointer wrapper letting a parallel region hand each worker its own
+/// disjoint region of a buffer. Soundness: every use below partitions the
+/// underlying storage into non-overlapping pieces — unique row ids (rows
+/// from [`SparseGrad::iter_sorted`] are distinct) or disjoint element
+/// ranges — and each piece is written by exactly one claimed index.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Elements per work item in parallel dense steps. The update rule is
+/// applied element-by-element in index order inside each chunk, so the
+/// result is bit-identical to the sequential loop for any thread count.
+const DENSE_CHUNK: usize = 8192;
 
 /// Adam hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,15 +97,28 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(state.t as i32);
         let bc2 = 1.0 - self.beta2.powi(state.t as i32);
         let lr = self.lr * lr_scale;
-        let params = table.as_mut_slice();
-        for i in 0..grad.len() {
-            let g = grad[i];
-            state.m[i] = self.beta1 * state.m[i] + (1.0 - self.beta1) * g;
-            state.v[i] = self.beta2 * state.v[i] + (1.0 - self.beta2) * g * g;
-            let mhat = state.m[i] / bc1;
-            let vhat = state.v[i] / bc2;
-            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
-        }
+        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        let n = grad.len();
+        let m = SendPtr(state.m.as_mut_ptr());
+        let v = SendPtr(state.v.as_mut_ptr());
+        let p = SendPtr(table.as_mut_slice().as_mut_ptr());
+        let (m, v, p) = (&m, &v, &p);
+        par_for_each_index(n.div_ceil(DENSE_CHUNK), move |c| {
+            let start = c * DENSE_CHUNK;
+            let end = (start + DENSE_CHUNK).min(n);
+            for i in start..end {
+                let g = grad[i];
+                unsafe {
+                    let mi = &mut *m.0.add(i);
+                    let vi = &mut *v.0.add(i);
+                    *mi = beta1 * *mi + (1.0 - beta1) * g;
+                    *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                    let mhat = *mi / bc1;
+                    let vhat = *vi / bc2;
+                    *p.0.add(i) -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        });
     }
 
     /// Lazy step: update only the rows present in `grad`, with per-row bias
@@ -107,25 +134,38 @@ impl Adam {
         assert_eq!(grad.dim(), table.dim());
         let dim = table.dim();
         let lr = self.lr * lr_scale;
-        for (row, g) in grad.iter_sorted() {
-            let r = row as usize;
-            assert!(r < table.rows(), "gradient row {r} out of range");
-            state.row_t[r] += 1;
-            let t = state.row_t[r];
-            let bc1 = 1.0 - self.beta1.powi(t as i32);
-            let bc2 = 1.0 - self.beta2.powi(t as i32);
-            let ms = &mut state.m[r * dim..(r + 1) * dim];
-            let vs = &mut state.v[r * dim..(r + 1) * dim];
-            let ps = table.row_mut(r);
-            for k in 0..dim {
-                let gv = g[k];
-                ms[k] = self.beta1 * ms[k] + (1.0 - self.beta1) * gv;
-                vs[k] = self.beta2 * vs[k] + (1.0 - self.beta2) * gv * gv;
-                let mhat = ms[k] / bc1;
-                let vhat = vs[k] / bc2;
-                ps[k] -= lr * mhat / (vhat.sqrt() + self.eps);
-            }
+        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        let rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
+        for &(row, _) in &rows {
+            assert!((row as usize) < table.rows(), "gradient row {row} out of range");
         }
+        let m = SendPtr(state.m.as_mut_ptr());
+        let v = SendPtr(state.v.as_mut_ptr());
+        let t = SendPtr(state.row_t.as_mut_ptr());
+        let p = SendPtr(table.as_mut_slice().as_mut_ptr());
+        let (m, v, t, p) = (&m, &v, &t, &p);
+        let rows = &rows;
+        par_for_each_index(rows.len(), move |i| {
+            let (row, g) = rows[i];
+            let r = row as usize;
+            unsafe {
+                let rt = &mut *t.0.add(r);
+                *rt += 1;
+                let bc1 = 1.0 - beta1.powi(*rt as i32);
+                let bc2 = 1.0 - beta2.powi(*rt as i32);
+                let ms = std::slice::from_raw_parts_mut(m.0.add(r * dim), dim);
+                let vs = std::slice::from_raw_parts_mut(v.0.add(r * dim), dim);
+                let ps = std::slice::from_raw_parts_mut(p.0.add(r * dim), dim);
+                for k in 0..dim {
+                    let gv = g[k];
+                    ms[k] = beta1 * ms[k] + (1.0 - beta1) * gv;
+                    vs[k] = beta2 * vs[k] + (1.0 - beta2) * gv * gv;
+                    let mhat = ms[k] / bc1;
+                    let vhat = vs[k] / bc2;
+                    ps[k] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        });
     }
 }
 
@@ -178,17 +218,28 @@ impl Adagrad {
         assert_eq!(grad.dim(), table.dim());
         let dim = table.dim();
         let lr = self.lr * lr_scale;
-        for (row, g) in grad.iter_sorted() {
-            let r = row as usize;
-            assert!(r < table.rows(), "gradient row {r} out of range");
-            let acc = &mut state.accum[r * dim..(r + 1) * dim];
-            let ps = table.row_mut(r);
-            for k in 0..dim {
-                let gv = g[k];
-                acc[k] += gv * gv;
-                ps[k] -= lr * gv / (acc[k].sqrt() + self.eps);
-            }
+        let eps = self.eps;
+        let rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
+        for &(row, _) in &rows {
+            assert!((row as usize) < table.rows(), "gradient row {row} out of range");
         }
+        let a = SendPtr(state.accum.as_mut_ptr());
+        let p = SendPtr(table.as_mut_slice().as_mut_ptr());
+        let (a, p) = (&a, &p);
+        let rows = &rows;
+        par_for_each_index(rows.len(), move |i| {
+            let (row, g) = rows[i];
+            let r = row as usize;
+            unsafe {
+                let acc = std::slice::from_raw_parts_mut(a.0.add(r * dim), dim);
+                let ps = std::slice::from_raw_parts_mut(p.0.add(r * dim), dim);
+                for k in 0..dim {
+                    let gv = g[k];
+                    acc[k] += gv * gv;
+                    ps[k] -= lr * gv / (acc[k].sqrt() + eps);
+                }
+            }
+        });
     }
 
     /// Dense step over the full table.
@@ -201,12 +252,23 @@ impl Adagrad {
     ) {
         assert_eq!(grad.len(), table.as_slice().len());
         let lr = self.lr * lr_scale;
-        let params = table.as_mut_slice();
-        for i in 0..grad.len() {
-            let gv = grad[i];
-            state.accum[i] += gv * gv;
-            params[i] -= lr * gv / (state.accum[i].sqrt() + self.eps);
-        }
+        let eps = self.eps;
+        let n = grad.len();
+        let a = SendPtr(state.accum.as_mut_ptr());
+        let p = SendPtr(table.as_mut_slice().as_mut_ptr());
+        let (a, p) = (&a, &p);
+        par_for_each_index(n.div_ceil(DENSE_CHUNK), move |c| {
+            let start = c * DENSE_CHUNK;
+            let end = (start + DENSE_CHUNK).min(n);
+            for i in start..end {
+                let gv = grad[i];
+                unsafe {
+                    let acc = &mut *a.0.add(i);
+                    *acc += gv * gv;
+                    *p.0.add(i) -= lr * gv / (acc.sqrt() + eps);
+                }
+            }
+        });
     }
 }
 
@@ -462,6 +524,52 @@ mod tests {
             let step = (before - table.as_slice()[0]).abs();
             assert!(step < prev);
             prev = step;
+        }
+    }
+
+    #[test]
+    fn parallel_steps_bit_identical_across_thread_counts() {
+        // The parallel fan-out partitions work by row/chunk but applies the
+        // exact sequential per-element update, so results must match bit
+        // for bit at any pool width.
+        let mut g = SparseGrad::new(4);
+        for (i, row) in [3u32, 0, 7, 5, 1].into_iter().enumerate() {
+            let base = (i as f32 + 1.0) * 0.37;
+            g.row_mut(row)
+                .copy_from_slice(&[base, -base * 0.5, base * base, 1.0 / base]);
+        }
+        let dense = g.to_dense(8);
+
+        let run = |threads: usize| -> Vec<f32> {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut out = Vec::new();
+                let adam = Adam::default();
+                let mut t = EmbeddingTable::zeros(8, 4);
+                let mut s = AdamState::new(8, 4);
+                for _ in 0..3 {
+                    adam.step_lazy(&mut s, &mut t, &g, 1.0);
+                    adam.step_dense(&mut s, &mut t, &dense, 1.0);
+                }
+                out.extend_from_slice(t.as_slice());
+                let ada = Adagrad::default();
+                let mut t = EmbeddingTable::zeros(8, 4);
+                let mut s = AdagradState::new(8, 4);
+                for _ in 0..3 {
+                    ada.step_lazy(&mut s, &mut t, &g, 1.0);
+                    ada.step_dense(&mut s, &mut t, &dense, 1.0);
+                }
+                out.extend_from_slice(t.as_slice());
+                out
+            })
+        };
+
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(seq, run(threads), "threads={threads}");
         }
     }
 

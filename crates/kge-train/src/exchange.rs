@@ -18,7 +18,11 @@ use kge_compress::quant::{quantize_row, QuantScheme};
 use kge_compress::{ResidualStore, WireFormat};
 use kge_core::SparseGrad;
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use simgrid::{Communicator, SimError};
+
+use crate::splitmix64;
 
 /// Aggregated gradient, shaped by the path that produced it.
 #[derive(Debug, Clone)]
@@ -96,34 +100,66 @@ pub fn exchange_allgather(
     rng: &mut StdRng,
 ) -> Result<(SparseGrad, ExchangeStats), SimError> {
     let format = wire_format(scheme);
-    // Quantize + encode local rows (sorted order: deterministic).
-    let mut payload_rows: Vec<RowPayload> = Vec::with_capacity(grad.nnz());
-    for (row, g) in grad.iter_sorted() {
-        payload_rows.push(RowPayload {
-            row,
-            data: quantize_row(scheme, g, rng),
-        });
-    }
+    // Quantize local rows in parallel (sorted order: deterministic).
+    // Only the stochastic 2-bit scheme consumes randomness; it draws one
+    // base value from the node stream and derives an independent per-row
+    // stream from it, so the result is identical at any thread count and
+    // the caller's RNG trajectory no longer depends on the row count.
+    let local_rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
+    let base: u64 = if matches!(scheme, QuantScheme::TwoBit) {
+        rng.gen()
+    } else {
+        0
+    };
+    let payload_rows: Vec<RowPayload> = local_rows
+        .par_iter()
+        .map(|&(row, g)| {
+            let mut row_rng = StdRng::seed_from_u64(base ^ splitmix64(row as u64 + 1));
+            RowPayload {
+                row,
+                data: quantize_row(scheme, g, &mut row_rng),
+            }
+        })
+        .collect();
     if let Some(store) = residuals {
         if !matches!(scheme, QuantScheme::None) {
-            let sent: std::collections::HashMap<u32, Vec<f32>> = payload_rows
-                .iter()
-                .map(|rp| (rp.row, rp.data.dequantize()))
-                .collect();
-            store.record_error(grad, |row| sent.get(&row).cloned());
+            // `payload_rows` is sorted by row (it came from `iter_sorted`),
+            // so each transmitted row is found by binary search and
+            // dequantized straight into the store's scratch buffer — no
+            // per-row allocation.
+            store.record_error(grad, |row, buf| {
+                match payload_rows.binary_search_by_key(&row, |rp| rp.row) {
+                    Ok(i) => {
+                        payload_rows[i].data.dequantize_into(buf);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            });
         }
     }
     let bytes = encode_rows(format, dim, &payload_rows).expect("encode of freshly quantized rows");
     let bytes_sent = bytes.len();
-    let gathered = comm.allgatherv_bytes(&bytes)?;
+    let mut recv = Vec::new();
+    let counts = comm.allgatherv_bytes_into(&bytes, &mut recv)?;
 
-    // Decode every rank's payload and sum.
+    // Decode every rank's payload in parallel, then sum sequentially in
+    // rank order so overlapping rows accumulate deterministically.
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    offsets.push(0usize);
+    for &c in &counts {
+        offsets.push(offsets.last().unwrap() + c);
+    }
+    let recv = &recv;
+    let decoded: Vec<Vec<RowPayload>> = rayon::par_map_index(counts.len(), |r| {
+        let (rows, payload_dim) = decode_rows(&recv[offsets[r]..offsets[r + 1]])
+            .expect("peer payload encoded by the same code");
+        debug_assert_eq!(payload_dim, dim);
+        rows
+    });
     let mut agg = SparseGrad::new(dim);
     let mut rows_gathered = 0usize;
-    for payload in &gathered {
-        let (rows, payload_dim) =
-            decode_rows(payload).expect("peer payload encoded by the same code");
-        debug_assert_eq!(payload_dim, dim);
+    for rows in &decoded {
         rows_gathered += rows.len();
         for rp in rows {
             rp.data.add_into(agg.row_mut(rp.row));

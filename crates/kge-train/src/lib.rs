@@ -34,6 +34,19 @@ pub mod report;
 pub mod trainer;
 
 pub use comm_select::{CommChoice, DynamicCommSelector};
+
+/// SplitMix64 finalizer — the seed-derivation mixer used to give each
+/// gradient chunk / quantized row its own independent RNG stream from a
+/// handful of structural coordinates (seed, rank, epoch, batch, chunk).
+/// Sequential mixing of coordinates keeps derived streams deterministic
+/// and independent of thread count.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
 pub use config::{
     CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig, TrainConfig, UpdateStyle,
 };
@@ -41,4 +54,4 @@ pub use exchange::AggGrad;
 pub use lr::{LrDecision, PlateauSchedule};
 pub use ps::train_ps;
 pub use report::{EpochTrace, TrainOutcome, TrainReport};
-pub use trainer::train;
+pub use trainer::{batch_gradients, train};

@@ -14,6 +14,7 @@ use kge_core::{EmbeddingTable, KgeModel};
 use kge_data::{Dataset, FilterIndex, Triple};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Per-relation head-vs-tail corruption bias — the `bern` strategy of
 /// Wang et al. (2014), as implemented in OpenKE: corrupt the head with
@@ -148,10 +149,13 @@ pub fn sample_negatives(
             scored_discarded: 0,
         };
     }
-    // Score the pool; keep the `train` hardest (highest score).
+    // Score the pool in parallel; keep the `train` hardest (highest
+    // score). The parallel map preserves pool order and the sort is
+    // stable, so the kept set is identical to the sequential scoring
+    // loop at any thread count.
     let mut scored: Vec<(f32, Triple)> = pool
-        .into_iter()
-        .map(|t| {
+        .par_iter()
+        .map(|&t| {
             let s = model.score(
                 ent.row(t.head as usize),
                 rel.row(t.rel as usize),

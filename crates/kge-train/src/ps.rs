@@ -548,6 +548,10 @@ mod tests {
         let ds = tiny_dataset(3);
         let mut cfg = quick_config();
         cfg.max_epochs = 10;
+        // 64-sample validation is granular (steps of 1/64) and both runs
+        // are short; a larger probe keeps the comparison about the math,
+        // not sampling noise.
+        cfg.valid_samples = 256;
         let ps = train_ps(&ds, &Cluster::new(3, ClusterSpec::cray_xc40()), &cfg, 1);
         let ar = crate::trainer::train(
             &ds,

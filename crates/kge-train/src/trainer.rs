@@ -39,6 +39,12 @@ use simgrid::{Cluster, Collective, NodeCtx};
 /// statistic (f32 rows of well-fit triples underflow toward this).
 const ZERO_ROW_EPS: f32 = 1e-7;
 
+/// Positives per parallel gradient chunk. Fixed — never derived from the
+/// thread count — so the chunk structure, each chunk's RNG stream, and the
+/// f32 summation order of the chunk-ordered merge are identical no matter
+/// how many workers execute the chunks.
+const GRAD_CHUNK: usize = 256;
+
 /// Train on `dataset` with `config` across `cluster`. Returns rank 0's
 /// report and the final (assembled) model.
 pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> TrainOutcome {
@@ -54,18 +60,43 @@ pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> Trai
 }
 
 /// Per-batch working state that is reused across batches to keep the hot
-/// loop allocation-free.
+/// loop allocation-free. Per-example gradient buffers (`gh`/`gr`/`gt`)
+/// live inside each parallel gradient chunk, not here.
 struct Scratch {
     ent_grad: SparseGrad,
     rel_grad: SparseGrad,
-    gh: Vec<f32>,
-    gr: Vec<f32>,
-    gt: Vec<f32>,
     dense_ent: Vec<f32>,
     dense_rel: Vec<f32>,
 }
 
+/// Width of the per-node worker pool: an explicit `RAYON_NUM_THREADS`
+/// wins; otherwise each simulated node gets an equal share of the host's
+/// cores (floor 1), mirroring how ranks of a real job split a machine.
+fn node_pool_threads(nodes: usize) -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (cores / nodes.max(1)).max(1)
+}
+
 fn run_node(
+    ctx: &mut NodeCtx,
+    dataset: &Dataset,
+    config: &TrainConfig,
+) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(node_pool_threads(ctx.size()))
+        .build()
+        .expect("node thread pool");
+    pool.install(|| run_node_inner(ctx, dataset, config))
+}
+
+fn run_node_inner(
     ctx: &mut NodeCtx,
     dataset: &Dataset,
     config: &TrainConfig,
@@ -142,9 +173,6 @@ fn run_node(
     let mut scratch = Scratch {
         ent_grad: SparseGrad::new(dim),
         rel_grad: SparseGrad::new(dim),
-        gh: vec![0.0; dim],
-        gr: vec![0.0; dim],
-        gt: vec![0.0; dim],
         dense_ent: vec![0.0; dataset.n_entities * dim],
         dense_rel: vec![0.0; dataset.n_relations * dim],
     };
@@ -184,7 +212,7 @@ fn run_node(
 
         for b in 0..batches_per_epoch {
             let (loss, n_examples) = compute_batch_gradients(
-                model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), &mut rng,
+                model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), rank, epoch,
                 &mut scratch,
             );
             epoch_loss += loss;
@@ -390,8 +418,78 @@ fn run_node(
     (report, ent, rel)
 }
 
+/// One chunk's contribution to a batch: loss, example count, and
+/// chunk-local gradient accumulators.
+struct ChunkGrad {
+    loss: f64,
+    examples: usize,
+    ent: SparseGrad,
+    rel: SparseGrad,
+}
+
+/// RNG seed for one gradient chunk, derived from its structural
+/// coordinates by sequentially mixing each through splitmix64. Every
+/// `(seed, rank, epoch, batch, chunk)` tuple gets an independent stream
+/// regardless of which worker thread runs the chunk.
+fn chunk_seed(seed: u64, rank: usize, epoch: usize, batch_idx: usize, chunk_idx: usize) -> u64 {
+    let mut h = seed;
+    for w in [
+        rank as u64,
+        epoch as u64,
+        batch_idx as u64,
+        chunk_idx as u64,
+    ] {
+        h = crate::splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Score one example, form its scaled gradient (+L2), and accumulate it
+/// into the chunk's sparse accumulators.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_example(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    t: Triple,
+    y: f32,
+    inv_batch: f32,
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+    out: &mut ChunkGrad,
+) {
+    let (h, r, tt) = (t.head as usize, t.rel as usize, t.tail as usize);
+    let score = model.score(ent.row(h), rel.row(r), ent.row(tt));
+    out.loss += logistic_loss(y, score) as f64;
+    let coeff = logistic_loss_grad(y, score) * inv_batch;
+
+    gh.fill(0.0);
+    gr.fill(0.0);
+    gt.fill(0.0);
+    model.grad(ent.row(h), rel.row(r), ent.row(tt), coeff, gh, gr, gt);
+    // L2 regularization on the touched rows.
+    let reg = 2.0 * l2 * inv_batch;
+    axpy(reg, ent.row(h), gh);
+    axpy(reg, rel.row(r), gr);
+    axpy(reg, ent.row(tt), gt);
+
+    // Head and tail may be the same entity; accumulate sequentially.
+    axpy(1.0, gh, out.ent.row_mut(t.head));
+    axpy(1.0, gt, out.ent.row_mut(t.tail));
+    axpy(1.0, gr, out.rel.row_mut(t.rel));
+    out.examples += 1;
+}
+
 /// Accumulate one batch's gradients into `scratch.{ent,rel}_grad`
 /// (cleared first). Returns `(summed loss, trained examples)`.
+///
+/// The batch is split into fixed-size chunks of [`GRAD_CHUNK`] positives.
+/// Each chunk samples its negatives from its own seeded RNG stream (see
+/// [`chunk_seed`]) and accumulates into chunk-local [`SparseGrad`]s in
+/// parallel; chunks are then merged **in chunk order**, so the result is
+/// bit-identical at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn compute_batch_gradients(
     model: &dyn KgeModel,
@@ -402,7 +500,8 @@ fn compute_batch_gradients(
     config: &TrainConfig,
     filter: &FilterIndex,
     bias: Option<&CorruptionBias>,
-    rng: &mut StdRng,
+    rank: usize,
+    epoch: usize,
     scratch: &mut Scratch,
 ) -> (f64, usize) {
     scratch.ent_grad.clear();
@@ -412,62 +511,91 @@ fn compute_batch_gradients(
     }
     let bs = config.batch_size.min(shard.len());
     let start = batch_idx * config.batch_size;
+    let dim = ent.dim();
+    // Every positive trains against exactly `neg.train` negatives
+    // (`sample_negatives` keeps `train` out of `pool ≥ train`), so the
+    // batch normalizer is known before any chunk runs.
+    let inv_batch = 1.0f32 / (bs * (1 + config.strategy.neg.train)) as f32;
+    let n_chunks = bs.div_ceil(GRAD_CHUNK);
+
+    let chunks: Vec<ChunkGrad> = rayon::par_map_index(n_chunks, |c| {
+        let mut rng =
+            StdRng::seed_from_u64(chunk_seed(config.seed, rank, epoch, batch_idx, c));
+        let lo = c * GRAD_CHUNK;
+        let hi = (lo + GRAD_CHUNK).min(bs);
+        let mut out = ChunkGrad {
+            loss: 0.0,
+            examples: 0,
+            ent: SparseGrad::new(dim),
+            rel: SparseGrad::new(dim),
+        };
+        let mut gh = vec![0.0f32; dim];
+        let mut gr = vec![0.0f32; dim];
+        let mut gt = vec![0.0f32; dim];
+        for i in lo..hi {
+            let pos = shard[(start + i) % shard.len()];
+            accumulate_example(
+                model, ent, rel, pos, 1.0, inv_batch, config.l2, &mut gh, &mut gr, &mut gt,
+                &mut out,
+            );
+            let negs = sample_negatives(
+                config.strategy.neg,
+                pos,
+                model,
+                ent,
+                rel,
+                filter,
+                bias,
+                ent.rows(),
+                &mut rng,
+            );
+            for neg in negs.train {
+                accumulate_example(
+                    model, ent, rel, neg, -1.0, inv_batch, config.l2, &mut gh, &mut gr,
+                    &mut gt, &mut out,
+                );
+            }
+        }
+        out
+    });
+
     let mut loss_sum = 0.0f64;
     let mut examples = 0usize;
-
-    // First pass: collect examples (positive + selected negatives).
-    let mut batch_examples: Vec<(Triple, f32)> = Vec::with_capacity(bs * 2);
-    for i in 0..bs {
-        let pos = shard[(start + i) % shard.len()];
-        batch_examples.push((pos, 1.0));
-        let negs = sample_negatives(
-            config.strategy.neg,
-            pos,
-            model,
-            ent,
-            rel,
-            filter,
-            bias,
-            ent.rows(),
-            rng,
-        );
-        for neg in negs.train {
-            batch_examples.push((neg, -1.0));
-        }
-    }
-
-    let inv_batch = 1.0f32 / batch_examples.len() as f32;
-    for &(t, y) in &batch_examples {
-        let (h, r, tt) = (t.head as usize, t.rel as usize, t.tail as usize);
-        let score = model.score(ent.row(h), rel.row(r), ent.row(tt));
-        loss_sum += logistic_loss(y, score) as f64;
-        let coeff = logistic_loss_grad(y, score) * inv_batch;
-
-        scratch.gh.fill(0.0);
-        scratch.gr.fill(0.0);
-        scratch.gt.fill(0.0);
-        model.grad(
-            ent.row(h),
-            rel.row(r),
-            ent.row(tt),
-            coeff,
-            &mut scratch.gh,
-            &mut scratch.gr,
-            &mut scratch.gt,
-        );
-        // L2 regularization on the touched rows.
-        let reg = 2.0 * config.l2 * inv_batch;
-        axpy(reg, ent.row(h), &mut scratch.gh);
-        axpy(reg, rel.row(r), &mut scratch.gr);
-        axpy(reg, ent.row(tt), &mut scratch.gt);
-
-        // Head and tail may be the same entity; accumulate sequentially.
-        axpy(1.0, &scratch.gh, scratch.ent_grad.row_mut(t.head));
-        axpy(1.0, &scratch.gt, scratch.ent_grad.row_mut(t.tail));
-        axpy(1.0, &scratch.gr, scratch.rel_grad.row_mut(t.rel));
-        examples += 1;
+    for c in &chunks {
+        loss_sum += c.loss;
+        examples += c.examples;
+        scratch.ent_grad.merge(&c.ent);
+        scratch.rel_grad.merge(&c.rel);
     }
     (loss_sum, examples)
+}
+
+/// Public entry point for benches and tests: one batch's chunked-parallel
+/// gradient computation, returning `(loss, examples, ent_grad, rel_grad)`.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_gradients(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    shard: &[Triple],
+    batch_idx: usize,
+    config: &TrainConfig,
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    rank: usize,
+    epoch: usize,
+) -> (f64, usize, SparseGrad, SparseGrad) {
+    let dim = ent.dim();
+    let mut scratch = Scratch {
+        ent_grad: SparseGrad::new(dim),
+        rel_grad: SparseGrad::new(dim),
+        dense_ent: Vec::new(),
+        dense_rel: Vec::new(),
+    };
+    let (loss, examples) = compute_batch_gradients(
+        model, ent, rel, shard, batch_idx, config, filter, bias, rank, epoch, &mut scratch,
+    );
+    (loss, examples, scratch.ent_grad, scratch.rel_grad)
 }
 
 /// Apply the optimizer step for one table, honoring the update style, and
@@ -546,12 +674,15 @@ fn assemble_relations(ctx: &mut NodeCtx, rel: &mut EmbeddingTable, owned: &[u32]
         .collect();
     let payload =
         encode_rows(kge_compress::WireFormat::F32, dim, &rows).expect("encode relation rows");
-    let gathered = ctx
+    let mut recv = Vec::new();
+    let counts = ctx
         .comm_mut()
-        .allgatherv_bytes(&payload)
+        .allgatherv_bytes_into(&payload, &mut recv)
         .expect("relation assembly allgather");
-    for peer in gathered {
-        let (rows, _) = decode_rows(&peer).expect("peer relation payload");
+    let mut off = 0usize;
+    for c in counts {
+        let (rows, _) = decode_rows(&recv[off..off + c]).expect("peer relation payload");
+        off += c;
         for rp in rows {
             if let QuantizedRow::Full(v) = rp.data {
                 rel.row_mut(rp.row as usize).copy_from_slice(&v);

@@ -1,0 +1,67 @@
+//! Property test for the chunked gradient merge: accumulating per-example
+//! row contributions into fixed-size per-chunk `SparseGrad`s and merging
+//! the chunks in order must equal accumulating every example sequentially
+//! into one `SparseGrad` — exactly, when the values are representable
+//! without rounding (small integers), which makes f32 addition associative
+//! and lets the test assert bit equality rather than approximate equality.
+
+use kge_core::SparseGrad;
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+const CHUNK: usize = 7; // deliberately not a divisor of most lengths
+
+fn sequential(examples: &[(u32, (i8, i8, i8, i8))]) -> SparseGrad {
+    let mut g = SparseGrad::new(DIM);
+    for &(row, v) in examples {
+        let vals = [v.0, v.1, v.2, v.3];
+        for (d, &x) in g.row_mut(row).iter_mut().zip(vals.iter()) {
+            *d += x as f32;
+        }
+    }
+    g
+}
+
+fn chunked(examples: &[(u32, (i8, i8, i8, i8))]) -> SparseGrad {
+    let mut total = SparseGrad::new(DIM);
+    for chunk in examples.chunks(CHUNK) {
+        let part = sequential(chunk);
+        total.merge(&part);
+    }
+    total
+}
+
+fn as_sorted_vec(g: &SparseGrad) -> Vec<(u32, Vec<f32>)> {
+    g.iter_sorted().map(|(r, v)| (r, v.to_vec())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunked_merge_equals_sequential_accumulation(
+        examples in proptest::collection::vec(
+            (0u32..32, (-8i8..8, -8i8..8, -8i8..8, -8i8..8)),
+            0..60,
+        ),
+    ) {
+        let seq = sequential(&examples);
+        let chk = chunked(&examples);
+        prop_assert_eq!(as_sorted_vec(&seq), as_sorted_vec(&chk));
+    }
+
+    #[test]
+    fn merge_is_associative_over_chunk_boundaries(
+        examples in proptest::collection::vec(
+            (0u32..16, (-8i8..8, -8i8..8, -8i8..8, -8i8..8)),
+            1..40,
+        ),
+        split in 0usize..40,
+    ) {
+        // Any split point gives the same result as no split at all.
+        let split = split.min(examples.len());
+        let mut merged = sequential(&examples[..split]);
+        merged.merge(&sequential(&examples[split..]));
+        prop_assert_eq!(as_sorted_vec(&sequential(&examples)), as_sorted_vec(&merged));
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`: the macro/group/bencher surface the
+//! `bench` crate uses, timed with `std::time::Instant`. No statistics
+//! engine — each benchmark reports the mean wall time over a calibrated
+//! number of iterations, plus throughput when declared. Passing `--test`
+//! (as `cargo test` does for harness-less bench targets) runs every
+//! closure once without timing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark body: `b.iter(|| work())`.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_s = 0.0;
+            return;
+        }
+        // Warm up and estimate a single-iteration cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~200ms of measurement, within [5, 1000] iterations.
+        let iters = (Duration::from_millis(200).as_secs_f64() / once.as_secs_f64()) as u64;
+        let iters = iters.clamp(5, 1000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn format_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean_s: f64, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean_s > 0.0 => {
+            format!("  thrpt: {:.1} MiB/s", n as f64 / mean_s / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) if mean_s > 0.0 => {
+            format!("  thrpt: {:.0} elem/s", n as f64 / mean_s)
+        }
+        _ => String::new(),
+    };
+    println!("{full:<50} time: {:>12}/iter{rate}", format_duration(mean_s));
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        report(None, &id.id, b.mean_s, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, b.mean_s, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_s: 0.0,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.mean_s, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions under a single entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        // test_mode avoids timing loops inside the test suite.
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn macros_compile() {
+        criterion_group!(benches, sample_bench);
+        let mut c = Criterion { test_mode: true };
+        benches(&mut c);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(3.25e-3), "3.250 ms");
+        assert_eq!(format_duration(4.5e-6), "4.500 µs");
+        assert_eq!(format_duration(12e-9), "12.0 ns");
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `rayon`: real intra-process data parallelism with
+//! a deterministic, thread-count-independent result contract.
+//!
+//! The execution model is simpler than rayon's work-stealing deques —
+//! each parallel region spawns scoped `std` threads that claim item
+//! indices from a shared atomic counter — but the *output* contract is
+//! the one this repo's determinism tests rely on and is stronger than
+//! a naive port: results are always assembled **in item order**, so a
+//! `par_iter().map(f).collect()` is bit-identical to the sequential
+//! `iter().map(f).collect()` for any thread count, provided `f` itself
+//! is a pure function of the item.
+//!
+//! Thread-count resolution, in priority order:
+//! 1. the innermost [`ThreadPool::install`] scope on this thread,
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Nested parallel regions run sequentially on the worker that reaches
+//! them (matching rayon's no-oversubscription behaviour closely enough
+//! for a simulator whose outer loop is already threads-as-nodes).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside parallel workers so nested regions run sequentially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads a parallel region started here would use.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    if let Some(n) = INSTALLED.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f(i)` for every `i in 0..n`, fanning out across worker threads.
+/// Each index is claimed by exactly one worker; `f` must be safe to call
+/// concurrently for distinct indices.
+pub fn par_for_each_index<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Compute `f(i)` for every index in parallel and return the results in
+/// index order — the deterministic-collect primitive everything else in
+/// this shim is built on.
+pub fn par_map_index<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    use std::mem::MaybeUninit;
+
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    struct OutPtr<U>(*mut MaybeUninit<U>);
+    unsafe impl<U: Send> Sync for OutPtr<U> {}
+
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // Slots are written exactly once each (every index is claimed by one
+    // worker) before being reinterpreted as initialized below.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    let ptr = OutPtr(out.as_mut_ptr());
+    let ptr = &ptr;
+    par_for_each_index(n, move |i| {
+        let v = f(i);
+        unsafe {
+            ptr.0.add(i).write(MaybeUninit::new(v));
+        }
+    });
+    let mut out = std::mem::ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut U, n, out.capacity()) }
+}
+
+/// Thread-count handle mirroring `rayon::ThreadPool`. The shim does not
+/// keep threads alive between regions; the pool records the width that
+/// regions inside [`ThreadPool::install`] will use.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count governing parallel regions.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = INSTALLED.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Pool construction cannot fail in the shim; kept for API parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+pub mod prelude {
+    pub use crate::{ParallelSliceExt, ParallelSliceMutExt};
+}
+
+/// `par_iter`/`par_chunks` entry points on slices.
+pub trait ParallelSliceExt<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut` entry point on mutable slices.
+pub trait ParallelSliceMutExt<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMapIter<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let items = self.items;
+        par_for_each_index(items.len(), |i| f(&items[i]));
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        par_map_index(items.len(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+pub struct ParFlatMapIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, I, F> ParFlatMapIter<'a, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'a T) -> I + Sync,
+{
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        let items = self.items;
+        let f = &self.f;
+        let nested: Vec<Vec<I::Item>> =
+            par_map_index(items.len(), |i| f(&items[i]).into_iter().collect());
+        nested.into_iter().flatten().collect()
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a [T]) -> U + Sync,
+    {
+        ParChunksMap {
+            items: self.items,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a [T]) -> U + Sync> ParChunksMap<'a, T, F> {
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let n = self.items.len().div_ceil(self.chunk_size);
+        let f = &self.f;
+        let items = self.items;
+        let size = self.chunk_size;
+        par_map_index(n, |i| {
+            let start = i * size;
+            let end = (start + size).min(items.len());
+            f(&items[start..end])
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send + Sync> ParChunksMut<'_, T> {
+    /// Apply `f` to each chunk in parallel. Chunks are disjoint sub-slices
+    /// reconstructed from the base pointer, so handing each claimed index
+    /// its own `&mut [T]` is sound.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let len = self.items.len();
+        let size = self.chunk_size;
+        let n = len.div_ceil(size);
+        struct BasePtr<T>(*mut T);
+        unsafe impl<T: Send> Sync for BasePtr<T> {}
+        let base = BasePtr(self.items.as_mut_ptr());
+        let base = &base;
+        par_for_each_index(n, move |i| {
+            let start = i * size;
+            let end = (start + size).min(len);
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            f(chunk);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par: Vec<u64> = pool.install(|| items.par_iter().map(|&x| x * 3 + 1).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn flat_map_iter_matches_sequential() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq: Vec<usize> = items.iter().flat_map(|&x| [x, x + 10]).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let par: Vec<usize> =
+            pool.install(|| items.par_iter().flat_map_iter(|&x| [x, x + 10]).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element_once() {
+        let mut data = vec![1i64; 1003];
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_chunks_mut(17).for_each(|c| {
+                for x in c {
+                    *x += 41;
+                }
+            })
+        });
+        assert!(data.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn nested_regions_run_sequentially() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let nested_counts: Vec<usize> = pool.install(|| {
+            let items = [0usize; 8];
+            items.par_iter().map(|_| current_num_threads()).collect()
+        });
+        // Inside a worker, nested parallelism is sequential.
+        assert!(nested_counts.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn par_map_index_is_order_stable_under_threads() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool.install(|| par_map_index(100, |i| i * i));
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! Nothing in this workspace serializes derived types generically — the
+//! only JSON producer is `serde_json::json!`, which builds `Value`s by
+//! hand — so `#[derive(Serialize, Deserialize)]` just needs to parse.
+//! These derives accept the `#[serde(...)]` helper attribute and expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers on config/report types;
+//! actual JSON emission goes through `serde_json::json!` with hand-built
+//! values. The derives are re-exported no-ops from `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};

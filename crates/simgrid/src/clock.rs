@@ -40,7 +40,7 @@ impl SimClock {
         SimClock {
             now_s: 0.0,
             breakdown: TimeBreakdown::default(),
-            node_flops: spec.node_flops,
+            node_flops: spec.effective_flops(),
         }
     }
 
@@ -132,6 +132,19 @@ mod tests {
         c.charge_idle_until(1.0);
         assert_eq!(c.now_s(), 3.0);
         assert_eq!(c.breakdown().idle_s, 0.0);
+    }
+
+    #[test]
+    fn intra_node_speedup_scales_compute_charges() {
+        // A measured 4× parallel speedup makes the same flop count cost a
+        // quarter of the simulated compute time; the 1.0 default leaves
+        // every existing timing untouched.
+        let spec = ClusterSpec::cray_xc40().with_intra_node_speedup(4.0);
+        let mut c = SimClock::new(&spec);
+        c.charge_flops(2.0e9); // one second sequentially on the cray spec
+        assert!((c.breakdown().compute_s - 0.25).abs() < 1e-12);
+        assert_eq!(spec.effective_flops(), 8.0e9);
+        assert!((spec.compute_time(2.0e9) - 0.25).abs() < 1e-12);
     }
 
     #[test]

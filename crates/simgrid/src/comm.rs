@@ -224,11 +224,39 @@ impl Communicator {
 
     /// Variable-size all-gather of opaque byte payloads (used for
     /// quantized / bit-packed gradients). Returns per-rank payloads.
+    ///
+    /// Convenience wrapper over [`Communicator::allgatherv_bytes_into`];
+    /// hot paths should prefer the `_into` variant with a reused buffer,
+    /// which copies each peer's payload exactly once.
     pub fn allgatherv_bytes(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, SimError> {
+        let mut recv = Vec::new();
+        let counts = self.allgatherv_bytes_into(data, &mut recv)?;
+        let mut out = Vec::with_capacity(counts.len());
+        let mut off = 0usize;
+        for n in counts {
+            out.push(recv[off..off + n].to_vec());
+            off += n;
+        }
+        Ok(out)
+    }
+
+    /// Variable-size all-gather of opaque byte payloads into a caller-owned
+    /// flat buffer: `recv` is cleared and filled with every rank's payload
+    /// concatenated in rank order (one copy per peer, straight out of the
+    /// staging slot — no intermediate per-rank allocation). Returns the
+    /// per-rank byte counts; rank `r`'s payload is
+    /// `recv[offsets[r]..offsets[r] + counts[r]]`.
+    pub fn allgatherv_bytes_into(
+        &mut self,
+        data: &[u8],
+        recv: &mut Vec<u8>,
+    ) -> Result<Vec<usize>, SimError> {
+        recv.clear();
         if self.size() == 1 {
             self.traffic
                 .record(Collective::AllGatherV, data.len(), data.len());
-            return Ok(vec![data.to_vec()]);
+            recv.extend_from_slice(data);
+            return Ok(vec![data.len()]);
         }
         {
             let mut slot = self.world.byte_slots[self.rank].lock();
@@ -242,16 +270,14 @@ impl Communicator {
             per_rank_bytes.push(self.world.byte_slots[r].lock().len());
         }
         self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
-        let mut out = Vec::with_capacity(self.size());
-        let mut total = 0usize;
+        let total: usize = per_rank_bytes.iter().sum();
+        recv.reserve(total);
         for r in 0..self.size() {
-            let payload = self.world.byte_slots[r].lock().clone();
-            total += payload.len();
-            out.push(payload);
+            recv.extend_from_slice(&self.world.byte_slots[r].lock());
         }
         self.traffic.record(Collective::AllGatherV, data.len(), total);
         self.world.barrier.wait();
-        Ok(out)
+        Ok(per_rank_bytes)
     }
 
     /// Broadcast `buf` from `root` to every rank.
@@ -580,6 +606,41 @@ mod tests {
                 assert_eq!(payload, &vec![r as u8; r + 1]);
             }
         }
+    }
+
+    #[test]
+    fn allgatherv_bytes_into_matches_per_rank_api() {
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let payload = vec![ctx.rank() as u8 + 1; 2 * ctx.rank() + 1];
+            let mut flat = Vec::new();
+            let counts = ctx
+                .comm_mut()
+                .allgatherv_bytes_into(&payload, &mut flat)
+                .unwrap();
+            let nested = ctx.comm_mut().allgatherv_bytes(&payload).unwrap();
+            (flat, counts, nested)
+        });
+        for (flat, counts, nested) in out {
+            assert_eq!(counts, vec![1, 3, 5]);
+            let rebuilt: Vec<u8> = nested.concat();
+            assert_eq!(flat, rebuilt);
+        }
+    }
+
+    #[test]
+    fn allgatherv_bytes_into_single_rank() {
+        let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut flat = vec![9u8; 4]; // stale contents must be cleared
+            let counts = ctx
+                .comm_mut()
+                .allgatherv_bytes_into(&[1, 2, 3], &mut flat)
+                .unwrap();
+            (flat, counts)
+        });
+        assert_eq!(out[0].0, vec![1, 2, 3]);
+        assert_eq!(out[0].1, vec![3]);
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub struct ClusterSpec {
     /// Message-size threshold (bytes) below which latency-optimal
     /// (logarithmic) collective algorithms are preferred.
     pub small_message_bytes: usize,
+    /// Measured intra-node speedup of the parallel training hot path over
+    /// the sequential one (≥ 1). `node_flops` describes the sequential
+    /// implementation's effective rate; the multi-threaded batch kernel
+    /// raises the node's useful throughput to
+    /// `node_flops × intra_node_speedup`, which is what
+    /// [`ClusterSpec::effective_flops`] reports and the simulated clock
+    /// divides by. Kept as a *spec* parameter — never measured inside a
+    /// run — so simulated times stay bit-deterministic and independent of
+    /// the host's thread count. Bounded in practice by `cores_per_node`.
+    pub intra_node_speedup: f64,
 }
 
 impl ClusterSpec {
@@ -44,6 +54,7 @@ impl ClusterSpec {
             node_flops: 2.0e9,
             cores_per_node: 24,
             small_message_bytes: 8192,
+            intra_node_speedup: 1.0,
         }
     }
 
@@ -57,6 +68,7 @@ impl ClusterSpec {
             node_flops: 1.2e10,
             cores_per_node: 24,
             small_message_bytes: 65536,
+            intra_node_speedup: 1.0,
         }
     }
 
@@ -70,7 +82,26 @@ impl ClusterSpec {
             node_flops: 1.2e10,
             cores_per_node: 24,
             small_message_bytes: 8192,
+            intra_node_speedup: 1.0,
         }
+    }
+
+    /// Override the measured intra-node speedup (builder style), e.g.
+    /// from a `bench_smoke.sh` run on the target host.
+    pub fn with_intra_node_speedup(mut self, speedup: f64) -> Self {
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "intra-node speedup must be positive and finite"
+        );
+        self.intra_node_speedup = speedup;
+        self
+    }
+
+    /// Effective useful flop rate of one node once the intra-node
+    /// parallel speedup of the batch kernel is accounted for.
+    #[inline]
+    pub fn effective_flops(&self) -> f64 {
+        self.node_flops * self.intra_node_speedup
     }
 
     /// Seconds to transfer `bytes` point-to-point (α + m·β).
@@ -83,7 +114,7 @@ impl ClusterSpec {
     /// on one node.
     #[inline]
     pub fn compute_time(&self, flops: f64) -> f64 {
-        flops / self.node_flops
+        flops / self.effective_flops()
     }
 }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Smoke benchmark for the chunked-parallel batch gradient hot path.
+#
+# Builds and runs the `bench_batch` binary, which times one-batch gradient
+# computation (10 000 positives, dim 64, FB15K-like) under worker pools of
+# 1 and 4 threads, checks the gradients are bit-identical across pool
+# sizes, and writes triples/sec per pool to BENCH_batch.json. The JSON
+# records `host_cores`; on a single-core host the 4-thread figure measures
+# scheduling overhead, not parallel speedup.
+#
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_batch.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_batch.json}"
+cargo build --release -p bench --bin bench_batch
+./target/release/bench_batch "$OUT"
+echo "bench_smoke: wrote $OUT"

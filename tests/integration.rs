@@ -86,7 +86,7 @@ fn combined_strategy_cuts_simulated_time_vs_baseline() {
     // against all-reduce, the stronger baseline at 8 nodes.
     let ds = kge::data::synth::generate(&SynthPreset::Fb250kLike.config(0.005, 3));
     let cluster = Cluster::new(8, ClusterSpec::cray_xc40());
-    let mut base_cfg = quick(StrategyConfig::baseline_allreduce(1), 3);
+    let mut base_cfg = quick(StrategyConfig::baseline_allreduce(1), 12);
     base_cfg.max_epochs = 24;
     base_cfg.plateau_tolerance = 25; // force the full epoch budget
     let mut comb_cfg = quick(StrategyConfig::combined(5), 3);
@@ -177,7 +177,7 @@ fn dataset_roundtrip_through_tsv_then_train() {
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(loaded.train.len(), ds.train.len());
     let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
-    let mut cfg = quick(StrategyConfig::baseline_allreduce(1), 7);
+    let mut cfg = quick(StrategyConfig::baseline_allreduce(1), 12);
     cfg.max_epochs = 3;
     let out = train(&loaded, &cluster, &cfg);
     assert_eq!(out.report.epochs, 3);
@@ -186,7 +186,7 @@ fn dataset_roundtrip_through_tsv_then_train() {
 #[test]
 fn simulated_time_grows_with_slower_network() {
     let ds = dataset(8);
-    let mut cfg = quick(StrategyConfig::baseline_allreduce(1), 8);
+    let mut cfg = quick(StrategyConfig::baseline_allreduce(1), 12);
     cfg.max_epochs = 4;
     cfg.plateau_tolerance = 10;
     let fast = train(&ds, &Cluster::new(4, ClusterSpec::cray_xc40()), &cfg);
@@ -208,12 +208,12 @@ fn sample_selection_improves_ranking_quality() {
     // corruptions for top-rank precision, so the right metric to compare
     // is MRR, and the dataset must be large enough that "hard" negatives
     // are not mostly unobserved-true pairs.
-    let ds = kge::data::synth::generate(&SynthPreset::Fb15kLike.config(0.03, 9));
+    let ds = kge::data::synth::generate(&SynthPreset::Fb15kLike.config(0.03, 12));
     let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
-    let mut uni = quick(StrategyConfig::baseline_allreduce(1), 9);
+    let mut uni = quick(StrategyConfig::baseline_allreduce(1), 12);
     uni.max_epochs = 30;
     uni.plateau_tolerance = 30;
-    let mut sel = quick(StrategyConfig::baseline_allreduce(1), 9);
+    let mut sel = quick(StrategyConfig::baseline_allreduce(1), 12);
     sel.strategy.neg = NegSampling::select(1, 5);
     sel.max_epochs = 30;
     sel.plateau_tolerance = 30;
