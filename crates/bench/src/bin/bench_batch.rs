@@ -5,6 +5,12 @@
 //! 4 threads, verifies the gradients are bit-identical across thread
 //! counts, and writes `BENCH_batch.json` with triples/sec per pool size.
 //!
+//! It then runs a quick-scale end-to-end training pair — fault-free vs a
+//! seeded fault plan (straggler + mid-run rank crash) — and records both
+//! simulated-time profiles plus the recovery overhead under
+//! `fault_injection` in the same JSON, including a bit-reproducibility
+//! check of the faulted run.
+//!
 //! The JSON includes `host_cores`: on a host with fewer cores than the
 //! pool size the extra threads time-slice one core, so the "speedup" is
 //! honest scheduling overhead, not parallel scaling. Usage:
@@ -16,9 +22,10 @@
 use bench::{fb15k_bench, BenchScale};
 use kge_core::{EmbeddingTable, SparseGrad};
 use kge_data::FilterIndex;
-use kge_train::{batch_gradients, StrategyConfig, TrainConfig};
+use kge_train::{batch_gradients, train, StrategyConfig, TrainConfig, TrainOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use simgrid::{Cluster, ClusterSpec, FaultPlan, StragglerWindow};
 use std::time::Instant;
 
 const BATCHES: usize = 5;
@@ -26,6 +33,57 @@ const THREAD_COUNTS: [usize; 2] = [1, 4];
 
 fn grad_rows(g: &SparseGrad) -> Vec<(u32, Vec<f32>)> {
     g.iter_sorted().map(|(r, v)| (r, v.to_vec())).collect()
+}
+
+/// Nodes in the end-to-end fault-injection pair.
+const FAULT_NODES: usize = 4;
+
+/// Quick-scale end-to-end training run for the faulted/fault-free pair.
+fn fault_pair_run(plan: Option<FaultPlan>) -> TrainOutcome {
+    let s = BenchScale::quick();
+    let (ds, batch) = fb15k_bench(&s);
+    let mut config = TrainConfig::new(8, batch, StrategyConfig::baseline_allreduce(2));
+    config.max_epochs = 8;
+    config.plateau_tolerance = 3;
+    config.max_lr_drops = 1;
+    config.valid_samples = 128;
+    config.seed = s.seed;
+    config.base_lr = 5e-3;
+    let mut cluster = Cluster::new(FAULT_NODES, ClusterSpec::cray_xc40());
+    if let Some(plan) = plan {
+        cluster = cluster.with_fault_plan(plan);
+    }
+    train(&ds, &cluster, &config)
+}
+
+/// Straggler window early on, then a hard crash of rank 2 mid-run.
+fn fault_plan(fault_free_total_s: f64) -> FaultPlan {
+    FaultPlan::seeded(77)
+        .with_straggler(StragglerWindow {
+            rank: 1,
+            start_s: 0.0,
+            end_s: 0.2 * fault_free_total_s,
+            slowdown: 2.0,
+        })
+        .with_crash(2, 0.45 * fault_free_total_s)
+}
+
+fn run_profile(out: &TrainOutcome) -> serde_json::Value {
+    let r = &out.report;
+    serde_json::json!({
+        "sim_total_seconds": r.sim_total_seconds,
+        "epochs": r.epochs,
+        "compute_s": r.breakdown.compute_s,
+        "comm_s": r.breakdown.comm_s,
+        "idle_s": r.breakdown.idle_s,
+        "fault_s": r.breakdown.fault_s,
+        "retry_s": r.breakdown.retry_s,
+        "recoveries": r.recoveries,
+        "surviving_nodes": r.surviving_nodes,
+        "crashed_ranks": r.crashed_ranks.clone(),
+        "wire_bytes_sent": r.wire_bytes_sent,
+        "wire_bytes_recv": r.wire_bytes_recv,
+    })
 }
 
 fn main() {
@@ -95,6 +153,33 @@ fn main() {
         results.push((threads, secs / BATCHES as f64, triples_per_sec));
     }
 
+    // Faulted vs fault-free end-to-end pair on the simulated cluster.
+    // Both runs share one seed; the crash time is anchored to the
+    // fault-free run's simulated total so the pair stays comparable as
+    // the model or dataset evolves.
+    eprintln!("bench_batch: fault-injection pair ({FAULT_NODES} simulated nodes)");
+    let fault_free = fault_pair_run(None);
+    let total = fault_free.report.sim_total_seconds;
+    let faulted = fault_pair_run(Some(fault_plan(total)));
+    let faulted_again = fault_pair_run(Some(fault_plan(total)));
+    let fault_reproducible = faulted.entities.as_slice() == faulted_again.entities.as_slice()
+        && faulted.report.breakdown == faulted_again.report.breakdown
+        && faulted.report.sim_total_seconds.to_bits()
+            == faulted_again.report.sim_total_seconds.to_bits();
+    let fault_overhead = faulted.report.sim_total_seconds / total;
+    eprintln!(
+        "  fault-free {:.2} sim-s over {} epochs | faulted {:.2} sim-s over {} epochs \
+         (recoveries {}, crashed {:?}, overhead {:.2}x, reproducible {})",
+        total,
+        fault_free.report.epochs,
+        faulted.report.sim_total_seconds,
+        faulted.report.epochs,
+        faulted.report.recoveries,
+        faulted.report.crashed_ranks,
+        fault_overhead,
+        fault_reproducible,
+    );
+
     let speedup = results[1].2 / results[0].2;
     let rows: Vec<serde_json::Value> = results
         .iter()
@@ -117,6 +202,14 @@ fn main() {
         "results": rows,
         "speedup_4_threads_over_1": speedup,
         "gradients_bit_identical_across_pools": identical,
+        "fault_injection": serde_json::json!({
+            "nodes": FAULT_NODES,
+            "plan": "seed 77: rank-1 straggler (2x, first 20% of run), rank-2 crash at 45%",
+            "fault_free": run_profile(&fault_free),
+            "faulted": run_profile(&faulted),
+            "sim_time_overhead": fault_overhead,
+            "faulted_run_bit_reproducible": fault_reproducible,
+        }),
     });
     std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_batch.json");
     eprintln!(
@@ -124,4 +217,12 @@ fn main() {
         speedup, host_cores, identical, out_path
     );
     assert!(identical, "gradients diverged across pool sizes");
+    assert!(
+        fault_reproducible,
+        "faulted run diverged across invocations"
+    );
+    assert_eq!(
+        faulted.report.recoveries, 1,
+        "expected exactly one recovery in the faulted profile"
+    );
 }

@@ -48,6 +48,24 @@ pub fn uniform_partition(triples: &[Triple], p: usize) -> Partition {
     }
 }
 
+/// The trainer's partition choice in one place: [`relation_partition`]
+/// when the RP strategy is on, [`uniform_partition`] otherwise. Having a
+/// single entry point matters for fault recovery — after a rank crash the
+/// survivors re-partition at the new world size with exactly the same
+/// scheme they started with.
+pub fn partition_for(
+    triples: &[Triple],
+    n_relations: usize,
+    p: usize,
+    relation_disjoint: bool,
+) -> Partition {
+    if relation_disjoint {
+        relation_partition(triples, n_relations, p)
+    } else {
+        uniform_partition(triples, p)
+    }
+}
+
 /// The paper's relation partition (§4.4).
 ///
 /// 1. Sort triples by relation id.
@@ -228,6 +246,17 @@ mod tests {
             assert_eq!(part.shards.len(), 1);
             assert_eq!(part.shards[0].len(), 5);
         }
+    }
+
+    #[test]
+    fn partition_for_dispatches_on_disjointness() {
+        let triples = table3();
+        let rp = partition_for(&triples, 4, 2, true);
+        assert!(rp.relation_disjoint);
+        assert_eq!(rp.shards, relation_partition(&triples, 4, 2).shards);
+        let uni = partition_for(&triples, 4, 2, false);
+        assert!(!uni.relation_disjoint);
+        assert_eq!(uni.shards, uniform_partition(&triples, 2).shards);
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl DynamicCommSelector {
         self.state != State::Gather
     }
 
+    /// Forget the timing history and return to the all-reduce state.
+    /// Called after the communicator shrinks (a rank crashed): the epoch
+    /// times the selector compared were measured at the old world size, so
+    /// DRS re-times both collectives from scratch at the new one.
+    pub fn reset(&mut self) {
+        self.state = State::Reduce;
+        self.last_allreduce_time = None;
+    }
+
     /// Report the epoch that just finished and its (simulated) duration.
     pub fn observe_epoch(&mut self, epoch_time_s: f64) {
         self.epoch += 1;
@@ -140,6 +149,26 @@ mod tests {
         s.observe_epoch(1.0);
         // epoch counter is now 4 (multiple of 2) → probe
         assert_eq!(s.choice(), CommChoice::AllGather);
+    }
+
+    #[test]
+    fn reset_returns_to_allreduce_even_after_permanent_switch() {
+        let mut s = DynamicCommSelector::new(2);
+        s.observe_epoch(1.0);
+        s.observe_epoch(1.0); // → probe
+        s.observe_epoch(0.5); // probe faster → permanently all-gather
+        assert!(!s.still_dynamic());
+        s.reset();
+        assert_eq!(s.choice(), CommChoice::AllReduce);
+        assert!(s.still_dynamic());
+        // The stale all-reduce timing is gone: the next probe compares
+        // against a measurement taken after the reset. The epoch counter
+        // kept running (it's at 3), so one more all-reduce epoch lands on
+        // a multiple of `check_every` and triggers a probe.
+        s.observe_epoch(2.0);
+        assert_eq!(s.choice(), CommChoice::AllGather);
+        s.observe_epoch(3.0); // probe slower than post-reset AR → revert
+        assert_eq!(s.choice(), CommChoice::AllReduce);
     }
 
     #[test]

@@ -223,6 +223,12 @@ pub struct TrainConfig {
     pub strategy: StrategyConfig,
     /// Master seed (per-node streams derive from it).
     pub seed: u64,
+    /// When a rank crashes mid-run (fault injection), shrink the
+    /// communicator to the survivors, re-partition the triples, and keep
+    /// training at the reduced world size. When off, training stops at
+    /// the crashed epoch and reports what it has.
+    #[serde(default)]
+    pub recover_from_crashes: bool,
 }
 
 impl TrainConfig {
@@ -243,6 +249,7 @@ impl TrainConfig {
             valid_samples: 512,
             strategy,
             seed: 0,
+            recover_from_crashes: true,
         }
     }
 

@@ -64,9 +64,14 @@ pub fn train_ps(
     config.validate().expect("invalid training config");
     dataset.validate().expect("invalid dataset");
     let mut results = cluster.run(|ctx| run_ps_node(ctx, dataset, config, n_servers));
-    let (report, entities, relations) = results.swap_remove(0);
+    let wire_sent: u64 = results.iter().map(|r| r.3).sum();
+    let wire_recv: u64 = results.iter().map(|r| r.4).sum();
+    let (report, entities, relations, _, _) = results.swap_remove(0);
+    let mut report = report.expect("rank 0 returns the report");
+    report.wire_bytes_sent = wire_sent;
+    report.wire_bytes_recv = wire_recv;
     TrainOutcome {
-        report: report.expect("rank 0 returns the report"),
+        report,
         entities,
         relations,
     }
@@ -125,7 +130,7 @@ fn run_ps_node(
     dataset: &Dataset,
     config: &TrainConfig,
     n_servers: usize,
-) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable) {
+) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable, u64, u64) {
     let rank = ctx.rank();
     let p = ctx.size();
     let n_workers = p - n_servers;
@@ -376,11 +381,26 @@ fn run_ps_node(
             trace,
             allreduce_epochs: 0,
             allgather_epochs: 0,
+            // The PS path has no crash-recovery policy (fault tolerance
+            // lives in the collective trainer); wire totals are summed by
+            // train_ps across all ranks.
+            surviving_nodes: p,
+            recoveries: 0,
+            crashed_ranks: Vec::new(),
+            wire_bytes_sent: 0,
+            wire_bytes_recv: 0,
         })
     } else {
         None
     };
-    (report, ent, rel)
+    let traffic = ctx.comm().traffic().report();
+    (
+        report,
+        ent,
+        rel,
+        traffic.total_wire_sent(),
+        traffic.total_wire_recv(),
+    )
 }
 
 /// One server-side round: answer every worker's pull, then absorb every

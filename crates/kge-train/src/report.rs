@@ -49,6 +49,23 @@ pub struct TrainReport {
     /// Epochs run with each collective.
     pub allreduce_epochs: usize,
     pub allgather_epochs: usize,
+    /// Nodes still alive at the end of the run (== `nodes` unless a
+    /// fault plan crashed ranks mid-training).
+    #[serde(default)]
+    pub surviving_nodes: usize,
+    /// Communicator shrink + re-partition cycles performed.
+    #[serde(default)]
+    pub recoveries: usize,
+    /// Original rank ids that crashed, in crash order.
+    #[serde(default)]
+    pub crashed_ranks: Vec<usize>,
+    /// Wire-level bytes actually moved by collectives, summed over every
+    /// rank that participated (including crashed ranks' pre-crash
+    /// traffic). Sent equals received globally — see `simgrid::traffic`.
+    #[serde(default)]
+    pub wire_bytes_sent: u64,
+    #[serde(default)]
+    pub wire_bytes_recv: u64,
 }
 
 impl TrainReport {
@@ -120,6 +137,11 @@ mod tests {
             ],
             allreduce_epochs: 1,
             allgather_epochs: 1,
+            surviving_nodes: 4,
+            recoveries: 0,
+            crashed_ranks: vec![],
+            wire_bytes_sent: 4000,
+            wire_bytes_recv: 4000,
         };
         assert_eq!(r.total_hours(), 2.0);
         assert_eq!(r.mean_epoch_seconds(), 3600.0);
@@ -138,6 +160,11 @@ mod tests {
             trace: vec![],
             allreduce_epochs: 0,
             allgather_epochs: 0,
+            surviving_nodes: 1,
+            recoveries: 0,
+            crashed_ranks: vec![],
+            wire_bytes_sent: 0,
+            wire_bytes_recv: 0,
         };
         assert_eq!(r.mean_epoch_seconds(), 0.0);
         assert_eq!(r.allreduce_fraction(), 0.0);

@@ -27,13 +27,13 @@ use kge_compress::ResidualStore;
 use kge_core::loss::{logistic_loss, logistic_loss_grad};
 use kge_core::matrix::axpy;
 use kge_core::{EmbeddingTable, KgeModel, RowOptimizer, SparseGrad};
-use kge_data::batch::{uniform_shards, EpochShuffler};
+use kge_data::batch::EpochShuffler;
 use kge_data::{Dataset, FilterIndex, Triple};
 use kge_eval::fast_valid_accuracy;
-use kge_partition::relation_partition;
+use kge_partition::{partition_for, Partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simgrid::{Cluster, Collective, NodeCtx};
+use simgrid::{Cluster, Collective, NodeCtx, SimError};
 
 /// Threshold below which a gradient row counts as "zero" for the Fig. 2
 /// statistic (f32 rows of well-fit triples underflow toward this).
@@ -45,17 +45,31 @@ const ZERO_ROW_EPS: f32 = 1e-7;
 /// how many workers execute the chunks.
 const GRAD_CHUNK: usize = 256;
 
-/// Train on `dataset` with `config` across `cluster`. Returns rank 0's
-/// report and the final (assembled) model.
+/// Train on `dataset` with `config` across `cluster`. Returns the lead
+/// survivor's report and final (assembled) model. With a fault plan that
+/// crashes ranks, the reporting rank is whichever survivor holds rank 0
+/// after the final shrink; crashed ranks contribute only their wire
+/// traffic totals.
 pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> TrainOutcome {
     config.validate().expect("invalid training config");
     dataset.validate().expect("invalid dataset");
     let mut results = cluster.run(|ctx| run_node(ctx, dataset, config));
-    let (report, entities, relations) = results.swap_remove(0);
+    // Wire-level conservation is global: crashed ranks' pre-crash traffic
+    // counts, so sum before discarding the non-reporting nodes.
+    let wire_sent: u64 = results.iter().map(|r| r.wire_sent).sum();
+    let wire_recv: u64 = results.iter().map(|r| r.wire_recv).sum();
+    let lead = results
+        .iter()
+        .position(|r| r.report.is_some())
+        .expect("a surviving rank returns the report");
+    let lead = results.swap_remove(lead);
+    let mut report = lead.report.expect("position() found a report");
+    report.wire_bytes_sent = wire_sent;
+    report.wire_bytes_recv = wire_recv;
     TrainOutcome {
-        report: report.expect("rank 0 returns the report"),
-        entities,
-        relations,
+        report,
+        entities: lead.entities,
+        relations: lead.relations,
     }
 }
 
@@ -84,11 +98,17 @@ fn node_pool_threads(nodes: usize) -> usize {
     (cores / nodes.max(1)).max(1)
 }
 
-fn run_node(
-    ctx: &mut NodeCtx,
-    dataset: &Dataset,
-    config: &TrainConfig,
-) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable) {
+/// What one node hands back to [`train`]: the report (lead survivor
+/// only), its final model replica, and its wire-level traffic totals.
+struct NodeResult {
+    report: Option<TrainReport>,
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    wire_sent: u64,
+    wire_recv: u64,
+}
+
+fn run_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeResult {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(node_pool_threads(ctx.size()))
         .build()
@@ -96,39 +116,49 @@ fn run_node(
     pool.install(|| run_node_inner(ctx, dataset, config))
 }
 
-fn run_node_inner(
-    ctx: &mut NodeCtx,
+/// Recompute everything that depends on the world size: the partition,
+/// this node's shard, the relations it owns under RP, and the number of
+/// batches per epoch (the max over shards, so every rank runs the same
+/// count and collectives stay well-formed).
+fn distribute(
     dataset: &Dataset,
-    config: &TrainConfig,
-) -> (Option<TrainReport>, EmbeddingTable, EmbeddingTable) {
-    let rank = ctx.rank();
-    let p = ctx.size();
+    relation_disjoint: bool,
+    rank: usize,
+    p: usize,
+    batch_size: usize,
+) -> (Vec<Triple>, Vec<u32>, usize) {
+    let partition: Partition = partition_for(&dataset.train, dataset.n_relations, p, relation_disjoint);
+    let batches_per_epoch = partition
+        .shards
+        .iter()
+        .map(|s| s.len().div_ceil(batch_size))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let shard = partition.shards[rank].clone();
+    let mut owned_rels: Vec<u32> = shard.iter().map(|t| t.rel).collect();
+    owned_rels.sort_unstable();
+    owned_rels.dedup();
+    (shard, owned_rels, batches_per_epoch)
+}
+
+fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeResult {
+    let mut rank = ctx.rank();
+    let mut p = ctx.size();
+    let initial_p = p;
     let model = config.model.build(config.rank);
     let model: &dyn KgeModel = model.as_ref();
     let dim = model.storage_dim();
     let strategy = config.strategy;
 
     // --- Data distribution (identical computation on every node). -------
-    let partition = if strategy.relation_partition {
-        relation_partition(&dataset.train, dataset.n_relations, p)
-    } else {
-        kge_partition::Partition {
-            shards: uniform_shards(&dataset.train, p),
-            relation_disjoint: false,
-        }
-    };
-    let batches_per_epoch = partition
-        .shards
-        .iter()
-        .map(|s| s.len().div_ceil(config.batch_size))
-        .max()
-        .unwrap_or(0)
-        .max(1);
-    let mut shard: Vec<Triple> = partition.shards[rank].clone();
-    // Relations this node owns (for the end-of-epoch assembly under RP).
-    let mut owned_rels: Vec<u32> = shard.iter().map(|t| t.rel).collect();
-    owned_rels.sort_unstable();
-    owned_rels.dedup();
+    let (mut shard, mut owned_rels, mut batches_per_epoch) = distribute(
+        dataset,
+        strategy.relation_partition,
+        rank,
+        p,
+        config.batch_size,
+    );
 
     let filter = FilterIndex::build(dataset);
     let bias = if strategy.bern {
@@ -181,6 +211,9 @@ fn run_node_inner(
     let mut converged = false;
     let mut allreduce_epochs = 0usize;
     let mut allgather_epochs = 0usize;
+    let mut recoveries = 0usize;
+    let mut crashed_ranks: Vec<usize> = Vec::new();
+    let mut survived = true;
 
     for epoch in 0..config.max_epochs {
         // Epoch barrier: aligns every clock so that the per-epoch times —
@@ -210,7 +243,26 @@ fn run_node_inner(
         let mut rows_after_rs = 0usize;
         let lr_scale = schedule.lr_scale();
 
-        for b in 0..batches_per_epoch {
+        // A `RankCrashed` error is observed by every participant at the
+        // same collective (detection derives from shared clock deposits),
+        // so all nodes — survivors and the crashed rank alike — abort the
+        // epoch's batch loop together and the program stays collectively
+        // well-formed. Any other error is a bug and panics as before.
+        let mut crashed_this_epoch = false;
+        macro_rules! try_exchange {
+            ($expr:expr, $what:literal, $batches:lifetime) => {
+                match $expr {
+                    Ok(v) => v,
+                    Err(SimError::RankCrashed { .. }) => {
+                        crashed_this_epoch = true;
+                        break $batches
+                    }
+                    Err(e) => panic!(concat!($what, ": {}"), e),
+                }
+            };
+        }
+
+        'batches: for b in 0..batches_per_epoch {
             let (loss, n_examples) = compute_batch_gradients(
                 model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), rank, epoch,
                 &mut scratch,
@@ -245,12 +297,15 @@ fn run_node_inner(
 
             let ent_agg: AggGrad = match choice {
                 CommChoice::AllReduce => {
-                    let stats = exchange_allreduce(
-                        ctx.comm_mut(),
-                        &scratch.ent_grad,
-                        &mut scratch.dense_ent,
-                    )
-                    .expect("entity allreduce");
+                    let stats = try_exchange!(
+                        exchange_allreduce(
+                            ctx.comm_mut(),
+                            &scratch.ent_grad,
+                            &mut scratch.dense_ent,
+                        ),
+                        "entity allreduce",
+                        'batches
+                    );
                     rows_sent_sum += stats.rows_sent;
                     AggGrad::Dense(std::mem::take(&mut scratch.dense_ent))
                 }
@@ -266,15 +321,18 @@ fn run_node_inner(
                     } else {
                         None
                     };
-                    let (agg, stats) = exchange_allgather(
-                        ctx.comm_mut(),
-                        &scratch.ent_grad,
-                        dim,
-                        strategy.quant,
-                        residuals,
-                        &mut rng,
-                    )
-                    .expect("entity allgather");
+                    let (agg, stats) = try_exchange!(
+                        exchange_allgather(
+                            ctx.comm_mut(),
+                            &scratch.ent_grad,
+                            dim,
+                            strategy.quant,
+                            residuals,
+                            &mut rng,
+                        ),
+                        "entity allgather",
+                        'batches
+                    );
                     rows_sent_sum += stats.rows_sent;
                     // Decode + local sum cost.
                     ctx.comm_mut()
@@ -292,12 +350,15 @@ fn run_node_inner(
             } else {
                 match choice {
                     CommChoice::AllReduce => {
-                        exchange_allreduce(
-                            ctx.comm_mut(),
-                            &scratch.rel_grad,
-                            &mut scratch.dense_rel,
-                        )
-                        .expect("relation allreduce");
+                        let _ = try_exchange!(
+                            exchange_allreduce(
+                                ctx.comm_mut(),
+                                &scratch.rel_grad,
+                                &mut scratch.dense_rel,
+                            ),
+                            "relation allreduce",
+                            'batches
+                        );
                         AggGrad::Dense(std::mem::take(&mut scratch.dense_rel))
                     }
                     CommChoice::AllGather => {
@@ -308,15 +369,18 @@ fn run_node_inner(
                         } else {
                             None
                         };
-                        let (agg, _) = exchange_allgather(
-                            ctx.comm_mut(),
-                            &scratch.rel_grad,
-                            dim,
-                            strategy.quant,
-                            residuals,
-                            &mut rng,
-                        )
-                        .expect("relation allgather");
+                        let (agg, _) = try_exchange!(
+                            exchange_allgather(
+                                ctx.comm_mut(),
+                                &scratch.rel_grad,
+                                dim,
+                                strategy.quant,
+                                residuals,
+                                &mut rng,
+                            ),
+                            "relation allgather",
+                            'batches
+                        );
                         AggGrad::Sparse(agg)
                     }
                 }
@@ -347,8 +411,67 @@ fn run_node_inner(
 
         // --- Relation assembly under RP (once per epoch, so validation
         // and the final model see every relation's owner copy). ----------
-        if strategy.relation_partition && p > 1 {
-            assemble_relations(ctx, &mut rel, &owned_rels, dim);
+        if !crashed_this_epoch && strategy.relation_partition && p > 1 {
+            match assemble_relations(ctx, &mut rel, &owned_rels, dim) {
+                Ok(()) => {}
+                Err(SimError::RankCrashed { .. }) => crashed_this_epoch = true,
+                Err(e) => panic!("relation assembly allgather: {e}"),
+            }
+        }
+
+        // --- Degradation policy: drop the aborted epoch, shrink the
+        // communicator to the survivors, rebalance, keep training. -------
+        if crashed_this_epoch {
+            // The aborted epoch yields no trace entry or validation
+            // signal; un-count its collective choice so the tallies keep
+            // matching the trace length.
+            match choice {
+                CommChoice::AllReduce => allreduce_epochs -= 1,
+                CommChoice::AllGather => allgather_epochs -= 1,
+            }
+            crashed_ranks.extend(ctx.comm().failed_ranks());
+            if !config.recover_from_crashes {
+                break;
+            }
+            match ctx.comm_mut().shrink() {
+                Ok(true) => {
+                    // Survivor: adopt the shrunken world and redistribute
+                    // the triples over it. The LR schedule keeps its
+                    // original world-size scaling (deliberate — see
+                    // DESIGN.md); DRS forgets its timings and re-probes
+                    // at the new size.
+                    recoveries += 1;
+                    rank = ctx.rank();
+                    p = ctx.size();
+                    let (s, o, b) = distribute(
+                        dataset,
+                        strategy.relation_partition,
+                        rank,
+                        p,
+                        config.batch_size,
+                    );
+                    shard = s;
+                    owned_rels = o;
+                    batches_per_epoch = b;
+                    // Re-partitioning cost: a sort-like pass over the full
+                    // triple set, identical on every survivor.
+                    ctx.comm_mut()
+                        .clock_mut()
+                        .charge_flops((dataset.train.len() * 8) as f64);
+                    if let Some(sel) = selector.as_mut() {
+                        sel.reset();
+                    }
+                    continue;
+                }
+                Ok(false) => {
+                    // This is the crashed rank: it leaves the job here.
+                    // Its replica is stale; train() only uses its wire
+                    // traffic totals.
+                    survived = false;
+                    break;
+                }
+                Err(e) => panic!("communicator shrink: {e}"),
+            }
         }
 
         // --- Validation signal + schedule. ------------------------------
@@ -400,10 +523,12 @@ fn run_node_inner(
     }
 
     let breakdown = ctx.comm().clock().breakdown();
-    let report = if rank == 0 {
+    // After a shrink the lead survivor holds rank 0 of the new world; the
+    // crashed rank never reports even if it was the original rank 0.
+    let report = if survived && rank == 0 {
         Some(TrainReport {
             dataset: dataset.name.clone(),
-            nodes: p,
+            nodes: initial_p,
             epochs: trace.len(),
             converged,
             sim_total_seconds: ctx.comm().clock().now_s(),
@@ -411,11 +536,24 @@ fn run_node_inner(
             trace,
             allreduce_epochs,
             allgather_epochs,
+            surviving_nodes: p,
+            recoveries,
+            crashed_ranks,
+            // Filled in by train(), which sums over every rank.
+            wire_bytes_sent: 0,
+            wire_bytes_recv: 0,
         })
     } else {
         None
     };
-    (report, ent, rel)
+    let traffic = ctx.comm().traffic().report();
+    NodeResult {
+        report,
+        entities: ent,
+        relations: rel,
+        wire_sent: traffic.total_wire_sent(),
+        wire_recv: traffic.total_wire_recv(),
+    }
 }
 
 /// One chunk's contribution to a batch: loss, example count, and
@@ -664,7 +802,15 @@ fn sparse_from_dense(buf: &[f32], dim: usize) -> SparseGrad {
 
 /// Under relation partition, gather every node's owned relation rows so
 /// all replicas hold the complete relation table (once per epoch).
-fn assemble_relations(ctx: &mut NodeCtx, rel: &mut EmbeddingTable, owned: &[u32], dim: usize) {
+/// Propagates the collective's fault error so the caller can run the
+/// crash-recovery policy; local (de)serialization failures are bugs and
+/// still panic.
+fn assemble_relations(
+    ctx: &mut NodeCtx,
+    rel: &mut EmbeddingTable,
+    owned: &[u32],
+    dim: usize,
+) -> Result<(), SimError> {
     let rows: Vec<RowPayload> = owned
         .iter()
         .map(|&r| RowPayload {
@@ -675,10 +821,7 @@ fn assemble_relations(ctx: &mut NodeCtx, rel: &mut EmbeddingTable, owned: &[u32]
     let payload =
         encode_rows(kge_compress::WireFormat::F32, dim, &rows).expect("encode relation rows");
     let mut recv = Vec::new();
-    let counts = ctx
-        .comm_mut()
-        .allgatherv_bytes_into(&payload, &mut recv)
-        .expect("relation assembly allgather");
+    let counts = ctx.comm_mut().allgatherv_bytes_into(&payload, &mut recv)?;
     let mut off = 0usize;
     for c in counts {
         let (rows, _) = decode_rows(&recv[off..off + c]).expect("peer relation payload");
@@ -689,6 +832,7 @@ fn assemble_relations(ctx: &mut NodeCtx, rel: &mut EmbeddingTable, owned: &[u32]
             }
         }
     }
+    Ok(())
 }
 
 /// Extension trait: total bytes sent across all collectives (used for the
@@ -763,8 +907,8 @@ mod tests {
         let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
         let config = quick_config(StrategyConfig::baseline_allgather(2));
         let results = cluster.run(|ctx| {
-            let (_, ent, rel) = run_node(ctx, &ds, &config);
-            (ent, rel)
+            let res = run_node(ctx, &ds, &config);
+            (res.entities, res.relations)
         });
         for (ent, rel) in &results[1..] {
             assert_eq!(ent.as_slice(), results[0].0.as_slice(), "entity replicas diverged");

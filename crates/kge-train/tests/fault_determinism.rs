@@ -1,0 +1,81 @@
+//! Fault-free determinism guard: attaching `FaultPlan::none()` must be a
+//! perfect no-op. The run with an inert plan is bit-identical — final
+//! embeddings and the full TimeBreakdown — to the run with no plan at
+//! all, at both 1 and 4 worker threads per simulated node. This pins the
+//! inert-plan early-outs in the clock/communicator fault hooks: they may
+//! not perturb float arithmetic or time accounting in any way.
+
+use kge_data::synth::{generate, SynthConfig};
+use kge_train::{train, StrategyConfig, TrainConfig, TrainOutcome};
+use simgrid::{Cluster, ClusterSpec, FaultPlan};
+
+fn dataset() -> kge_data::Dataset {
+    generate(&SynthConfig {
+        name: "fault-free".into(),
+        n_entities: 150,
+        n_relations: 10,
+        n_triples: 2000,
+        relation_zipf: 1.0,
+        entity_zipf: 0.8,
+        noise_frac: 0.05,
+        valid_frac: 0.08,
+        test_frac: 0.08,
+        seed: 17,
+    })
+}
+
+fn run(threads: usize, with_none_plan: bool) -> TrainOutcome {
+    // The per-node pool honors RAYON_NUM_THREADS (see
+    // `trainer::node_pool_threads`); this test is the only one in this
+    // binary, so flipping the process-wide variable between runs is safe.
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let ds = dataset();
+    let mut cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+    if with_none_plan {
+        cluster = cluster.with_fault_plan(FaultPlan::none());
+    }
+    let mut c = TrainConfig::new(4, 64, StrategyConfig::combined(3));
+    c.plateau_tolerance = 3;
+    c.max_lr_drops = 1;
+    c.max_epochs = 6;
+    c.valid_samples = 64;
+    c.base_lr = 5e-3;
+    let out = train(&ds, &cluster, &c);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+#[test]
+fn none_plan_run_is_bit_identical_to_no_plan_run() {
+    let baseline = run(1, false);
+    for (threads, with_plan) in [(1, true), (4, false), (4, true)] {
+        let other = run(threads, with_plan);
+        let tag = format!("threads={threads} none_plan={with_plan}");
+        assert_eq!(
+            baseline.entities.as_slice(),
+            other.entities.as_slice(),
+            "{tag}: entities diverged"
+        );
+        assert_eq!(
+            baseline.relations.as_slice(),
+            other.relations.as_slice(),
+            "{tag}: relations diverged"
+        );
+        assert_eq!(
+            baseline.report.breakdown, other.report.breakdown,
+            "{tag}: TimeBreakdown diverged"
+        );
+        assert_eq!(
+            baseline.report.sim_total_seconds.to_bits(),
+            other.report.sim_total_seconds.to_bits(),
+            "{tag}: simulated clock diverged"
+        );
+        assert_eq!(baseline.report.epochs, other.report.epochs, "{tag}");
+        assert_eq!(baseline.report.recoveries, 0, "{tag}");
+        assert!(other.report.crashed_ranks.is_empty(), "{tag}");
+        assert_eq!(
+            baseline.report.wire_bytes_sent, other.report.wire_bytes_sent,
+            "{tag}: wire traffic diverged"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Acceptance test for trainer-level crash resilience: a 4-rank training
+//! run that loses one rank mid-run completes with finite loss on a
+//! rebalanced partition, reports the recovery in the fault/retry time
+//! buckets, and is bit-reproducible from the fault plan's seed.
+
+use kge_data::synth::{generate, SynthConfig};
+use kge_train::config::{StrategyConfig, TrainConfig};
+use kge_train::{train, TrainOutcome};
+use simgrid::{Cluster, ClusterSpec, FaultPlan};
+
+fn dataset() -> kge_data::Dataset {
+    generate(&SynthConfig {
+        name: "faults".into(),
+        n_entities: 120,
+        n_relations: 8,
+        n_triples: 1500,
+        relation_zipf: 1.0,
+        entity_zipf: 0.8,
+        noise_frac: 0.05,
+        valid_frac: 0.08,
+        test_frac: 0.08,
+        seed: 31,
+    })
+}
+
+fn config() -> TrainConfig {
+    let mut c = TrainConfig::new(4, 64, StrategyConfig::baseline_allreduce(2));
+    c.plateau_tolerance = 3;
+    c.max_lr_drops = 1;
+    c.max_epochs = 8;
+    c.valid_samples = 64;
+    c.base_lr = 5e-3;
+    c
+}
+
+fn run(plan: Option<FaultPlan>, config: &TrainConfig) -> TrainOutcome {
+    let mut cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+    if let Some(plan) = plan {
+        cluster = cluster.with_fault_plan(plan);
+    }
+    train(&dataset(), &cluster, config)
+}
+
+/// Crash original rank 2 at ~40% of the fault-free run's simulated time.
+fn crash_plan(fault_free_total_s: f64) -> FaultPlan {
+    FaultPlan::seeded(99).with_crash(2, 0.4 * fault_free_total_s)
+}
+
+#[test]
+fn losing_one_rank_mid_run_recovers_and_completes() {
+    let fault_free = run(None, &config());
+    let total = fault_free.report.sim_total_seconds;
+    assert!(total > 0.0);
+
+    let faulted = run(Some(crash_plan(total)), &config());
+    let r = &faulted.report;
+
+    // The crash happened, was attributed, and the world shrank once.
+    assert_eq!(r.nodes, 4);
+    assert_eq!(r.surviving_nodes, 3, "world should shrink to 3");
+    assert_eq!(r.recoveries, 1);
+    assert_eq!(r.crashed_ranks, vec![2]);
+
+    // The aborted epoch is dropped, the rest completed.
+    assert!(r.epochs > 0 && r.epochs < config().max_epochs);
+    assert_eq!(r.epochs, r.trace.len());
+    assert_eq!(r.allreduce_epochs + r.allgather_epochs, r.epochs);
+
+    // Recovery time is visible: the failure-detection timeout lands in
+    // the fault bucket of the reporting survivor.
+    assert!(r.breakdown.fault_s > 0.0, "{:?}", r.breakdown);
+
+    // Finite model and loss on the rebalanced 3-way partition.
+    for t in &r.trace {
+        assert!(t.train_loss.is_finite(), "epoch {}", t.epoch);
+    }
+    assert!(faulted.entities.as_slice().iter().all(|v| v.is_finite()));
+    assert!(faulted.relations.as_slice().iter().all(|v| v.is_finite()));
+
+    // Wire conservation holds across the crash (the dead rank's pre-crash
+    // traffic is counted on both sides).
+    assert!(r.wire_bytes_sent > 0);
+    assert_eq!(r.wire_bytes_sent, r.wire_bytes_recv);
+}
+
+#[test]
+fn faulted_run_is_bit_reproducible() {
+    let total = run(None, &config()).report.sim_total_seconds;
+    let a = run(Some(crash_plan(total)), &config());
+    let b = run(Some(crash_plan(total)), &config());
+    assert_eq!(a.entities.as_slice(), b.entities.as_slice());
+    assert_eq!(a.relations.as_slice(), b.relations.as_slice());
+    assert_eq!(a.report.breakdown, b.report.breakdown);
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits()
+    );
+    assert_eq!(a.report.crashed_ranks, b.report.crashed_ranks);
+    assert_eq!(a.report.epochs, b.report.epochs);
+}
+
+#[test]
+fn crash_without_recovery_stops_training_at_the_crash() {
+    let baseline = run(None, &config());
+    let total = baseline.report.sim_total_seconds;
+
+    let mut c = config();
+    c.recover_from_crashes = false;
+    let stopped = run(Some(crash_plan(total)), &c);
+    let r = &stopped.report;
+
+    // No shrink happened: the job stopped with the crash recorded.
+    assert_eq!(r.recoveries, 0);
+    assert_eq!(r.surviving_nodes, 4);
+    assert_eq!(r.crashed_ranks, vec![2]);
+    assert!(!r.converged);
+    assert!(
+        r.epochs < baseline.report.epochs,
+        "stopped at the crash: {} vs {}",
+        r.epochs,
+        baseline.report.epochs
+    );
+    assert_eq!(r.allreduce_epochs + r.allgather_epochs, r.epochs);
+}

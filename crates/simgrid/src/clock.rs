@@ -1,7 +1,9 @@
 //! Per-node simulated clocks.
 
+use crate::fault::FaultPlan;
 use crate::spec::ClusterSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Breakdown of where a node's simulated time went.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -12,12 +14,21 @@ pub struct TimeBreakdown {
     pub comm_s: f64,
     /// Seconds spent waiting for slower peers to enter a collective.
     pub idle_s: f64,
+    /// Extra seconds lost to injected faults: straggler slowdown beyond
+    /// the healthy compute time, link degradation beyond the healthy
+    /// collective price, and failure-detection timeouts on crashed peers.
+    #[serde(default)]
+    pub fault_s: f64,
+    /// Seconds spent in timeout + backoff before retransmitting messages
+    /// or collective attempts lost to injected faults.
+    #[serde(default)]
+    pub retry_s: f64,
 }
 
 impl TimeBreakdown {
     /// Total simulated seconds.
     pub fn total_s(&self) -> f64 {
-        self.compute_s + self.comm_s + self.idle_s
+        self.compute_s + self.comm_s + self.idle_s + self.fault_s + self.retry_s
     }
 }
 
@@ -33,6 +44,12 @@ pub struct SimClock {
     now_s: f64,
     breakdown: TimeBreakdown,
     node_flops: f64,
+    /// Active fault schedule; `None` preserves the exact pre-fault float
+    /// arithmetic on every charge path.
+    plan: Option<Arc<FaultPlan>>,
+    /// Original (pre-shrink) rank of the node this clock belongs to, used
+    /// to look up straggler windows.
+    orig_rank: usize,
 }
 
 impl SimClock {
@@ -41,7 +58,20 @@ impl SimClock {
             now_s: 0.0,
             breakdown: TimeBreakdown::default(),
             node_flops: spec.effective_flops(),
+            plan: None,
+            orig_rank: 0,
         }
+    }
+
+    /// A clock for original rank `orig_rank` subject to `plan`. An inert
+    /// plan is dropped so the hot path stays identical to [`SimClock::new`].
+    pub fn with_faults(spec: &ClusterSpec, orig_rank: usize, plan: Arc<FaultPlan>) -> Self {
+        let mut c = Self::new(spec);
+        c.orig_rank = orig_rank;
+        if !plan.is_inert() {
+            c.plan = Some(plan);
+        }
+        c
     }
 
     /// Current simulated time in seconds since the node started.
@@ -63,12 +93,42 @@ impl SimClock {
         self.charge_compute_seconds(flops / self.node_flops);
     }
 
-    /// Charge a local-compute phase of a known duration.
+    /// Charge a local-compute phase of a known duration. Under an active
+    /// straggler window the healthy duration still lands in `compute_s`;
+    /// the slowdown surplus is charged to `fault_s` so fault cost stays
+    /// separable in the breakdown.
     #[inline]
     pub fn charge_compute_seconds(&mut self, s: f64) {
         debug_assert!(s >= 0.0 && s.is_finite());
+        let start = self.now_s;
         self.now_s += s;
         self.breakdown.compute_s += s;
+        if let Some(plan) = &self.plan {
+            let mult = plan.compute_slowdown(self.orig_rank, start);
+            if mult > 1.0 {
+                let extra = s * (mult - 1.0);
+                self.now_s += extra;
+                self.breakdown.fault_s += extra;
+            }
+        }
+    }
+
+    /// Charge simulated time lost to a fault (straggler surplus, degraded
+    /// link surplus, failure-detection timeout). Used by the communicator.
+    #[inline]
+    pub fn charge_fault_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.now_s += s;
+        self.breakdown.fault_s += s;
+    }
+
+    /// Charge timeout + backoff time for a retransmission. Used by the
+    /// communicator and the p2p layer.
+    #[inline]
+    pub fn charge_retry_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.now_s += s;
+        self.breakdown.retry_s += s;
     }
 
     /// Charge idle time (waiting for peers). Used by the communicator.
@@ -145,6 +205,56 @@ mod tests {
         assert!((c.breakdown().compute_s - 0.25).abs() < 1e-12);
         assert_eq!(spec.effective_flops(), 8.0e9);
         assert!((spec.compute_time(2.0e9) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_surplus_lands_in_fault_bucket() {
+        use crate::fault::{FaultPlan, StragglerWindow};
+        let spec = ClusterSpec::cray_xc40();
+        let plan = Arc::new(FaultPlan::seeded(1).with_straggler(StragglerWindow {
+            rank: 0,
+            start_s: 0.0,
+            end_s: 10.0,
+            slowdown: 3.0,
+        }));
+        let mut c = SimClock::with_faults(&spec, 0, plan.clone());
+        c.charge_compute_seconds(1.0);
+        let b = c.breakdown();
+        assert!((b.compute_s - 1.0).abs() < 1e-12, "healthy share unchanged");
+        assert!((b.fault_s - 2.0).abs() < 1e-12, "surplus charged to fault_s");
+        assert!((c.now_s() - 3.0).abs() < 1e-12);
+
+        // A different original rank is unaffected.
+        let mut other = SimClock::with_faults(&spec, 1, plan);
+        other.charge_compute_seconds(1.0);
+        assert_eq!(other.breakdown().fault_s, 0.0);
+    }
+
+    #[test]
+    fn inert_plan_keeps_clock_identical() {
+        use crate::fault::FaultPlan;
+        let spec = ClusterSpec::cray_xc40();
+        let mut plain = SimClock::new(&spec);
+        let mut faulted = SimClock::with_faults(&spec, 0, Arc::new(FaultPlan::none()));
+        for c in [&mut plain, &mut faulted] {
+            c.charge_flops(3.7e9);
+            c.charge_comm_seconds(0.123);
+            c.charge_idle_until(5.0);
+        }
+        assert_eq!(plain.now_s().to_bits(), faulted.now_s().to_bits());
+        assert_eq!(plain.breakdown(), faulted.breakdown());
+    }
+
+    #[test]
+    fn fault_and_retry_buckets_count_toward_total() {
+        let mut c = clock();
+        c.charge_fault_seconds(0.25);
+        c.charge_retry_seconds(0.5);
+        let b = c.breakdown();
+        assert_eq!(b.fault_s, 0.25);
+        assert_eq!(b.retry_s, 0.5);
+        assert!((b.total_s() - 0.75).abs() < 1e-12);
+        assert!((c.now_s() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! advanced by the [`CostModel`] price of the operation (comm time).
 
 use crate::clock::SimClock;
+use crate::fault::FaultPlan;
 use crate::p2p::{Message, PostOffice};
 use crate::cost::{Collective, CostModel};
 use crate::error::SimError;
@@ -34,15 +35,24 @@ pub(crate) struct CommWorld {
     result_f32: Mutex<Vec<f32>>,
     error: Mutex<Option<SimError>>,
     post: std::sync::Arc<PostOffice>,
+    /// The fault schedule every rank consults (inert by default).
+    plan: Arc<FaultPlan>,
+    /// Original rank of each current rank: identity for a fresh cluster,
+    /// the surviving subset after a shrink. Fault-plan lookups (straggler
+    /// windows, crash times, p2p drop streams) always use original ids.
+    orig_ranks: Vec<usize>,
+    /// Current-rank ids detected as crashed, sorted; consumed by
+    /// [`Communicator::shrink`].
+    failed: Mutex<Vec<usize>>,
+    /// Replacement world staged by the lowest surviving rank during a
+    /// shrink, picked up by the other survivors.
+    next_world: Mutex<Option<Arc<CommWorld>>>,
 }
 
 impl CommWorld {
-    pub(crate) fn size(&self) -> usize {
-        self.size
-    }
-
-    pub(crate) fn new(size: usize) -> Arc<Self> {
+    pub(crate) fn new(size: usize, plan: Arc<FaultPlan>, orig_ranks: Vec<usize>) -> Arc<Self> {
         assert!(size >= 1, "communicator needs at least one rank");
+        assert_eq!(orig_ranks.len(), size);
         Arc::new(CommWorld {
             size,
             barrier: Barrier::new(size),
@@ -53,6 +63,10 @@ impl CommWorld {
             result_f32: Mutex::new(Vec::new()),
             error: Mutex::new(None),
             post: PostOffice::new(size),
+            plan,
+            orig_ranks,
+            failed: Mutex::new(Vec::new()),
+            next_world: Mutex::new(None),
         })
     }
 }
@@ -65,19 +79,33 @@ impl CommWorld {
 pub struct Communicator {
     world: Arc<CommWorld>,
     rank: usize,
+    /// Original rank in the cluster's initial world; stable across shrinks.
+    orig: usize,
     cost: CostModel,
     clock: SimClock,
     traffic: TrafficStats,
+    /// Rank-local counter of fault-checked collectives; identical across
+    /// ranks of an SPMD program, so induced collective faults are
+    /// symmetric decisions.
+    coll_seq: u64,
+    /// Per-destination (original-id) send counters for the p2p drop
+    /// stream; sized at the initial world size.
+    p2p_seq: Vec<u64>,
 }
 
 impl Communicator {
     pub(crate) fn new(world: Arc<CommWorld>, rank: usize, spec: &ClusterSpec) -> Self {
         assert!(rank < world.size);
+        let orig = world.orig_ranks[rank];
+        let n_orig = world.orig_ranks.iter().copied().max().unwrap_or(0) + 1;
         Communicator {
             rank,
+            orig,
             cost: CostModel::new(spec.clone()),
-            clock: SimClock::new(spec),
+            clock: SimClock::with_faults(spec, orig, world.plan.clone()),
             traffic: TrafficStats::default(),
+            coll_seq: 0,
+            p2p_seq: vec![0; n_orig],
             world,
         }
     }
@@ -88,10 +116,30 @@ impl Communicator {
         self.rank
     }
 
+    /// This rank's id in the cluster's *initial* world, before any crash
+    /// shrank the communicator. Data owned per-rank (partitions, RNG
+    /// streams) should be keyed on current rank; fault-plan events are
+    /// keyed on original rank.
+    #[inline]
+    pub fn orig_rank(&self) -> usize {
+        self.orig
+    }
+
     /// Number of ranks in the communicator.
     #[inline]
     pub fn size(&self) -> usize {
         self.world.size
+    }
+
+    /// Original ids of ranks detected as crashed but not yet removed by
+    /// [`Communicator::shrink`].
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.world
+            .failed
+            .lock()
+            .iter()
+            .map(|&r| self.world.orig_ranks[r])
+            .collect()
     }
 
     /// The simulated clock of this rank.
@@ -145,6 +193,10 @@ impl Communicator {
             slot.extend_from_slice(buf);
         }
         self.sync_clocks(Collective::AllReduce, &vec![bytes; self.size()]);
+        if let Err(e) = self.apply_faults(Collective::AllReduce, "allreduce_sum_f32") {
+            self.world.barrier.wait(); // symmetric error: release staging
+            return Err(e);
+        }
         // Rank 0 validates shapes and reduces in rank order.
         if self.rank == 0 {
             let expected = buf.len();
@@ -180,6 +232,10 @@ impl Communicator {
             buf.copy_from_slice(&result);
         }
         self.traffic.record(Collective::AllReduce, bytes, bytes);
+        // Ring-style wire traffic: every rank exchanges its full payload
+        // with the rest of the ring; globally Σ sent == Σ received.
+        let wire = bytes * (self.size() - 1);
+        self.traffic.record_wire(Collective::AllReduce, wire, wire);
         self.world.barrier.wait(); // staging reusable
         Ok(())
     }
@@ -212,12 +268,23 @@ impl Communicator {
         }
         let per_rank_bytes: Vec<usize> = counts.iter().map(|&n| n * 4).collect();
         self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
+        if let Err(e) = self.apply_faults(Collective::AllGatherV, "allgatherv_f32") {
+            self.world.barrier.wait();
+            return Err(e);
+        }
         let mut out = Vec::with_capacity(total);
         for r in 0..self.size() {
             out.extend_from_slice(&self.world.f32_slots[r].lock());
         }
         self.traffic
             .record(Collective::AllGatherV, data.len() * 4, total * 4);
+        // Each rank ships its own payload to p−1 peers and takes delivery
+        // of everyone else's.
+        self.traffic.record_wire(
+            Collective::AllGatherV,
+            data.len() * 4 * (self.size() - 1),
+            (total - data.len()) * 4,
+        );
         self.world.barrier.wait(); // everyone done reading
         Ok((out, counts))
     }
@@ -270,12 +337,21 @@ impl Communicator {
             per_rank_bytes.push(self.world.byte_slots[r].lock().len());
         }
         self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
+        if let Err(e) = self.apply_faults(Collective::AllGatherV, "allgatherv_bytes") {
+            self.world.barrier.wait();
+            return Err(e);
+        }
         let total: usize = per_rank_bytes.iter().sum();
         recv.reserve(total);
         for r in 0..self.size() {
             recv.extend_from_slice(&self.world.byte_slots[r].lock());
         }
         self.traffic.record(Collective::AllGatherV, data.len(), total);
+        self.traffic.record_wire(
+            Collective::AllGatherV,
+            data.len() * (self.size() - 1),
+            total - data.len(),
+        );
         self.world.barrier.wait();
         Ok(per_rank_bytes)
     }
@@ -299,6 +375,10 @@ impl Communicator {
             slot.extend_from_slice(buf);
         }
         self.sync_clocks(Collective::Broadcast, &vec![bytes; self.size()]);
+        if let Err(e) = self.apply_faults(Collective::Broadcast, "broadcast_f32") {
+            self.world.barrier.wait();
+            return Err(e);
+        }
         if self.rank != root {
             let slot = self.world.f32_slots[root].lock();
             if slot.len() != buf.len() {
@@ -318,6 +398,13 @@ impl Communicator {
             if self.rank == root { bytes } else { 0 },
             bytes,
         );
+        // Root ships one copy per receiver; receivers take delivery once.
+        if self.rank == root {
+            self.traffic
+                .record_wire(Collective::Broadcast, bytes * (self.size() - 1), 0);
+        } else {
+            self.traffic.record_wire(Collective::Broadcast, 0, bytes);
+        }
         self.world.barrier.wait();
         Ok(())
     }
@@ -350,7 +437,25 @@ impl Communicator {
             }
             self.clock.charge_idle_until(t_max);
             let price = self.cost.allreduce(p, bytes) / 2.0;
-            self.clock.charge_comm_seconds(price);
+            let plan = Arc::clone(&self.world.plan);
+            if plan.is_inert() {
+                self.clock.charge_comm_seconds(price);
+            } else {
+                let (lat_mult, bw_div) = plan.link_factors(self.clock.now_s());
+                let degraded = if lat_mult > 1.0 || bw_div > 1.0 {
+                    self.cost.degraded(lat_mult, bw_div).allreduce(p, bytes) / 2.0
+                } else {
+                    price
+                };
+                self.clock.charge_comm_seconds(price);
+                if degraded > price {
+                    self.clock.charge_fault_seconds(degraded - price);
+                }
+            }
+        }
+        if let Err(e) = self.apply_faults(Collective::AllReduce, "reduce_scatter_f32") {
+            self.world.barrier.wait();
+            return Err(e);
         }
         let my = chunk(self.rank);
         let mut out = vec![0.0f32; my.len()];
@@ -371,6 +476,13 @@ impl Communicator {
             }
         }
         self.traffic.record(Collective::AllReduce, bytes, out.len() * 4);
+        // Reduce-scatter wire traffic: ship everything but the chunk this
+        // rank keeps; take delivery of p−1 copies of the kept chunk.
+        self.traffic.record_wire(
+            Collective::AllReduce,
+            bytes - out.len() * 4,
+            (p - 1) * out.len() * 4,
+        );
         self.world.barrier.wait();
         match shape_err {
             Some(e) => Err(e),
@@ -407,6 +519,10 @@ impl Communicator {
             .map(|r| self.world.f32_slots[r].lock().len() * 4)
             .collect();
         self.align_and_charge(Collective::Gather, &per_rank);
+        if let Err(e) = self.apply_faults(Collective::Gather, "gatherv_to_root") {
+            self.world.barrier.wait();
+            return Err(e);
+        }
         let out = if self.rank == root {
             let mut all = Vec::with_capacity(self.size());
             let mut total = 0usize;
@@ -416,9 +532,13 @@ impl Communicator {
                 all.push(payload);
             }
             self.traffic.record(Collective::Gather, data.len() * 4, total);
+            // Root's own contribution never crosses the wire.
+            self.traffic
+                .record_wire(Collective::Gather, 0, total - data.len() * 4);
             all
         } else {
             self.traffic.record(Collective::Gather, data.len() * 4, 0);
+            self.traffic.record_wire(Collective::Gather, data.len() * 4, 0);
             Vec::new()
         };
         self.world.barrier.wait();
@@ -457,6 +577,8 @@ impl Communicator {
             acc = f(acc, *self.world.f64_slots[r].lock());
         }
         self.traffic.record(Collective::AllReduce, 8, 8);
+        let wire = 8 * (self.size() - 1);
+        self.traffic.record_wire(Collective::AllReduce, wire, wire);
         self.world.barrier.wait();
         acc
     }
@@ -464,6 +586,13 @@ impl Communicator {
     /// Send `payload` to `dst`. The sender's clock advances by the
     /// injection overhead α; the message arrives (for the receiver's
     /// simulated clock) a full `α + bytes·β` after the send started.
+    ///
+    /// Under an active fault plan, transmission attempts may be lost:
+    /// each loss charges timeout + backoff to `retry_s`, and exhausting
+    /// the retry budget fails with [`SimError::Timeout`] (nothing is
+    /// delivered). Link degradation inflates the effective α/β — the
+    /// latency surplus is charged to the sender's `fault_s`, the
+    /// bandwidth surplus shows up as a later arrival at the receiver.
     pub fn send_bytes(&mut self, dst: usize, payload: &[u8]) -> Result<(), SimError> {
         if dst >= self.size() {
             return Err(SimError::InvalidRank {
@@ -471,12 +600,61 @@ impl Communicator {
                 size: self.size(),
             });
         }
-        let alpha = self.cost.spec().latency_s;
+        let bytes = payload.len();
+        let plan = Arc::clone(&self.world.plan);
+        if plan.is_inert() {
+            let alpha = self.cost.spec().latency_s;
+            let t_send = self.clock.now_s();
+            let arrival = t_send + self.cost.spec().p2p_time(bytes);
+            self.clock.charge_comm_seconds(alpha);
+            self.traffic.record(Collective::PointToPoint, bytes, 0);
+            self.traffic.record_wire(Collective::PointToPoint, bytes, 0);
+            self.world.post.deposit(
+                dst,
+                Message {
+                    src: self.rank,
+                    payload: payload.to_vec(),
+                    arrival_s: arrival,
+                },
+            );
+            return Ok(());
+        }
+        let dst_orig = self.world.orig_ranks[dst];
+        let seq = self.p2p_seq[dst_orig];
+        self.p2p_seq[dst_orig] += 1;
+        let fails = plan.p2p_failed_attempts(self.orig, dst_orig, seq);
+        if fails > 0 {
+            let mut waited = 0.0;
+            for i in 0..fails {
+                waited += plan.retry.retry_cost_s(i);
+            }
+            self.clock.charge_retry_seconds(waited);
+            self.traffic
+                .record_retries(Collective::PointToPoint, fails as u64);
+            if fails > plan.retry.max_retries {
+                return Err(SimError::Timeout {
+                    op: "send_bytes",
+                    rank: self.rank,
+                    waited_s: waited,
+                });
+            }
+        }
+        let healthy_alpha = self.cost.spec().latency_s;
+        let (lat_mult, bw_div) = plan.link_factors(self.clock.now_s());
+        let eff_spec = if lat_mult > 1.0 || bw_div > 1.0 {
+            self.cost.spec().degraded(lat_mult, bw_div)
+        } else {
+            self.cost.spec().clone()
+        };
         let t_send = self.clock.now_s();
-        let arrival = t_send + self.cost.spec().p2p_time(payload.len());
-        self.clock.charge_comm_seconds(alpha);
-        self.traffic
-            .record(Collective::PointToPoint, payload.len(), 0);
+        let arrival = t_send + eff_spec.p2p_time(bytes);
+        self.clock.charge_comm_seconds(healthy_alpha);
+        if eff_spec.latency_s > healthy_alpha {
+            self.clock
+                .charge_fault_seconds(eff_spec.latency_s - healthy_alpha);
+        }
+        self.traffic.record(Collective::PointToPoint, bytes, 0);
+        self.traffic.record_wire(Collective::PointToPoint, bytes, 0);
         self.world.post.deposit(
             dst,
             Message {
@@ -513,6 +691,8 @@ impl Communicator {
         self.clock.charge_comm_seconds(occupancy);
         self.traffic
             .record(Collective::PointToPoint, 0, msg.payload.len());
+        self.traffic
+            .record_wire(Collective::PointToPoint, 0, msg.payload.len());
     }
 
     /// Non-blocking receive of any pending message (lowest source rank
@@ -546,7 +726,134 @@ impl Communicator {
         }
         self.clock.charge_idle_until(t_max);
         let price = self.cost.price(op, per_rank_bytes);
-        self.clock.charge_comm_seconds(price);
+        let plan = Arc::clone(&self.world.plan);
+        if plan.is_inert() {
+            self.clock.charge_comm_seconds(price);
+            return;
+        }
+        // Clocks are aligned (everyone sits at t_max), so the link factors
+        // — and therefore the surcharge — are identical on every rank.
+        let (lat_mult, bw_div) = plan.link_factors(self.clock.now_s());
+        if lat_mult > 1.0 || bw_div > 1.0 {
+            let degraded = self.cost.degraded(lat_mult, bw_div).price(op, per_rank_bytes);
+            self.clock.charge_comm_seconds(price);
+            if degraded > price {
+                self.clock.charge_fault_seconds(degraded - price);
+            }
+        } else {
+            self.clock.charge_comm_seconds(price);
+        }
+    }
+
+    /// Fault hooks shared by the data collectives, run right after clock
+    /// alignment while every rank's deposited arrival time is still
+    /// visible in `clock_slots`. Two checks, both **symmetric** — every
+    /// rank computes the same outcome from shared state, so error paths
+    /// stay collectively well-formed:
+    ///
+    /// 1. **Crash detection**: if any participant's deposited clock has
+    ///    passed its scheduled crash time, the failure-detection timeout
+    ///    is charged to `fault_s`, the crashed ranks are queued for
+    ///    [`Communicator::shrink`], and the collective fails with
+    ///    [`SimError::RankCrashed`].
+    /// 2. **Induced collective faults**: the `coll_seq`-th collective may
+    ///    lose attempts per the plan's drop stream; timeout + backoff is
+    ///    charged to `retry_s` and counted in the traffic stats.
+    ///    Exhausting the retry budget yields [`SimError::Timeout`].
+    ///
+    /// On `Err` the caller crosses one barrier before returning, so the
+    /// staging slots stay protected (all ranks take the same path).
+    ///
+    /// `barrier` and the scalar reductions do not return `Result` and are
+    /// deliberately outside the fault surface: faults are only ever
+    /// raised where the caller can observe them.
+    fn apply_faults(&mut self, op: Collective, opname: &'static str) -> Result<(), SimError> {
+        let plan = Arc::clone(&self.world.plan);
+        if plan.is_inert() {
+            return Ok(());
+        }
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+
+        // Crash detection first: a dead rank cannot retry its way back.
+        let mut crashed: Vec<usize> = Vec::new();
+        for r in 0..self.size() {
+            if let Some(t) = plan.crash_time(self.world.orig_ranks[r]) {
+                if *self.world.clock_slots[r].lock() >= t {
+                    crashed.push(r);
+                }
+            }
+        }
+        if !crashed.is_empty() {
+            self.clock.charge_fault_seconds(plan.retry.timeout_s);
+            let first = self.world.orig_ranks[crashed[0]];
+            let mut failed = self.world.failed.lock();
+            for r in crashed {
+                if !failed.contains(&r) {
+                    failed.push(r);
+                }
+            }
+            failed.sort_unstable();
+            return Err(SimError::RankCrashed { rank: first });
+        }
+
+        let fails = plan.collective_failed_attempts(seq);
+        if fails > 0 {
+            let mut waited = 0.0;
+            for i in 0..fails {
+                waited += plan.retry.retry_cost_s(i);
+            }
+            self.clock.charge_retry_seconds(waited);
+            self.traffic.record_retries(op, fails as u64);
+            if fails > plan.retry.max_retries {
+                return Err(SimError::Timeout {
+                    op: opname,
+                    rank: self.rank,
+                    waited_s: waited,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove crashed ranks from the communicator. Collective over the
+    /// *old* world: after a [`SimError::RankCrashed`] error, every rank —
+    /// including the crashed ones, whose host threads are still running —
+    /// must call `shrink`. Returns `Ok(true)` for survivors, whose
+    /// communicator afterwards addresses the shrunken world (with a new,
+    /// dense rank id; see [`Communicator::orig_rank`]), and `Ok(false)`
+    /// for crashed ranks, which must stop using the communicator. Clock
+    /// and traffic accounts carry over; undelivered p2p messages to or
+    /// from crashed ranks are dropped with the old world.
+    pub fn shrink(&mut self) -> Result<bool, SimError> {
+        let failed: Vec<usize> = self.world.failed.lock().clone();
+        if failed.is_empty() {
+            return Ok(true);
+        }
+        let survivors: Vec<usize> = (0..self.size()).filter(|r| !failed.contains(r)).collect();
+        assert!(!survivors.is_empty(), "every rank of the communicator crashed");
+        let i_survive = !failed.contains(&self.rank);
+        if i_survive && self.rank == survivors[0] {
+            let orig: Vec<usize> = survivors.iter().map(|&r| self.world.orig_ranks[r]).collect();
+            let new_world = CommWorld::new(survivors.len(), Arc::clone(&self.world.plan), orig);
+            *self.world.next_world.lock() = Some(new_world);
+        }
+        self.world.barrier.wait(); // staged world visible to all survivors
+        if !i_survive {
+            return Ok(false);
+        }
+        let new_world = self
+            .world
+            .next_world
+            .lock()
+            .clone()
+            .expect("lowest survivor stages the new world");
+        self.rank = survivors
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("survivor present in survivor list");
+        self.world = new_world;
+        Ok(true)
     }
 }
 

@@ -42,6 +42,13 @@ impl CostModel {
         &self.spec
     }
 
+    /// A copy of this model pricing against a degraded interconnect (see
+    /// [`ClusterSpec::degraded`]). With both factors at 1.0 prices are
+    /// identical to this model's.
+    pub fn degraded(&self, latency_mult: f64, bandwidth_div: f64) -> CostModel {
+        CostModel::new(self.spec.degraded(latency_mult, bandwidth_div))
+    }
+
     #[inline]
     fn alpha(&self) -> f64 {
         self.spec.latency_s

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors raised by the simulated communication layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// Participants presented buffers of different lengths to an operation
     /// that requires congruent shapes (e.g. all-reduce).
@@ -17,6 +17,17 @@ pub enum SimError {
     InvalidRank { rank: usize, size: usize },
     /// A peer thread panicked or exited mid-collective.
     PeerFailure { detail: String },
+    /// An operation exhausted its retry budget: every attempt (original
+    /// plus retries) was lost to injected faults. `waited_s` is the total
+    /// simulated time spent on timeouts and backoff before giving up.
+    Timeout {
+        op: &'static str,
+        rank: usize,
+        waited_s: f64,
+    },
+    /// A peer rank (original id) crashed per the active `FaultPlan`; the
+    /// collective cannot complete at the current communicator size.
+    RankCrashed { rank: usize },
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +46,11 @@ impl fmt::Display for SimError {
                 write!(f, "invalid rank {rank} for communicator of size {size}")
             }
             SimError::PeerFailure { detail } => write!(f, "peer failure: {detail}"),
+            SimError::Timeout { op, rank, waited_s } => write!(
+                f,
+                "{op}: rank {rank} timed out after {waited_s:.3}s of retries"
+            ),
+            SimError::RankCrashed { rank } => write!(f, "rank {rank} crashed"),
         }
     }
 }
@@ -58,5 +74,32 @@ mod tests {
 
         let e = SimError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains("rank 9"));
+
+        let e = SimError::Timeout {
+            op: "send_bytes",
+            rank: 3,
+            waited_s: 0.456,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("send_bytes") && s.contains("rank 3") && s.contains("0.456"),
+            "timeout display missing context: {s}"
+        );
+
+        let e = SimError::RankCrashed { rank: 2 };
+        assert!(e.to_string().contains("rank 2 crashed"));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        // PartialEq survives the float-bearing Timeout variant (Eq was
+        // dropped when `waited_s` was added).
+        let a = SimError::Timeout {
+            op: "allreduce",
+            rank: 0,
+            waited_s: 0.5,
+        };
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, SimError::RankCrashed { rank: 0 });
     }
 }

@@ -2,28 +2,29 @@
 //! OS thread, wired together by a shared communicator.
 
 use crate::comm::{CommWorld, Communicator};
+use crate::fault::FaultPlan;
 use crate::spec::ClusterSpec;
+use std::sync::Arc;
 use std::thread;
 
 /// Execution context handed to the program running on one node.
 pub struct NodeCtx {
-    rank: usize,
-    size: usize,
     spec: ClusterSpec,
     comm: Communicator,
 }
 
 impl NodeCtx {
-    /// This node's rank in `0..size()`.
+    /// This node's rank in `0..size()`. Delegates to the communicator, so
+    /// it stays correct after a crash shrinks the world mid-run.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.comm.rank()
     }
 
-    /// Number of nodes in the cluster.
+    /// Number of nodes in the cluster (current communicator size).
     #[inline]
     pub fn size(&self) -> usize {
-        self.size
+        self.comm.size()
     }
 
     /// The hardware description the cluster was built with.
@@ -55,13 +56,31 @@ impl NodeCtx {
 pub struct Cluster {
     size: usize,
     spec: ClusterSpec,
+    plan: Arc<FaultPlan>,
 }
 
 impl Cluster {
     /// Build a cluster of `size ≥ 1` nodes with the given hardware spec.
     pub fn new(size: usize, spec: ClusterSpec) -> Self {
         assert!(size >= 1, "a cluster needs at least one node");
-        Cluster { size, spec }
+        Cluster {
+            size,
+            spec,
+            plan: Arc::new(FaultPlan::none()),
+        }
+    }
+
+    /// Attach a fault schedule (builder style). With [`FaultPlan::none`]
+    /// — the default — every code path and simulated time is bit-identical
+    /// to a cluster built without a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Arc::new(plan);
+        self
+    }
+
+    /// The attached fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Number of nodes.
@@ -79,7 +98,7 @@ impl Cluster {
         R: Send,
         F: Fn(&mut NodeCtx) -> R + Sync,
     {
-        let world = CommWorld::new(self.size);
+        let world = CommWorld::new(self.size, self.plan.clone(), (0..self.size).collect());
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
             for rank in 0..self.size {
@@ -87,10 +106,7 @@ impl Cluster {
                 let spec = self.spec.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let size = world.size();
                     let mut ctx = NodeCtx {
-                        rank,
-                        size,
                         comm: Communicator::new(world, rank, &spec),
                         spec,
                     };

@@ -41,6 +41,7 @@ pub mod comm;
 pub mod cost;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod p2p;
 pub mod spec;
 pub mod traffic;
@@ -49,6 +50,7 @@ pub use clock::{SimClock, TimeBreakdown};
 pub use comm::Communicator;
 pub use cost::{Collective, CostModel};
 pub use error::SimError;
+pub use fault::{FaultPlan, LinkDegradation, RankCrash, RetryPolicy, StragglerWindow};
 pub use p2p::Message;
 pub use executor::{Cluster, NodeCtx};
 pub use spec::ClusterSpec;

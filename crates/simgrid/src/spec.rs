@@ -97,6 +97,19 @@ impl ClusterSpec {
         self
     }
 
+    /// A copy of this spec with a degraded interconnect: latency
+    /// multiplied by `latency_mult`, bandwidth divided by `bandwidth_div`.
+    /// Used to price operations during a `FaultPlan` link-degradation
+    /// window; compute parameters are untouched.
+    pub fn degraded(&self, latency_mult: f64, bandwidth_div: f64) -> Self {
+        debug_assert!(latency_mult >= 1.0 && bandwidth_div >= 1.0);
+        ClusterSpec {
+            latency_s: self.latency_s * latency_mult,
+            bandwidth_bps: self.bandwidth_bps / bandwidth_div,
+            ..self.clone()
+        }
+    }
+
     /// Effective useful flop rate of one node once the intra-node
     /// parallel speedup of the batch kernel is accounted for.
     #[inline]

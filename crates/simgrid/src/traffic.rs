@@ -15,6 +15,19 @@ struct Counter {
     ops: u64,
     bytes_sent: u64,
     bytes_recv: u64,
+    /// Bytes this rank put on the wire: payload actually transmitted to
+    /// other ranks, excluding its own contribution to results it keeps.
+    /// Unlike `bytes_sent`/`bytes_recv` (which describe the logical
+    /// payload of the call), wire counters satisfy exact conservation:
+    /// summed over all ranks, `wire_sent == wire_recv`.
+    #[serde(default)]
+    wire_sent: u64,
+    /// Bytes delivered to this rank over the wire from other ranks.
+    #[serde(default)]
+    wire_recv: u64,
+    /// Retransmission attempts absorbed by the retry policy.
+    #[serde(default)]
+    retries: u64,
 }
 
 impl TrafficStats {
@@ -25,6 +38,21 @@ impl TrafficStats {
         c.ops += 1;
         c.bytes_sent += sent as u64;
         c.bytes_recv += recv as u64;
+    }
+
+    /// Record the wire traffic of one operation: `out` bytes transmitted
+    /// to peers, `in_` bytes delivered from peers. Single-rank fast paths
+    /// record zero wire bytes.
+    pub fn record_wire(&mut self, op: Collective, out: usize, in_: usize) {
+        let c = self.entries.entry(op).or_default();
+        c.wire_sent += out as u64;
+        c.wire_recv += in_ as u64;
+    }
+
+    /// Record `n` retransmission attempts charged to `op` by the fault
+    /// retry policy.
+    pub fn record_retries(&mut self, op: Collective, n: u64) {
+        self.entries.entry(op).or_default().retries += n;
     }
 
     /// Immutable snapshot for reporting.
@@ -69,6 +97,39 @@ impl TrafficReport {
             .map(|c| c.bytes_sent + c.bytes_recv)
             .sum()
     }
+
+    /// Bytes this rank transmitted over the wire in collectives of kind
+    /// `op` (conservation-exact; see [`TrafficStats::record_wire`]).
+    pub fn wire_sent(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.wire_sent)
+    }
+
+    /// Bytes delivered to this rank over the wire in collectives of kind
+    /// `op`.
+    pub fn wire_recv(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.wire_recv)
+    }
+
+    /// Retransmission attempts charged to `op`.
+    pub fn retries(&self, op: Collective) -> u64 {
+        self.entries.get(&op).map_or(0, |c| c.retries)
+    }
+
+    /// Total wire bytes transmitted across all ops. Across all ranks of a
+    /// run, `Σ total_wire_sent == Σ total_wire_recv` exactly.
+    pub fn total_wire_sent(&self) -> u64 {
+        self.entries.values().map(|c| c.wire_sent).sum()
+    }
+
+    /// Total wire bytes delivered across all ops.
+    pub fn total_wire_recv(&self) -> u64 {
+        self.entries.values().map(|c| c.wire_recv).sum()
+    }
+
+    /// Total retransmission attempts across all ops.
+    pub fn total_retries(&self) -> u64 {
+        self.entries.values().map(|c| c.retries).sum()
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +162,25 @@ mod tests {
         t.record(Collective::Barrier, 0, 0);
         t.reset();
         assert_eq!(t.report().ops(Collective::Barrier), 0);
+    }
+
+    #[test]
+    fn wire_and_retry_counters_accumulate_independently() {
+        let mut t = TrafficStats::default();
+        t.record(Collective::AllReduce, 100, 100);
+        t.record_wire(Collective::AllReduce, 75, 75);
+        t.record_wire(Collective::AllReduce, 25, 30);
+        t.record_retries(Collective::AllReduce, 2);
+        t.record_retries(Collective::PointToPoint, 1);
+        let r = t.report();
+        assert_eq!(r.wire_sent(Collective::AllReduce), 100);
+        assert_eq!(r.wire_recv(Collective::AllReduce), 105);
+        assert_eq!(r.retries(Collective::AllReduce), 2);
+        assert_eq!(r.retries(Collective::PointToPoint), 1);
+        assert_eq!(r.total_wire_sent(), 100);
+        assert_eq!(r.total_wire_recv(), 105);
+        assert_eq!(r.total_retries(), 3);
+        // Logical payload counters are untouched by wire records.
+        assert_eq!(r.bytes_sent(Collective::AllReduce), 100);
     }
 }

@@ -8,6 +8,11 @@
 # records `host_cores`; on a single-core host the 4-thread figure measures
 # scheduling overhead, not parallel speedup.
 #
+# The binary also trains a quick-scale faulted vs fault-free pair on a
+# 4-node simulated cluster (seeded straggler + mid-run rank crash) and
+# records both simulated-time profiles, the recovery overhead, and a
+# bit-reproducibility check under `fault_injection` in the same JSON.
+#
 # Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_batch.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
