@@ -20,18 +20,44 @@
 //! ```
 
 use bench::{fb15k_bench, BenchScale};
-use kge_core::{EmbeddingTable, SparseGrad};
+use kge_core::loss::{logistic_loss, logistic_loss_grad};
+use kge_core::{BlockScratch, EmbeddingTable, SparseGrad};
 use kge_data::FilterIndex;
-use kge_train::{batch_gradients, train, StrategyConfig, TrainConfig, TrainOutcome};
+use kge_train::{batch_gradients, train, BatchWorkspace, StrategyConfig, TrainConfig, TrainOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simgrid::{Cluster, ClusterSpec, FaultPlan, StragglerWindow};
 use std::time::Instant;
 
+/// With `--features count-allocs` the binary counts every heap
+/// allocation, letting the JSON prove the steady-state loop allocates
+/// nothing at one thread.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: kge_core::alloc_count::CountingAlloc = kge_core::alloc_count::CountingAlloc;
+
+/// Current allocation-event count, when the counting allocator is in.
+fn alloc_events() -> Option<u64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        Some(kge_core::alloc_count::snapshot().allocs)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
+
 const BATCHES: usize = 5;
 const THREAD_COUNTS: [usize; 2] = [1, 4];
+/// Timed passes of the bare fused kernel over one staged batch.
+const KERNEL_PASSES: usize = 5;
 
-fn grad_rows(g: &SparseGrad) -> Vec<(u32, Vec<f32>)> {
+/// Sorted (row, values) snapshot of a sparse gradient, for bitwise
+/// comparison across thread-pool sizes.
+type GradRows = Vec<(u32, Vec<f32>)>;
+
+fn grad_rows(g: &SparseGrad) -> GradRows {
     g.iter_sorted().map(|(r, v)| (r, v.to_vec())).collect()
 }
 
@@ -115,7 +141,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    let mut reference: Option<(Vec<(u32, Vec<f32>)>, Vec<(u32, Vec<f32>)>)> = None;
+    let mut reference: Option<(GradRows, GradRows)> = None;
     let mut identical = true;
 
     for &threads in &THREAD_COUNTS {
@@ -124,7 +150,7 @@ fn main() {
             .build()
             .expect("bench thread pool");
 
-        // Warm-up batch; also the determinism probe across pool sizes.
+        // Determinism probe across pool sizes (allocating entry point).
         let (_, _, ent_g, rel_g) = pool.install(|| {
             batch_gradients(model.as_ref(), &ent, &rel, &ds.train, 0, &config, &filter, None, 0, 0)
         });
@@ -135,23 +161,108 @@ fn main() {
             }
         }
 
-        let start = Instant::now();
-        for b in 0..BATCHES {
-            let out = pool.install(|| {
-                batch_gradients(
+        // Steady-state path: one reused workspace, as the trainer runs it.
+        // Warm every batch index first so the timed (and, at one thread,
+        // allocation-counted) passes hit only warm buffers.
+        let mut ws = BatchWorkspace::new(dim);
+        pool.install(|| {
+            for b in 0..BATCHES {
+                ws.batch_gradients_into(
                     model.as_ref(), &ent, &rel, &ds.train, b, &config, &filter, None, 0, 0,
-                )
-            });
-            std::hint::black_box(&out);
-        }
+                );
+            }
+        });
+
+        let allocs_before = alloc_events();
+        let start = Instant::now();
+        pool.install(|| {
+            for b in 0..BATCHES {
+                let out = ws.batch_gradients_into(
+                    model.as_ref(), &ent, &rel, &ds.train, b, &config, &filter, None, 0, 0,
+                );
+                std::hint::black_box(&out);
+            }
+        });
         let secs = start.elapsed().as_secs_f64();
+        // Thread pools >1 spawn workers per parallel region by design;
+        // the zero-allocation guarantee is the single-thread hot path.
+        let steady_allocs = match (allocs_before, alloc_events()) {
+            (Some(before), Some(after)) if threads == 1 => Some(after - before),
+            _ => None,
+        };
         let triples_per_sec = (examples_per_batch * BATCHES) as f64 / secs;
         eprintln!(
-            "  threads {}: {:.3} s / {} batches -> {:.0} triples/sec",
-            threads, secs, BATCHES, triples_per_sec
+            "  threads {}: {:.3} s / {} batches -> {:.0} triples/sec{}",
+            threads,
+            secs,
+            BATCHES,
+            triples_per_sec,
+            match steady_allocs {
+                Some(a) => format!(", steady-state allocs {a}"),
+                None => String::new(),
+            }
         );
-        results.push((threads, secs / BATCHES as f64, triples_per_sec));
+        if let Some(a) = steady_allocs {
+            assert_eq!(a, 0, "steady-state batch loop allocated at one thread");
+        }
+        results.push((threads, secs / BATCHES as f64, triples_per_sec, steady_allocs));
     }
+
+    // Kernel-level throughput: stage one batch's example list once, then
+    // time the bare fused block kernel (gather → score+grad → scatter)
+    // with no sampling around it.
+    let n_staged = examples_per_batch;
+    let staged: Vec<(u32, u32, u32)> = (0..n_staged)
+        .map(|i| {
+            let t = ds.train[i % ds.train.len()];
+            (t.head, t.rel, t.tail)
+        })
+        .collect();
+    let labels: Vec<f32> = (0..n_staged)
+        .map(|i| {
+            if i % (1 + config.strategy.neg.train) == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect();
+    let inv = 1.0 / n_staged as f32;
+    let mut block = BlockScratch::new();
+    let mut kent = SparseGrad::new(dim);
+    let mut krel = SparseGrad::new(dim);
+    let kernel_pass = |kent: &mut SparseGrad, krel: &mut SparseGrad, block: &mut BlockScratch| {
+        kent.clear();
+        krel.clear();
+        let mut loss = 0.0f64;
+        let mut coeff = |i: usize, s: f32| {
+            let y = labels[i];
+            loss += logistic_loss(y, s) as f64;
+            logistic_loss_grad(y, s) * inv
+        };
+        model.score_grad_block(
+            &ent,
+            &rel,
+            &staged,
+            2.0 * config.l2 * inv,
+            block,
+            &mut coeff,
+            kent,
+            krel,
+        );
+        std::hint::black_box(loss);
+    };
+    kernel_pass(&mut kent, &mut krel, &mut block); // warm the arena
+    let start = Instant::now();
+    for _ in 0..KERNEL_PASSES {
+        kernel_pass(&mut kent, &mut krel, &mut block);
+    }
+    let kernel_secs = start.elapsed().as_secs_f64();
+    let kernel_triples_per_sec = (n_staged * KERNEL_PASSES) as f64 / kernel_secs;
+    eprintln!(
+        "  fused kernel alone: {:.3} s / {} passes -> {:.0} triples/sec",
+        kernel_secs, KERNEL_PASSES, kernel_triples_per_sec
+    );
 
     // Faulted vs fault-free end-to-end pair on the simulated cluster.
     // Both runs share one seed; the crash time is anchored to the
@@ -183,11 +294,14 @@ fn main() {
     let speedup = results[1].2 / results[0].2;
     let rows: Vec<serde_json::Value> = results
         .iter()
-        .map(|&(threads, seconds_per_batch, triples_per_sec)| {
+        .map(|&(threads, seconds_per_batch, triples_per_sec, steady_allocs)| {
             serde_json::json!({
                 "threads": threads,
                 "seconds_per_batch": seconds_per_batch,
                 "triples_per_sec": triples_per_sec,
+                // null unless built with --features count-allocs and
+                // threads == 1 (the scope of the zero-alloc guarantee).
+                "steady_state_allocs": steady_allocs,
             })
         })
         .collect();
@@ -200,6 +314,11 @@ fn main() {
         "batches_timed": BATCHES,
         "host_cores": host_cores,
         "results": rows,
+        "kernel": serde_json::json!({
+            "triples_per_sec": kernel_triples_per_sec,
+            "examples_per_pass": n_staged,
+            "passes": KERNEL_PASSES,
+        }),
         "speedup_4_threads_over_1": speedup,
         "gradients_bit_identical_across_pools": identical,
         "fault_injection": serde_json::json!({

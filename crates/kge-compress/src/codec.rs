@@ -13,7 +13,6 @@
 //! ```
 
 use crate::quant::QuantizedRow;
-use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// Wire format selector.
@@ -100,28 +99,46 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Encode rows (all of width `dim`) under `format`.
-pub fn encode_rows(
+/// Streaming encoder that writes rows directly into a caller-owned byte
+/// buffer — the buffer-reusing counterpart of [`encode_rows`]. The hot
+/// exchange path keeps one `Vec<u8>` per worker and re-encodes into it
+/// every batch; the byte layout is identical to [`encode_rows`], so either
+/// side can decode the other's payloads.
+pub struct RowEncoder<'a> {
+    buf: &'a mut Vec<u8>,
     format: WireFormat,
     dim: usize,
-    rows: &[RowPayload],
-) -> Result<Vec<u8>, CodecError> {
-    let mut buf = BytesMut::with_capacity(format.payload_bytes(dim, rows.len()));
-    buf.put_u8(format.tag());
-    buf.put_u32_le(rows.len() as u32);
-    buf.put_u32_le(dim as u32);
-    for rp in rows {
-        if rp.data.len() != dim {
+    n_rows: u32,
+}
+
+impl<'a> RowEncoder<'a> {
+    /// Start a payload in `buf` (cleared first; capacity is kept).
+    pub fn new(format: WireFormat, dim: usize, buf: &'a mut Vec<u8>) -> Self {
+        buf.clear();
+        buf.push(format.tag());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // n_rows, patched by finish()
+        buf.extend_from_slice(&(dim as u32).to_le_bytes());
+        RowEncoder {
+            buf,
+            format,
+            dim,
+            n_rows: 0,
+        }
+    }
+
+    /// Append one `(row id, payload)` pair.
+    pub fn push(&mut self, row: u32, data: &QuantizedRow) -> Result<(), CodecError> {
+        if data.len() != self.dim {
             return Err(CodecError::DimMismatch {
-                expected: dim,
-                got: rp.data.len(),
+                expected: self.dim,
+                got: data.len(),
             });
         }
-        buf.put_u32_le(rp.row);
-        match (&rp.data, format) {
+        self.buf.extend_from_slice(&row.to_le_bytes());
+        match (data, self.format) {
             (QuantizedRow::Full(v), WireFormat::F32) => {
                 for &x in v {
-                    buf.put_f32_le(x);
+                    self.buf.extend_from_slice(&x.to_le_bytes());
                 }
             }
             (
@@ -132,9 +149,9 @@ pub fn encode_rows(
                 },
                 WireFormat::OneBit { two_scales },
             ) => {
-                buf.put_f32_le(*pos_scale);
+                self.buf.extend_from_slice(&pos_scale.to_le_bytes());
                 if two_scales {
-                    buf.put_f32_le(*neg_scale);
+                    self.buf.extend_from_slice(&neg_scale.to_le_bytes());
                 } else if pos_scale != neg_scale {
                     return Err(CodecError::WrongVariant {
                         expected: "one-scale OneBit",
@@ -147,11 +164,11 @@ pub fn encode_rows(
                             byte |= 1 << i;
                         }
                     }
-                    buf.put_u8(byte);
+                    self.buf.push(byte);
                 }
             }
             (QuantizedRow::TwoBit { levels, scale }, WireFormat::TwoBit) => {
-                buf.put_f32_le(*scale);
+                self.buf.extend_from_slice(&scale.to_le_bytes());
                 for chunk in levels.chunks(4) {
                     let mut byte = 0u8;
                     for (i, &l) in chunk.iter().enumerate() {
@@ -162,12 +179,12 @@ pub fn encode_rows(
                         };
                         byte |= code << (2 * i);
                     }
-                    buf.put_u8(byte);
+                    self.buf.push(byte);
                 }
             }
             _ => {
                 return Err(CodecError::WrongVariant {
-                    expected: match format {
+                    expected: match self.format {
                         WireFormat::F32 => "F32",
                         WireFormat::OneBit { .. } => "OneBit",
                         WireFormat::TwoBit => "TwoBit",
@@ -175,82 +192,304 @@ pub fn encode_rows(
                 })
             }
         }
+        self.n_rows += 1;
+        Ok(())
     }
-    Ok(buf.to_vec())
+
+    /// Append a raw `f32` row under the [`WireFormat::F32`] format without
+    /// materializing a [`QuantizedRow`] (the parameter-server relation
+    /// broadcast path encodes embedding rows straight out of the table).
+    pub fn push_f32(&mut self, row: u32, v: &[f32]) -> Result<(), CodecError> {
+        if self.format != WireFormat::F32 {
+            return Err(CodecError::WrongVariant { expected: "F32" });
+        }
+        if v.len() != self.dim {
+            return Err(CodecError::DimMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        self.buf.extend_from_slice(&row.to_le_bytes());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Patch the row count into the header and return the payload length.
+    pub fn finish(self) -> usize {
+        self.buf[1..5].copy_from_slice(&self.n_rows.to_le_bytes());
+        self.buf.len()
+    }
+}
+
+/// Encode rows (all of width `dim`) under `format`.
+pub fn encode_rows(
+    format: WireFormat,
+    dim: usize,
+    rows: &[RowPayload],
+) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Vec::with_capacity(format.payload_bytes(dim, rows.len()));
+    let mut enc = RowEncoder::new(format, dim, &mut buf);
+    for rp in rows {
+        enc.push(rp.row, &rp.data)?;
+    }
+    enc.finish();
+    Ok(buf)
+}
+
+/// A borrowed view of one encoded row: the row id plus the packed payload
+/// bytes still sitting in the receive buffer. [`RowRef::add_into`] and
+/// [`RowRef::dequantize_into`] apply the row without materializing a
+/// [`QuantizedRow`], which keeps the decode/accumulate loop allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    /// The row id this payload belongs to.
+    pub row: u32,
+    dim: usize,
+    data: RowBytes<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RowBytes<'a> {
+    Full(&'a [u8]),
+    OneBit {
+        sign_bytes: &'a [u8],
+        pos_scale: f32,
+        neg_scale: f32,
+    },
+    TwoBit {
+        level_bytes: &'a [u8],
+        scale: f32,
+    },
+}
+
+impl RowRef<'_> {
+    /// Declared row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Add the dequantized row into `out`, reading the packed bytes in
+    /// place. Values are bit-identical to decoding a [`QuantizedRow`] and
+    /// calling [`QuantizedRow::add_into`].
+    ///
+    /// # Panics
+    /// If `out.len()` differs from the declared row width.
+    pub fn add_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "row width mismatch");
+        match self.data {
+            RowBytes::Full(bytes) => {
+                for (o, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *o += f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+                }
+            }
+            RowBytes::OneBit {
+                sign_bytes,
+                pos_scale,
+                neg_scale,
+            } => {
+                for (k, o) in out.iter_mut().enumerate() {
+                    let bit = sign_bytes[k / 8] & (1 << (k % 8)) != 0;
+                    *o += if bit { pos_scale } else { -neg_scale };
+                }
+            }
+            RowBytes::TwoBit { level_bytes, scale } => {
+                for (k, o) in out.iter_mut().enumerate() {
+                    let level: f32 = match (level_bytes[k / 4] >> (2 * (k % 4))) & 0b11 {
+                        0b00 => 0.0,
+                        0b01 => 1.0,
+                        _ => -1.0,
+                    };
+                    *o += level * scale;
+                }
+            }
+        }
+    }
+
+    /// Overwrite `out` with the dequantized row. Written values are
+    /// bit-exact: an F32 payload restores the original bytes (including
+    /// negative zeros), matching [`QuantizedRow::dequantize_into`].
+    ///
+    /// # Panics
+    /// If `out.len()` differs from the declared row width.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "row width mismatch");
+        match self.data {
+            RowBytes::Full(bytes) => {
+                for (o, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+                }
+            }
+            RowBytes::OneBit {
+                sign_bytes,
+                pos_scale,
+                neg_scale,
+            } => {
+                for (k, o) in out.iter_mut().enumerate() {
+                    let bit = sign_bytes[k / 8] & (1 << (k % 8)) != 0;
+                    *o = if bit { pos_scale } else { -neg_scale };
+                }
+            }
+            RowBytes::TwoBit { level_bytes, scale } => {
+                for (k, o) in out.iter_mut().enumerate() {
+                    let level: f32 = match (level_bytes[k / 4] >> (2 * (k % 4))) & 0b11 {
+                        0b00 => 0.0,
+                        0b01 => 1.0,
+                        _ => -1.0,
+                    };
+                    *o = level * scale;
+                }
+            }
+        }
+    }
+
+    /// Materialize the payload as an owned [`QuantizedRow`] (allocates;
+    /// the compatibility path used by [`decode_rows`]).
+    pub fn to_quantized(&self) -> QuantizedRow {
+        match self.data {
+            RowBytes::Full(bytes) => QuantizedRow::Full(
+                bytes
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                    .collect(),
+            ),
+            RowBytes::OneBit {
+                sign_bytes,
+                pos_scale,
+                neg_scale,
+            } => QuantizedRow::OneBit {
+                signs: (0..self.dim)
+                    .map(|k| sign_bytes[k / 8] & (1 << (k % 8)) != 0)
+                    .collect(),
+                pos_scale,
+                neg_scale,
+            },
+            RowBytes::TwoBit { level_bytes, scale } => QuantizedRow::TwoBit {
+                levels: (0..self.dim)
+                    .map(|k| match (level_bytes[k / 4] >> (2 * (k % 4))) & 0b11 {
+                        0b00 => 0i8,
+                        0b01 => 1,
+                        _ => -1,
+                    })
+                    .collect(),
+                scale,
+            },
+        }
+    }
+}
+
+/// Streaming zero-copy decoder over a payload produced by [`encode_rows`]
+/// or [`RowEncoder`]. Yields [`RowRef`]s borrowing the input buffer.
+pub struct RowDecoder<'a> {
+    buf: &'a [u8],
+    format: WireFormat,
+    dim: usize,
+    remaining: u32,
+}
+
+impl<'a> RowDecoder<'a> {
+    /// Parse the payload header.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 9 {
+            return Err(CodecError::Truncated {
+                need: 9,
+                have: bytes.len(),
+            });
+        }
+        let format = WireFormat::from_tag(bytes[0])?;
+        let n_rows = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+        let dim = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+        Ok(RowDecoder {
+            buf: &bytes[9..],
+            format,
+            dim,
+            remaining: n_rows,
+        })
+    }
+
+    /// Declared row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The payload's wire format.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Rows not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining as usize
+    }
+
+    /// Yield the next row, or `None` when the declared count is exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible next: Iterator would lose the error
+    pub fn next_row(&mut self) -> Option<Result<RowRef<'a>, CodecError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.parse_row())
+    }
+
+    fn parse_row(&mut self) -> Result<RowRef<'a>, CodecError> {
+        let body = self.format.row_bytes(self.dim) - 4;
+        let need = 4 + body;
+        if self.buf.len() < need {
+            return Err(CodecError::Truncated {
+                need,
+                have: self.buf.len(),
+            });
+        }
+        let row = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        let payload = &self.buf[4..need];
+        self.buf = &self.buf[need..];
+        let data = match self.format {
+            WireFormat::F32 => RowBytes::Full(payload),
+            WireFormat::OneBit { two_scales } => {
+                let pos_scale = f32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                let (neg_scale, off) = if two_scales {
+                    (
+                        f32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]),
+                        8,
+                    )
+                } else {
+                    (pos_scale, 4)
+                };
+                RowBytes::OneBit {
+                    sign_bytes: &payload[off..],
+                    pos_scale,
+                    neg_scale,
+                }
+            }
+            WireFormat::TwoBit => RowBytes::TwoBit {
+                level_bytes: &payload[4..],
+                scale: f32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]),
+            },
+        };
+        Ok(RowRef {
+            row,
+            dim: self.dim,
+            data,
+        })
+    }
 }
 
 /// Decode a payload produced by [`encode_rows`]. Returns the rows and the
 /// declared row width.
 pub fn decode_rows(bytes: &[u8]) -> Result<(Vec<RowPayload>, usize), CodecError> {
-    let mut buf = bytes;
-    let need = |buf: &[u8], n: usize| -> Result<(), CodecError> {
-        if buf.remaining() < n {
-            Err(CodecError::Truncated {
-                need: n,
-                have: buf.remaining(),
-            })
-        } else {
-            Ok(())
-        }
-    };
-    need(buf, 9)?;
-    let format = WireFormat::from_tag(buf.get_u8())?;
-    let n_rows = buf.get_u32_le() as usize;
-    let dim = buf.get_u32_le() as usize;
-    let mut rows = Vec::with_capacity(n_rows);
-    for _ in 0..n_rows {
-        need(buf, 4)?;
-        let row = buf.get_u32_le();
-        let data = match format {
-            WireFormat::F32 => {
-                need(buf, 4 * dim)?;
-                let mut v = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    v.push(buf.get_f32_le());
-                }
-                QuantizedRow::Full(v)
-            }
-            WireFormat::OneBit { two_scales } => {
-                need(buf, if two_scales { 8 } else { 4 } + dim.div_ceil(8))?;
-                let pos_scale = buf.get_f32_le();
-                let neg_scale = if two_scales { buf.get_f32_le() } else { pos_scale };
-                let mut signs = Vec::with_capacity(dim);
-                for _ in 0..dim.div_ceil(8) {
-                    let byte = buf.get_u8();
-                    for i in 0..8 {
-                        if signs.len() < dim {
-                            signs.push(byte & (1 << i) != 0);
-                        }
-                    }
-                }
-                QuantizedRow::OneBit {
-                    signs,
-                    pos_scale,
-                    neg_scale,
-                }
-            }
-            WireFormat::TwoBit => {
-                need(buf, 4 + dim.div_ceil(4))?;
-                let scale = buf.get_f32_le();
-                let mut levels = Vec::with_capacity(dim);
-                for _ in 0..dim.div_ceil(4) {
-                    let byte = buf.get_u8();
-                    for i in 0..4 {
-                        if levels.len() < dim {
-                            levels.push(match (byte >> (2 * i)) & 0b11 {
-                                0b00 => 0i8,
-                                0b01 => 1,
-                                _ => -1,
-                            });
-                        }
-                    }
-                }
-                QuantizedRow::TwoBit { levels, scale }
-            }
-        };
-        rows.push(RowPayload { row, data });
+    let mut dec = RowDecoder::new(bytes)?;
+    let mut rows = Vec::with_capacity(dec.remaining());
+    while let Some(r) = dec.next_row() {
+        let r = r?;
+        rows.push(RowPayload {
+            row: r.row,
+            data: r.to_quantized(),
+        });
     }
-    Ok((rows, dim))
+    Ok((rows, dec.dim))
 }
 
 #[cfg(test)]
@@ -366,6 +605,112 @@ mod tests {
     fn bad_tag_rejected() {
         let err = decode_rows(&[9u8, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
         assert_eq!(err, CodecError::BadTag(9));
+    }
+
+    #[test]
+    fn row_encoder_matches_encode_rows_bytewise() {
+        for (scheme, fmt, dim) in [
+            (QuantScheme::None, WireFormat::F32, 7),
+            (
+                QuantScheme::paper_one_bit(),
+                WireFormat::OneBit { two_scales: false },
+                13,
+            ),
+            (
+                QuantScheme::OneBit {
+                    rule: crate::quant::ScaleRule::PosNegAvg,
+                },
+                WireFormat::OneBit { two_scales: true },
+                9,
+            ),
+            (QuantScheme::TwoBit, WireFormat::TwoBit, 10),
+        ] {
+            let rows = sample_rows(scheme, dim, 5);
+            let reference = encode_rows(fmt, dim, &rows).unwrap();
+            let mut buf = vec![0xAAu8; 3]; // stale contents must be discarded
+            let mut enc = RowEncoder::new(fmt, dim, &mut buf);
+            for rp in &rows {
+                enc.push(rp.row, &rp.data).unwrap();
+            }
+            let n = enc.finish();
+            assert_eq!(n, buf.len());
+            assert_eq!(buf, reference, "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn push_f32_matches_full_quantized_push() {
+        let rows = sample_rows(QuantScheme::None, 6, 3);
+        let reference = encode_rows(WireFormat::F32, 6, &rows).unwrap();
+        let mut buf = Vec::new();
+        let mut enc = RowEncoder::new(WireFormat::F32, 6, &mut buf);
+        for rp in &rows {
+            match &rp.data {
+                QuantizedRow::Full(v) => enc.push_f32(rp.row, v).unwrap(),
+                _ => unreachable!(),
+            }
+        }
+        enc.finish();
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    fn push_f32_rejects_non_f32_format() {
+        let mut buf = Vec::new();
+        let mut enc = RowEncoder::new(WireFormat::TwoBit, 4, &mut buf);
+        let err = enc.push_f32(0, &[1.0, 2.0, 3.0, 4.0]).unwrap_err();
+        assert!(matches!(err, CodecError::WrongVariant { .. }));
+    }
+
+    #[test]
+    fn row_decoder_add_into_matches_quantized_add_into() {
+        for (scheme, fmt, dim) in [
+            (QuantScheme::None, WireFormat::F32, 7),
+            (
+                QuantScheme::paper_one_bit(),
+                WireFormat::OneBit { two_scales: false },
+                13,
+            ),
+            (
+                QuantScheme::OneBit {
+                    rule: crate::quant::ScaleRule::PosNegAvg,
+                },
+                WireFormat::OneBit { two_scales: true },
+                9,
+            ),
+            (QuantScheme::TwoBit, WireFormat::TwoBit, 10),
+        ] {
+            let rows = sample_rows(scheme, dim, 4);
+            let bytes = encode_rows(fmt, dim, &rows).unwrap();
+            let mut dec = RowDecoder::new(&bytes).unwrap();
+            assert_eq!(dec.dim(), dim);
+            assert_eq!(dec.format(), fmt);
+            assert_eq!(dec.remaining(), 4);
+            for rp in &rows {
+                let r = dec.next_row().unwrap().unwrap();
+                assert_eq!(r.row, rp.row);
+                let mut borrowed = vec![0.5f32; dim];
+                let mut owned = vec![0.5f32; dim];
+                r.add_into(&mut borrowed);
+                rp.data.add_into(&mut owned);
+                assert_eq!(borrowed, owned, "{fmt:?}");
+                let mut deq = vec![f32::NAN; dim];
+                r.dequantize_into(&mut deq);
+                assert_eq!(deq, rp.data.dequantize(), "{fmt:?}");
+                assert_eq!(r.to_quantized(), rp.data, "{fmt:?}");
+            }
+            assert!(dec.next_row().is_none());
+        }
+    }
+
+    #[test]
+    fn row_decoder_reports_truncation() {
+        let rows = sample_rows(QuantScheme::None, 4, 2);
+        let bytes = encode_rows(WireFormat::F32, 4, &rows).unwrap();
+        let mut dec = RowDecoder::new(&bytes[..bytes.len() - 3]).unwrap();
+        assert!(dec.next_row().unwrap().is_ok());
+        let err = dec.next_row().unwrap().unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
     }
 
     #[test]

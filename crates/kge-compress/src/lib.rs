@@ -24,7 +24,7 @@ pub mod quant;
 pub mod residual;
 pub mod row_select;
 
-pub use codec::{decode_rows, encode_rows, RowPayload, WireFormat};
+pub use codec::{decode_rows, encode_rows, RowDecoder, RowEncoder, RowPayload, RowRef, WireFormat};
 pub use quant::{QuantScheme, QuantizedRow, ScaleRule};
 pub use residual::ResidualStore;
 pub use row_select::{RowSelection, RowSelector};

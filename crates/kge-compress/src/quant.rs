@@ -149,43 +149,86 @@ impl QuantizedRow {
 /// Quantize one gradient row under `scheme`. The RNG is used only by the
 /// stochastic 2-bit scheme.
 pub fn quantize_row<R: Rng>(scheme: QuantScheme, v: &[f32], rng: &mut R) -> QuantizedRow {
+    let mut out = QuantizedRow::Full(Vec::new());
+    quantize_row_into(scheme, v, rng, &mut out);
+    out
+}
+
+/// Allocation-free [`quantize_row`]: reuses `out`'s buffers when the
+/// variant matches `scheme` (the steady state — hot paths keep one
+/// scratch `QuantizedRow` per scheme); only a variant switch allocates.
+/// RNG consumption is identical to `quantize_row`, element by element, so
+/// the two produce the same bits from the same stream.
+pub fn quantize_row_into<R: Rng>(
+    scheme: QuantScheme,
+    v: &[f32],
+    rng: &mut R,
+    out: &mut QuantizedRow,
+) {
     match scheme {
-        QuantScheme::None => QuantizedRow::Full(v.to_vec()),
+        QuantScheme::None => {
+            if let QuantizedRow::Full(buf) = out {
+                buf.clear();
+                buf.extend_from_slice(v);
+            } else {
+                *out = QuantizedRow::Full(v.to_vec());
+            }
+        }
         QuantScheme::OneBit { rule } => {
-            let (pos_scale, neg_scale) = scales(rule, v);
-            QuantizedRow::OneBit {
-                signs: v.iter().map(|&x| x >= 0.0).collect(),
+            let (p, n) = scales(rule, v);
+            if let QuantizedRow::OneBit {
+                signs,
                 pos_scale,
                 neg_scale,
+            } = out
+            {
+                signs.clear();
+                signs.extend(v.iter().map(|&x| x >= 0.0));
+                *pos_scale = p;
+                *neg_scale = n;
+            } else {
+                *out = QuantizedRow::OneBit {
+                    signs: v.iter().map(|&x| x >= 0.0).collect(),
+                    pos_scale: p,
+                    neg_scale: n,
+                };
             }
         }
         QuantScheme::TwoBit => {
-            let mean_abs = mean_abs(v);
-            if mean_abs <= 0.0 {
-                return QuantizedRow::TwoBit {
-                    levels: vec![0; v.len()],
-                    scale: 0.0,
-                };
-            }
-            let levels = v
-                .iter()
-                .map(|&x| {
-                    let p = (x.abs() / mean_abs).min(1.0);
-                    if rng.gen::<f32>() < p {
-                        if x >= 0.0 {
-                            1i8
-                        } else {
-                            -1i8
-                        }
-                    } else {
-                        0i8
+            let scale = mean_abs(v);
+            let levels = match out {
+                QuantizedRow::TwoBit { levels, scale: s } => {
+                    *s = if scale <= 0.0 { 0.0 } else { scale };
+                    levels.clear();
+                    levels
+                }
+                _ => {
+                    *out = QuantizedRow::TwoBit {
+                        levels: Vec::with_capacity(v.len()),
+                        scale: if scale <= 0.0 { 0.0 } else { scale },
+                    };
+                    match out {
+                        QuantizedRow::TwoBit { levels, .. } => levels,
+                        _ => unreachable!(),
                     }
-                })
-                .collect();
-            QuantizedRow::TwoBit {
-                levels,
-                scale: mean_abs,
+                }
+            };
+            if scale <= 0.0 {
+                levels.resize(v.len(), 0);
+                return;
             }
+            levels.extend(v.iter().map(|&x| {
+                let p = (x.abs() / scale).min(1.0);
+                if rng.gen::<f32>() < p {
+                    if x >= 0.0 {
+                        1i8
+                    } else {
+                        -1i8
+                    }
+                } else {
+                    0i8
+                }
+            }));
         }
     }
 }
@@ -391,6 +434,21 @@ mod tests {
         let q = QuantizedRow::Full(vec![1.0, 2.0]);
         let mut buf = [0.0f32; 3];
         q.dequantize_into(&mut buf);
+    }
+
+    #[test]
+    fn quantize_row_into_reuses_buffers_and_matches() {
+        for scheme in [QuantScheme::None, QuantScheme::paper_one_bit(), QuantScheme::TwoBit] {
+            let mut rng_a = StdRng::seed_from_u64(9);
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let fresh = quantize_row(scheme, &V, &mut rng_a);
+            // Warm a scratch row with a first call, then reuse it.
+            let mut scratch = QuantizedRow::Full(Vec::new());
+            let mut rng_warm = StdRng::seed_from_u64(1234);
+            quantize_row_into(scheme, &[1.0, -2.0], &mut rng_warm, &mut scratch);
+            quantize_row_into(scheme, &V, &mut rng_b, &mut scratch);
+            assert_eq!(scratch, fresh, "{scheme:?}");
+        }
     }
 
     #[test]

@@ -34,14 +34,41 @@ impl ResidualStore {
     /// them. Residuals for rows not present in `grad` stay stored (they
     /// re-enter whenever that row is next touched).
     pub fn add_into(&mut self, grad: &mut SparseGrad) {
-        let touched: Vec<u32> = grad.iter_sorted().map(|(r, _)| r).collect();
-        for row in touched {
+        // Walk the grad's own row list by index — no row id collection, no
+        // allocation (row_mut on an existing row does not reorder entries).
+        for i in 0..grad.nnz() {
+            let row = grad.entry(i).0;
             if let Some(res) = self.rows.remove(&row) {
                 let g = grad.row_mut(row);
                 for (gv, rv) in g.iter_mut().zip(res) {
                     *gv += rv;
                 }
             }
+        }
+    }
+
+    /// Record `orig − sent` for one transmitted row (the dequantized form
+    /// of what actually went on the wire). Allocates only the first time a
+    /// row is seen; hot paths call this per row with a reused dequantize
+    /// scratch buffer.
+    pub fn record_row_error(&mut self, row: u32, orig: &[f32], sent: &[f32]) {
+        let entry = self
+            .rows
+            .entry(row)
+            .or_insert_with(|| vec![0.0; orig.len()]);
+        for ((e, &o), &s) in entry.iter_mut().zip(orig).zip(sent) {
+            *e += o - s;
+        }
+    }
+
+    /// Record the whole original value for a row dropped from transmission.
+    pub fn record_row_dropped(&mut self, row: u32, orig: &[f32]) {
+        let entry = self
+            .rows
+            .entry(row)
+            .or_insert_with(|| vec![0.0; orig.len()]);
+        for (e, &o) in entry.iter_mut().zip(orig) {
+            *e += o;
         }
     }
 
@@ -58,18 +85,10 @@ impl ResidualStore {
     ) {
         let mut sent = vec![0.0f32; original.dim()];
         for (row, orig) in original.iter_sorted() {
-            let entry = self
-                .rows
-                .entry(row)
-                .or_insert_with(|| vec![0.0; orig.len()]);
             if transmitted(row, &mut sent) {
-                for ((e, &o), &s) in entry.iter_mut().zip(orig).zip(sent.iter()) {
-                    *e += o - s;
-                }
+                self.record_row_error(row, orig, &sent);
             } else {
-                for (e, &o) in entry.iter_mut().zip(orig) {
-                    *e += o;
-                }
+                self.record_row_dropped(row, orig);
             }
         }
     }
@@ -99,7 +118,7 @@ mod tests {
         let mut store = ResidualStore::new();
         // Pretend we transmitted a crude sign approximation of row 0 and
         // dropped row 5 entirely.
-        let sent_row0 = vec![1.0f32, -1.0];
+        let sent_row0 = [1.0f32, -1.0];
         store.record_error(&original, |row, buf| {
             if row == 0 {
                 buf.copy_from_slice(&[1.0, -1.0]);

@@ -3,20 +3,47 @@
 //! A KGE batch only touches the embedding rows of the entities/relations
 //! that appear in it, so per-batch gradients are naturally row-sparse.
 //! [`SparseGrad`] accumulates per-row contributions in a slab allocation
-//! that is reused across batches (no per-row `Vec`s), and iterates rows in
-//! sorted order so downstream reductions are deterministic.
+//! that is reused across batches (no per-row `Vec`s). Row lookup goes
+//! through a small open-addressed hash index (no `HashMap`, no per-insert
+//! allocation once capacity is warm), and the ascending-row iteration
+//! order used by deterministic reductions is **cached**: it is rebuilt at
+//! most once per batch by [`SparseGrad::ensure_sorted`] instead of being
+//! cloned and re-sorted on every [`SparseGrad::iter_sorted`] call.
+//!
+//! `clear()` keeps every allocation (slab, index, sorted cache), so after
+//! a warm-up pass the accumulator is reusable with zero heap traffic.
 
-use std::collections::HashMap;
+use std::borrow::Cow;
+
+/// Empty marker in the open-addressed index.
+const EMPTY: u64 = u64::MAX;
+
+/// Sentinel for "sorted cache definitely stale" (set by `retain`, which
+/// can remove rows without changing `rows.len()` validity bookkeeping).
+const STALE: usize = usize::MAX;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
 
 /// Accumulator of row-sparse gradients for one embedding table.
 #[derive(Debug, Clone)]
 pub struct SparseGrad {
     dim: usize,
-    /// row id -> slot index into `data` (slot i spans `i*dim..(i+1)*dim`).
-    slots: HashMap<u32, u32>,
-    /// Row ids in insertion order; sorted lazily on iteration.
+    /// Open-addressed index: `(row << 32) | slot` entries, linear probing.
+    /// Length is always a power of two (or zero before first insert).
+    index: Vec<u64>,
+    /// Row ids in insertion order; `rows[slot]` names slot's row.
     rows: Vec<u32>,
+    /// Slab: slot `i` spans `i*dim..(i+1)*dim`.
     data: Vec<f32>,
+    /// Cached ascending row order (valid iff `sorted_stamp == rows.len()`).
+    sorted: Vec<u32>,
+    sorted_stamp: usize,
 }
 
 impl SparseGrad {
@@ -25,9 +52,11 @@ impl SparseGrad {
         assert!(dim > 0);
         SparseGrad {
             dim,
-            slots: HashMap::new(),
+            index: Vec::new(),
             rows: Vec::new(),
             data: Vec::new(),
+            sorted: Vec::new(),
+            sorted_stamp: 0,
         }
     }
 
@@ -49,14 +78,65 @@ impl SparseGrad {
         self.rows.is_empty()
     }
 
+    /// Look up the slot of `row` in the open-addressed index.
+    #[inline]
+    fn find(&self, row: u32) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = splitmix64(row as u64) as usize & mask;
+        loop {
+            let e = self.index[i];
+            if e == EMPTY {
+                return None;
+            }
+            if (e >> 32) as u32 == row {
+                return Some(e as u32 as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `(row, slot)` into the index (caller guarantees capacity and
+    /// absence of `row`).
+    #[inline]
+    fn index_insert(index: &mut [u64], row: u32, slot: usize) {
+        let mask = index.len() - 1;
+        let mut i = splitmix64(row as u64) as usize & mask;
+        while index[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        index[i] = ((row as u64) << 32) | slot as u64;
+    }
+
+    /// Grow (or create) the index so one more entry keeps load ≤ 0.75.
+    fn reserve_index(&mut self, extra: usize) {
+        let need = self.rows.len() + extra;
+        let cap = self.index.len();
+        if cap > 0 && need * 4 <= cap * 3 {
+            return;
+        }
+        let mut new_cap = cap.max(16);
+        while need * 4 > new_cap * 3 {
+            new_cap *= 2;
+        }
+        let mut index = vec![EMPTY; new_cap];
+        for (slot, &row) in self.rows.iter().enumerate() {
+            Self::index_insert(&mut index, row, slot);
+        }
+        self.index = index;
+    }
+
     /// Mutable gradient row for `row`, creating a zeroed slot on first use.
     pub fn row_mut(&mut self, row: u32) -> &mut [f32] {
         let dim = self.dim;
-        let slot = match self.slots.get(&row) {
-            Some(&s) => s as usize,
+        let slot = match self.find(row) {
+            Some(s) => s,
             None => {
+                self.reserve_index(1);
                 let s = self.rows.len();
-                self.slots.insert(row, s as u32);
+                Self::index_insert(&mut self.index, row, s);
                 self.rows.push(row);
                 self.data.resize((s + 1) * dim, 0.0);
                 s
@@ -67,17 +147,57 @@ impl SparseGrad {
 
     /// Read a row's accumulated gradient, if present.
     pub fn get(&self, row: u32) -> Option<&[f32]> {
-        self.slots
-            .get(&row)
-            .map(|&s| &self.data[s as usize * self.dim..(s as usize + 1) * self.dim])
+        self.find(row)
+            .map(|s| &self.data[s * self.dim..(s + 1) * self.dim])
+    }
+
+    /// `(row id, gradient)` of the `i`-th *inserted* row. Insertion order
+    /// is deterministic (it is the accumulation order), so this is the
+    /// allocation-free access path for per-row work whose result does not
+    /// depend on ordering (e.g. lazy optimizer steps over disjoint rows).
+    #[inline]
+    pub fn entry(&self, i: usize) -> (u32, &[f32]) {
+        let row = self.rows[i];
+        (row, &self.data[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Whether the cached ascending order is current.
+    #[inline]
+    fn sorted_valid(&self) -> bool {
+        self.sorted_stamp == self.rows.len()
+    }
+
+    /// Rebuild the cached ascending row order if stale. Hot paths call
+    /// this once per batch after the last insertion; subsequent
+    /// [`SparseGrad::iter_sorted`] calls then borrow the cache instead of
+    /// cloning and sorting.
+    pub fn ensure_sorted(&mut self) {
+        if self.sorted_valid() {
+            return;
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(&self.rows);
+        self.sorted.sort_unstable();
+        self.sorted_stamp = self.rows.len();
     }
 
     /// Iterate `(row, grad)` pairs in ascending row order (deterministic).
+    ///
+    /// Uses the cached order when valid (see
+    /// [`SparseGrad::ensure_sorted`]); otherwise falls back to a one-off
+    /// clone + sort, preserving the old semantics for callers that never
+    /// warm the cache.
     pub fn iter_sorted(&self) -> impl Iterator<Item = (u32, &[f32])> + '_ {
-        let mut order = self.rows.clone();
-        order.sort_unstable();
-        order.into_iter().map(move |row| {
-            let s = self.slots[&row] as usize;
+        let order: Cow<'_, [u32]> = if self.sorted_valid() {
+            Cow::Borrowed(self.sorted.as_slice())
+        } else {
+            let mut v = self.rows.clone();
+            v.sort_unstable();
+            Cow::Owned(v)
+        };
+        (0..order.len()).map(move |i| {
+            let row = order[i];
+            let s = self.find(row).expect("cached row present in index");
             (row, &self.data[s * self.dim..(s + 1) * self.dim])
         })
     }
@@ -101,11 +221,10 @@ impl SparseGrad {
     pub fn scatter_into(&self, dense: &mut [f32]) {
         assert_eq!(dense.len() % self.dim, 0);
         let n_rows = dense.len() / self.dim;
-        for (&row, &slot) in &self.slots {
+        for (slot, &row) in self.rows.iter().enumerate() {
             let row = row as usize;
             assert!(row < n_rows, "row {row} out of bounds for dense buffer");
-            let s = slot as usize;
-            let src = &self.data[s * self.dim..(s + 1) * self.dim];
+            let src = &self.data[slot * self.dim..(slot + 1) * self.dim];
             let dst = &mut dense[row * self.dim..(row + 1) * self.dim];
             for (d, &v) in dst.iter_mut().zip(src) {
                 *d += v;
@@ -113,10 +232,13 @@ impl SparseGrad {
         }
     }
 
-    /// Add every row of `other` into `self`.
+    /// Add every row of `other` into `self`. Per-row sums are independent,
+    /// so iterating `other` in insertion order leaves every row's f32
+    /// accumulation order exactly as the examples produced it.
     pub fn merge(&mut self, other: &SparseGrad) {
         assert_eq!(self.dim, other.dim);
-        for (row, g) in other.iter_sorted() {
+        for slot in 0..other.rows.len() {
+            let (row, g) = other.entry(slot);
             let dst = self.row_mut(row);
             for (d, &v) in dst.iter_mut().zip(g) {
                 *d += v;
@@ -126,34 +248,40 @@ impl SparseGrad {
 
     /// Drop all rows, keeping allocations for reuse.
     pub fn clear(&mut self) {
-        self.slots.clear();
         self.rows.clear();
         self.data.clear();
+        self.sorted.clear();
+        self.sorted_stamp = 0;
+        self.index.fill(EMPTY);
     }
 
     /// Remove rows for which `keep` returns false (used by the random
     /// gradient-row selection strategy). Returns the number dropped.
+    /// Compacts the slab in place — no new allocations.
     pub fn retain(&mut self, mut keep: impl FnMut(u32, &[f32]) -> bool) -> usize {
         let dim = self.dim;
-        let mut new_slots = HashMap::with_capacity(self.slots.len());
-        let mut new_rows = Vec::with_capacity(self.rows.len());
-        let mut new_data = Vec::with_capacity(self.data.len());
-        let mut dropped = 0usize;
-        for &row in &self.rows {
-            let s = self.slots[&row] as usize;
-            let g = &self.data[s * dim..(s + 1) * dim];
-            if keep(row, g) {
-                let ns = new_rows.len();
-                new_slots.insert(row, ns as u32);
-                new_rows.push(row);
-                new_data.extend_from_slice(g);
-            } else {
-                dropped += 1;
+        let n = self.rows.len();
+        let mut w = 0usize;
+        for s in 0..n {
+            let row = self.rows[s];
+            if keep(row, &self.data[s * dim..(s + 1) * dim]) {
+                if w != s {
+                    self.rows[w] = row;
+                    self.data.copy_within(s * dim..(s + 1) * dim, w * dim);
+                }
+                w += 1;
             }
         }
-        self.slots = new_slots;
-        self.rows = new_rows;
-        self.data = new_data;
+        let dropped = n - w;
+        if dropped > 0 {
+            self.rows.truncate(w);
+            self.data.truncate(w * dim);
+            self.index.fill(EMPTY);
+            for (slot, &row) in self.rows.iter().enumerate() {
+                Self::index_insert(&mut self.index, row, slot);
+            }
+            self.sorted_stamp = STALE;
+        }
         dropped
     }
 
@@ -167,12 +295,8 @@ impl SparseGrad {
     /// Count rows whose 2-norm exceeds `eps` — the paper's Figure 2 metric
     /// ("number of non-zero gradient rows").
     pub fn rows_above_norm(&self, eps: f32) -> usize {
-        self.rows
-            .iter()
-            .map(|&row| {
-                let s = self.slots[&row] as usize;
-                crate::matrix::l2_norm(&self.data[s * self.dim..(s + 1) * self.dim])
-            })
+        (0..self.rows.len())
+            .map(|s| crate::matrix::l2_norm(&self.data[s * self.dim..(s + 1) * self.dim]))
             .filter(|&n| n > eps)
             .count()
     }
@@ -205,6 +329,36 @@ mod tests {
     }
 
     #[test]
+    fn sorted_cache_survives_value_updates_and_invalidates_on_insert() {
+        let mut g = SparseGrad::new(1);
+        for row in [7u32, 2, 4] {
+            g.row_mut(row)[0] = 1.0;
+        }
+        g.ensure_sorted();
+        assert!(g.sorted_valid());
+        // Mutating an existing row keeps the cache.
+        g.row_mut(4)[0] = 9.0;
+        assert!(g.sorted_valid());
+        // Inserting a new row invalidates it; iteration stays correct.
+        g.row_mut(3)[0] = 3.0;
+        assert!(!g.sorted_valid());
+        let rows: Vec<u32> = g.iter_sorted().map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![2, 3, 4, 7]);
+        g.ensure_sorted();
+        let rows: Vec<u32> = g.iter_sorted().map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![2, 3, 4, 7]);
+    }
+
+    #[test]
+    fn entry_returns_insertion_order() {
+        let mut g = SparseGrad::new(2);
+        g.row_mut(9).copy_from_slice(&[1.0, 2.0]);
+        g.row_mut(3).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(g.entry(0), (9, &[1.0f32, 2.0][..]));
+        assert_eq!(g.entry(1), (3, &[3.0f32, 4.0][..]));
+    }
+
+    #[test]
     fn to_dense_scatters() {
         let mut g = SparseGrad::new(2);
         g.row_mut(1).copy_from_slice(&[1.0, 2.0]);
@@ -232,6 +386,8 @@ mod tests {
         g.clear();
         assert!(g.is_empty());
         assert!(g.get(1).is_none());
+        // Reuse after clear works and starts from zeroed slots.
+        assert_eq!(g.row_mut(1), &[0.0, 0.0]);
     }
 
     #[test]
@@ -248,6 +404,34 @@ mod tests {
         // Accumulation still works after compaction.
         g.row_mut(3)[0] = 30.0;
         assert_eq!(g.get(3).unwrap(), &[30.0]);
+    }
+
+    #[test]
+    fn retain_invalidates_sorted_cache() {
+        let mut g = SparseGrad::new(1);
+        for row in [5u32, 1, 9, 3] {
+            g.row_mut(row)[0] = row as f32;
+        }
+        g.ensure_sorted();
+        g.retain(|row, _| row > 2);
+        let rows: Vec<u32> = g.iter_sorted().map(|(r, _)| r).collect();
+        assert_eq!(rows, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn many_rows_stress_index() {
+        // Force several index growths and collisions.
+        let mut g = SparseGrad::new(1);
+        for i in 0..1000u32 {
+            g.row_mut(i.wrapping_mul(2654435761) % 4096)[0] += 1.0;
+        }
+        let total: f32 = g.iter_sorted().map(|(_, v)| v[0]).sum();
+        assert_eq!(total, 1000.0);
+        let rows: Vec<u32> = g.iter_sorted().map(|(r, _)| r).collect();
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        for &r in &rows {
+            assert!(g.get(r).is_some());
+        }
     }
 
     #[test]

@@ -18,12 +18,15 @@
 //!   sparse)** update styles, mirroring the paper's dense (all-reduce) and
 //!   sparse (all-gather) update paths.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 pub mod grad;
 pub mod init;
 pub mod loss;
 pub mod matrix;
 pub mod model;
 pub mod optim;
+pub mod scratch;
 
 pub use grad::SparseGrad;
 pub use matrix::EmbeddingTable;
@@ -31,3 +34,4 @@ pub use model::{ComplEx, DistMult, KgeModel, RotatE, SimplE, TransE};
 pub use optim::{
     Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, RowOptimizer, Sgd,
 };
+pub use scratch::{BlockScratch, ScratchPool};

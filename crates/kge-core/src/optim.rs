@@ -16,7 +16,7 @@ use rayon::par_for_each_index;
 /// Raw-pointer wrapper letting a parallel region hand each worker its own
 /// disjoint region of a buffer. Soundness: every use below partitions the
 /// underlying storage into non-overlapping pieces — unique row ids (rows
-/// from [`SparseGrad::iter_sorted`] are distinct) or disjoint element
+/// stored in a [`SparseGrad`] are distinct) or disjoint element
 /// ranges — and each piece is written by exactly one claimed index.
 struct SendPtr<T>(*mut T);
 unsafe impl<T: Send> Sync for SendPtr<T> {}
@@ -106,8 +106,8 @@ impl Adam {
         par_for_each_index(n.div_ceil(DENSE_CHUNK), move |c| {
             let start = c * DENSE_CHUNK;
             let end = (start + DENSE_CHUNK).min(n);
-            for i in start..end {
-                let g = grad[i];
+            for (j, &g) in grad[start..end].iter().enumerate() {
+                let i = start + j;
                 unsafe {
                     let mi = &mut *m.0.add(i);
                     let vi = &mut *v.0.add(i);
@@ -135,8 +135,11 @@ impl Adam {
         let dim = table.dim();
         let lr = self.lr * lr_scale;
         let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
-        let rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
-        for &(row, _) in &rows {
+        // Rows are iterated in insertion order straight off the slab — no
+        // per-step collect. Row updates are disjoint and self-contained, so
+        // iteration order does not affect the result bits.
+        for i in 0..grad.nnz() {
+            let (row, _) = grad.entry(i);
             assert!((row as usize) < table.rows(), "gradient row {row} out of range");
         }
         let m = SendPtr(state.m.as_mut_ptr());
@@ -144,9 +147,8 @@ impl Adam {
         let t = SendPtr(state.row_t.as_mut_ptr());
         let p = SendPtr(table.as_mut_slice().as_mut_ptr());
         let (m, v, t, p) = (&m, &v, &t, &p);
-        let rows = &rows;
-        par_for_each_index(rows.len(), move |i| {
-            let (row, g) = rows[i];
+        par_for_each_index(grad.nnz(), move |i| {
+            let (row, g) = grad.entry(i);
             let r = row as usize;
             unsafe {
                 let rt = &mut *t.0.add(r);
@@ -219,16 +221,17 @@ impl Adagrad {
         let dim = table.dim();
         let lr = self.lr * lr_scale;
         let eps = self.eps;
-        let rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
-        for &(row, _) in &rows {
+        // Insertion-order iteration off the slab; disjoint rows, so order
+        // does not affect the result bits (see Adam::step_lazy).
+        for i in 0..grad.nnz() {
+            let (row, _) = grad.entry(i);
             assert!((row as usize) < table.rows(), "gradient row {row} out of range");
         }
         let a = SendPtr(state.accum.as_mut_ptr());
         let p = SendPtr(table.as_mut_slice().as_mut_ptr());
         let (a, p) = (&a, &p);
-        let rows = &rows;
-        par_for_each_index(rows.len(), move |i| {
-            let (row, g) = rows[i];
+        par_for_each_index(grad.nnz(), move |i| {
+            let (row, g) = grad.entry(i);
             let r = row as usize;
             unsafe {
                 let acc = std::slice::from_raw_parts_mut(a.0.add(r * dim), dim);
@@ -260,8 +263,8 @@ impl Adagrad {
         par_for_each_index(n.div_ceil(DENSE_CHUNK), move |c| {
             let start = c * DENSE_CHUNK;
             let end = (start + DENSE_CHUNK).min(n);
-            for i in start..end {
-                let gv = grad[i];
+            for (j, &gv) in grad[start..end].iter().enumerate() {
+                let i = start + j;
                 unsafe {
                     let acc = &mut *a.0.add(i);
                     *acc += gv * gv;

@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![Triple::new(1, 2, 3), Triple::new(0, 9, 9), Triple::new(1, 1, 9)];
+        let mut v = [Triple::new(1, 2, 3), Triple::new(0, 9, 9), Triple::new(1, 1, 9)];
         v.sort();
         assert_eq!(v[0], Triple::new(0, 9, 9));
         assert_eq!(v[1], Triple::new(1, 1, 9));

@@ -89,6 +89,7 @@ fn fit_threshold(mut pairs: Vec<(f32, bool)>) -> (f32, f64) {
 }
 
 /// Run the full TCA protocol.
+#[allow(clippy::too_many_arguments)]
 pub fn triple_classification(
     model: &dyn KgeModel,
     ent: &EmbeddingTable,

@@ -79,7 +79,7 @@ impl DynamicCommSelector {
         match self.state {
             State::Reduce => {
                 self.last_allreduce_time = Some(epoch_time_s);
-                if self.epoch % self.check_every == 0 {
+                if self.epoch.is_multiple_of(self.check_every) {
                     self.state = State::Probing;
                 }
             }

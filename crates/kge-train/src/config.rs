@@ -261,7 +261,7 @@ impl TrainConfig {
         if self.batch_size == 0 {
             return Err("batch_size must be positive".into());
         }
-        if !(self.base_lr > 0.0) {
+        if self.base_lr <= 0.0 || self.base_lr.is_nan() {
             return Err("base_lr must be positive".into());
         }
         if !(0.0..1.0).contains(&self.lr_decay) {

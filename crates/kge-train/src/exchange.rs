@@ -13,13 +13,12 @@
 //!
 //! Both paths return the aggregated gradient **averaged** over ranks.
 
-use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
-use kge_compress::quant::{quantize_row, QuantScheme};
+use kge_compress::codec::{RowDecoder, RowEncoder};
+use kge_compress::quant::{quantize_row_into, QuantScheme, QuantizedRow};
 use kge_compress::{ResidualStore, WireFormat};
 use kge_core::SparseGrad;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use simgrid::{Communicator, SimError};
 
 use crate::splitmix64;
@@ -85,12 +84,42 @@ pub fn exchange_allreduce(
     })
 }
 
+/// Reusable buffers for the all-gather path: the encoded send payload, the
+/// flat receive buffer, per-rank byte counts, one quantization scratch row
+/// and one dequantize scratch row (error feedback). One per worker; after
+/// the first batch has sized them the steady state allocates nothing.
+#[derive(Debug, Clone)]
+pub struct GatherBufs {
+    send: Vec<u8>,
+    recv: Vec<u8>,
+    counts: Vec<usize>,
+    qrow: QuantizedRow,
+    dequant: Vec<f32>,
+}
+
+impl GatherBufs {
+    pub fn new() -> Self {
+        GatherBufs {
+            send: Vec::new(),
+            recv: Vec::new(),
+            counts: Vec::new(),
+            qrow: QuantizedRow::Full(Vec::new()),
+            dequant: Vec::new(),
+        }
+    }
+}
+
+impl Default for GatherBufs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Sparse all-gather of `grad` rows under `scheme`.
 ///
-/// When `scheme` quantizes and `residuals` is provided, the quantization
-/// error of every transmitted row is accumulated as error feedback
-/// (Karimireddy-style); the caller is responsible for having added the
-/// previous residuals into `grad` *before* row selection.
+/// Convenience wrapper over [`exchange_allgather_into`] that allocates the
+/// wire buffers and aggregate per call; hot paths keep a [`GatherBufs`]
+/// and an aggregate [`SparseGrad`] per worker and use the `_into` variant.
 pub fn exchange_allgather(
     comm: &mut Communicator,
     grad: &SparseGrad,
@@ -99,81 +128,91 @@ pub fn exchange_allgather(
     residuals: Option<&mut ResidualStore>,
     rng: &mut StdRng,
 ) -> Result<(SparseGrad, ExchangeStats), SimError> {
+    let mut bufs = GatherBufs::new();
+    let mut agg = SparseGrad::new(dim);
+    let stats = exchange_allgather_into(comm, grad, dim, scheme, residuals, rng, &mut bufs, &mut agg)?;
+    Ok((agg, stats))
+}
+
+/// Sparse all-gather of `grad` rows under `scheme`, reusing `bufs` for
+/// every intermediate and writing the rank-averaged aggregate into `agg`
+/// (cleared first; capacity kept).
+///
+/// Rows are quantized and encoded in one fused pass in sorted row order
+/// straight into the reusable send buffer, and peers' payloads are decoded
+/// and accumulated straight out of the receive buffer via borrowed row
+/// views — no intermediate `QuantizedRow`s or payload vectors. Only the
+/// stochastic 2-bit scheme consumes randomness: one base value drawn from
+/// the node stream seeds an independent per-row stream, so results are
+/// identical at any thread count and the caller's RNG trajectory does not
+/// depend on the row count. Wire bytes are identical to the allocating
+/// path, so simulated time and traffic are unchanged.
+///
+/// When `scheme` quantizes and `residuals` is provided, the quantization
+/// error of every transmitted row is accumulated as error feedback
+/// (Karimireddy-style); the caller is responsible for having added the
+/// previous residuals into `grad` *before* row selection.
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_allgather_into(
+    comm: &mut Communicator,
+    grad: &SparseGrad,
+    dim: usize,
+    scheme: QuantScheme,
+    mut residuals: Option<&mut ResidualStore>,
+    rng: &mut StdRng,
+    bufs: &mut GatherBufs,
+    agg: &mut SparseGrad,
+) -> Result<ExchangeStats, SimError> {
     let format = wire_format(scheme);
-    // Quantize local rows in parallel (sorted order: deterministic).
-    // Only the stochastic 2-bit scheme consumes randomness; it draws one
-    // base value from the node stream and derives an independent per-row
-    // stream from it, so the result is identical at any thread count and
-    // the caller's RNG trajectory no longer depends on the row count.
-    let local_rows: Vec<(u32, &[f32])> = grad.iter_sorted().collect();
     let base: u64 = if matches!(scheme, QuantScheme::TwoBit) {
         rng.gen()
     } else {
         0
     };
-    let payload_rows: Vec<RowPayload> = local_rows
-        .par_iter()
-        .map(|&(row, g)| {
-            let mut row_rng = StdRng::seed_from_u64(base ^ splitmix64(row as u64 + 1));
-            RowPayload {
-                row,
-                data: quantize_row(scheme, g, &mut row_rng),
-            }
-        })
-        .collect();
-    if let Some(store) = residuals {
-        if !matches!(scheme, QuantScheme::None) {
-            // `payload_rows` is sorted by row (it came from `iter_sorted`),
-            // so each transmitted row is found by binary search and
-            // dequantized straight into the store's scratch buffer — no
-            // per-row allocation.
-            store.record_error(grad, |row, buf| {
-                match payload_rows.binary_search_by_key(&row, |rp| rp.row) {
-                    Ok(i) => {
-                        payload_rows[i].data.dequantize_into(buf);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            });
+    let record = residuals.is_some() && !matches!(scheme, QuantScheme::None);
+    if record {
+        bufs.dequant.resize(dim, 0.0);
+    }
+    let mut enc = RowEncoder::new(format, dim, &mut bufs.send);
+    let mut rows_sent = 0usize;
+    for (row, g) in grad.iter_sorted() {
+        let mut row_rng = StdRng::seed_from_u64(base ^ splitmix64(row as u64 + 1));
+        quantize_row_into(scheme, g, &mut row_rng, &mut bufs.qrow);
+        if record {
+            let store = residuals.as_deref_mut().expect("record implies Some");
+            bufs.qrow.dequantize_into(&mut bufs.dequant);
+            store.record_row_error(row, g, &bufs.dequant);
         }
+        enc.push(row, &bufs.qrow)
+            .expect("encode of freshly quantized row");
+        rows_sent += 1;
     }
-    let bytes = encode_rows(format, dim, &payload_rows).expect("encode of freshly quantized rows");
-    let bytes_sent = bytes.len();
-    let mut recv = Vec::new();
-    let counts = comm.allgatherv_bytes_into(&bytes, &mut recv)?;
+    let bytes_sent = enc.finish();
+    comm.allgatherv_bytes_into(&bufs.send, &mut bufs.recv, &mut bufs.counts)?;
 
-    // Decode every rank's payload in parallel, then sum sequentially in
-    // rank order so overlapping rows accumulate deterministically.
-    let mut offsets = Vec::with_capacity(counts.len() + 1);
-    offsets.push(0usize);
-    for &c in &counts {
-        offsets.push(offsets.last().unwrap() + c);
-    }
-    let recv = &recv;
-    let decoded: Vec<Vec<RowPayload>> = rayon::par_map_index(counts.len(), |r| {
-        let (rows, payload_dim) = decode_rows(&recv[offsets[r]..offsets[r + 1]])
-            .expect("peer payload encoded by the same code");
-        debug_assert_eq!(payload_dim, dim);
-        rows
-    });
-    let mut agg = SparseGrad::new(dim);
+    // Decode and sum every rank's payload in rank order, so overlapping
+    // rows accumulate deterministically.
+    agg.clear();
     let mut rows_gathered = 0usize;
-    for rows in &decoded {
-        rows_gathered += rows.len();
-        for rp in rows {
-            rp.data.add_into(agg.row_mut(rp.row));
+    let mut off = 0usize;
+    for &c in &bufs.counts {
+        let mut dec = RowDecoder::new(&bufs.recv[off..off + c])
+            .expect("peer payload encoded by the same code");
+        debug_assert_eq!(dec.dim(), dim);
+        off += c;
+        while let Some(r) = dec.next_row() {
+            let r = r.expect("peer payload encoded by the same code");
+            rows_gathered += 1;
+            let row = r.row;
+            r.add_into(agg.row_mut(row));
         }
     }
     agg.scale(1.0 / comm.size() as f32);
-    Ok((
-        agg,
-        ExchangeStats {
-            bytes_sent,
-            rows_sent: payload_rows.len(),
-            rows_gathered,
-        },
-    ))
+    Ok(ExchangeStats {
+        bytes_sent,
+        rows_sent,
+        rows_gathered,
+    })
 }
 
 /// Wire format implied by a quantization scheme.
@@ -314,6 +353,53 @@ mod tests {
         });
         assert!((out[0][0] - 0.0).abs() < 1e-6);
         assert!((out[0][1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allgather_into_reuses_buffers_and_matches_allocating_path() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut results = Vec::new();
+            // One set of buffers reused across schemes and calls.
+            let mut bufs = GatherBufs::new();
+            let mut agg = SparseGrad::new(4);
+            for scheme in [
+                QuantScheme::None,
+                QuantScheme::paper_one_bit(),
+                QuantScheme::TwoBit,
+            ] {
+                let mut g = local_grad(ctx.rank(), 4);
+                g.ensure_sorted();
+                let mut rng_a = StdRng::seed_from_u64(3);
+                let mut rng_b = StdRng::seed_from_u64(3);
+                let (fresh, fresh_stats) =
+                    exchange_allgather(ctx.comm_mut(), &g, 4, scheme, None, &mut rng_a).unwrap();
+                let stats = exchange_allgather_into(
+                    ctx.comm_mut(),
+                    &g,
+                    4,
+                    scheme,
+                    None,
+                    &mut rng_b,
+                    &mut bufs,
+                    &mut agg,
+                )
+                .unwrap();
+                results.push((
+                    fresh.to_dense(16),
+                    agg.to_dense(16),
+                    fresh_stats.bytes_sent,
+                    stats.bytes_sent,
+                ));
+            }
+            results
+        });
+        for per_rank in out {
+            for (fresh, reused, fresh_bytes, reused_bytes) in per_rank {
+                assert_eq!(fresh, reused, "aggregates must be bit-identical");
+                assert_eq!(fresh_bytes, reused_bytes, "wire bytes must match");
+            }
+        }
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 pub use config::{
     CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig, TrainConfig, UpdateStyle,
 };
-pub use exchange::AggGrad;
+pub use exchange::{AggGrad, GatherBufs};
 pub use lr::{LrDecision, PlateauSchedule};
 pub use ps::train_ps;
 pub use report::{EpochTrace, TrainOutcome, TrainReport};
-pub use trainer::{batch_gradients, train};
+pub use trainer::{batch_gradients, train, BatchWorkspace};

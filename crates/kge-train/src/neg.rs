@@ -14,7 +14,6 @@ use kge_core::{EmbeddingTable, KgeModel};
 use kge_data::{Dataset, FilterIndex, Triple};
 use rand::rngs::StdRng;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Per-relation head-vs-tail corruption bias — the `bern` strategy of
 /// Wang et al. (2014), as implemented in OpenKE: corrupt the head with
@@ -123,6 +122,16 @@ pub struct NegBatch {
     pub scored_discarded: usize,
 }
 
+/// Reusable candidate-pool buffers for [`sample_negatives_into`]. One per
+/// worker; capacities persist across positives so the steady state
+/// allocates nothing (the stable sort's temp buffer excepted, and only on
+/// the selection path).
+#[derive(Debug, Clone, Default)]
+pub struct NegScratch {
+    pool: Vec<Triple>,
+    scored: Vec<(f32, Triple)>,
+}
+
 /// Generate negatives for `positive` under `policy`.
 ///
 /// With selection enabled this performs the extra forward passes on
@@ -140,37 +149,63 @@ pub fn sample_negatives(
     n_entities: usize,
     rng: &mut StdRng,
 ) -> NegBatch {
-    let pool: Vec<Triple> = (0..policy.pool)
-        .map(|_| corrupt(positive, n_entities, filter, bias, rng))
-        .collect();
-    if !policy.uses_selection() {
-        return NegBatch {
-            train: pool,
-            scored_discarded: 0,
-        };
-    }
-    // Score the pool in parallel; keep the `train` hardest (highest
-    // score). The parallel map preserves pool order and the sort is
-    // stable, so the kept set is identical to the sequential scoring
-    // loop at any thread count.
-    let mut scored: Vec<(f32, Triple)> = pool
-        .par_iter()
-        .map(|&t| {
-            let s = model.score(
-                ent.row(t.head as usize),
-                rel.row(t.rel as usize),
-                ent.row(t.tail as usize),
-            );
-            (s, t)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-    let keep = policy.train.min(scored.len());
-    let discarded = scored.len() - keep;
+    let mut scratch = NegScratch::default();
+    let mut train = Vec::new();
+    let scored_discarded = sample_negatives_into(
+        policy, positive, model, ent, rel, filter, bias, n_entities, rng, &mut scratch, &mut train,
+    );
     NegBatch {
-        train: scored.into_iter().take(keep).map(|(_, t)| t).collect(),
-        scored_discarded: discarded,
+        train,
+        scored_discarded,
     }
+}
+
+/// Buffer-reusing [`sample_negatives`]: appends the kept negatives to
+/// `out` and returns the number of scored-but-discarded candidates.
+/// Identical results (same RNG draw order, same stable tie-breaking) to
+/// the allocating wrapper.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_negatives_into(
+    policy: NegSampling,
+    positive: Triple,
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    n_entities: usize,
+    rng: &mut StdRng,
+    scratch: &mut NegScratch,
+    out: &mut Vec<Triple>,
+) -> usize {
+    scratch.pool.clear();
+    scratch
+        .pool
+        .extend((0..policy.pool).map(|_| corrupt(positive, n_entities, filter, bias, rng)));
+    if !policy.uses_selection() {
+        out.extend_from_slice(&scratch.pool);
+        return 0;
+    }
+    // Score the pool; keep the `train` hardest (highest score). Scoring
+    // consumes no randomness and the sort is stable, so the kept set is
+    // identical to the historical parallel-scoring loop at any thread
+    // count.
+    scratch.scored.clear();
+    scratch.scored.extend(scratch.pool.iter().map(|&t| {
+        let s = model.score(
+            ent.row(t.head as usize),
+            rel.row(t.rel as usize),
+            ent.row(t.tail as usize),
+        );
+        (s, t)
+    }));
+    scratch
+        .scored
+        .sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let keep = policy.train.min(scratch.scored.len());
+    let discarded = scratch.scored.len() - keep;
+    out.extend(scratch.scored[..keep].iter().map(|&(_, t)| t));
+    discarded
 }
 
 #[cfg(test)]

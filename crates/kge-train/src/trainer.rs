@@ -16,17 +16,16 @@
 
 use crate::comm_select::{CommChoice, DynamicCommSelector};
 use crate::config::{CommMode, TrainConfig, UpdateStyle};
-use crate::exchange::{exchange_allgather, exchange_allreduce, AggGrad};
+use crate::exchange::{exchange_allgather_into, exchange_allreduce, GatherBufs};
 use crate::lr::PlateauSchedule;
-use crate::neg::{sample_negatives, CorruptionBias};
+use crate::neg::{sample_negatives_into, CorruptionBias, NegScratch};
 use crate::report::{EpochTrace, TrainOutcome, TrainReport};
-use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
-use kge_compress::quant::{QuantizedRow, QuantScheme};
+use kge_compress::codec::{RowDecoder, RowEncoder};
+use kge_compress::quant::QuantScheme;
 use kge_compress::row_select::select_rows;
 use kge_compress::ResidualStore;
 use kge_core::loss::{logistic_loss, logistic_loss_grad};
-use kge_core::matrix::axpy;
-use kge_core::{EmbeddingTable, KgeModel, RowOptimizer, SparseGrad};
+use kge_core::{BlockScratch, EmbeddingTable, KgeModel, RowOptimizer, ScratchPool, SparseGrad};
 use kge_data::batch::EpochShuffler;
 use kge_data::{Dataset, FilterIndex, Triple};
 use kge_eval::fast_valid_accuracy;
@@ -74,13 +73,20 @@ pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> Trai
 }
 
 /// Per-batch working state that is reused across batches to keep the hot
-/// loop allocation-free. Per-example gradient buffers (`gh`/`gr`/`gt`)
-/// live inside each parallel gradient chunk, not here.
+/// loop allocation-free in steady state: gradient accumulators and the
+/// chunk-scratch pool live in [`BatchWorkspace`]; the dense all-reduce
+/// buffers, sparse aggregates, gather wire buffers, and relation-assembly
+/// buffers all keep their capacity across batches and epochs.
 struct Scratch {
-    ent_grad: SparseGrad,
-    rel_grad: SparseGrad,
+    batch: BatchWorkspace,
     dense_ent: Vec<f32>,
     dense_rel: Vec<f32>,
+    ent_agg: SparseGrad,
+    rel_agg: SparseGrad,
+    gather: GatherBufs,
+    asm_send: Vec<u8>,
+    asm_recv: Vec<u8>,
+    asm_counts: Vec<usize>,
 }
 
 /// Width of the per-node worker pool: an explicit `RAYON_NUM_THREADS`
@@ -201,10 +207,15 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
     };
 
     let mut scratch = Scratch {
-        ent_grad: SparseGrad::new(dim),
-        rel_grad: SparseGrad::new(dim),
+        batch: BatchWorkspace::new(dim),
         dense_ent: vec![0.0; dataset.n_entities * dim],
         dense_rel: vec![0.0; dataset.n_relations * dim],
+        ent_agg: SparseGrad::new(dim),
+        rel_agg: SparseGrad::new(dim),
+        gather: GatherBufs::new(),
+        asm_send: Vec::new(),
+        asm_recv: Vec::new(),
+        asm_counts: Vec::new(),
     };
 
     let mut trace: Vec<EpochTrace> = Vec::new();
@@ -263,9 +274,8 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
         }
 
         'batches: for b in 0..batches_per_epoch {
-            let (loss, n_examples) = compute_batch_gradients(
+            let (loss, n_examples) = scratch.batch.batch_gradients_into(
                 model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), rank, epoch,
-                &mut scratch,
             );
             epoch_loss += loss;
             epoch_examples += n_examples;
@@ -281,13 +291,13 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             };
             ctx.comm_mut().clock_mut().charge_flops(fwd_bwd + pool_extra);
 
-            nonzero_rows_sum += scratch.ent_grad.rows_above_norm(ZERO_ROW_EPS);
+            nonzero_rows_sum += scratch.batch.ent_grad.rows_above_norm(ZERO_ROW_EPS);
 
             // --- Entity gradient pipeline. ---------------------------
             if strategy.error_feedback && !matches!(strategy.quant, QuantScheme::None) {
-                ent_residual.add_into(&mut scratch.ent_grad);
+                ent_residual.add_into(&mut scratch.batch.ent_grad);
             }
-            let sel = select_rows(strategy.row_select, &mut scratch.ent_grad, &mut rng);
+            let sel = select_rows(strategy.row_select, &mut scratch.batch.ent_grad, &mut rng);
             rows_before_rs += sel.rows_before;
             rows_after_rs += sel.rows_after;
             // Norm computation + selection cost.
@@ -295,25 +305,27 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                 .clock_mut()
                 .charge_flops((sel.rows_before * dim * 2) as f64);
 
-            let ent_agg: AggGrad = match choice {
+            // `true` means the aggregate landed in the dense scratch
+            // buffer; `false` means it landed in the sparse aggregate.
+            let ent_dense: bool = match choice {
                 CommChoice::AllReduce => {
                     let stats = try_exchange!(
                         exchange_allreduce(
                             ctx.comm_mut(),
-                            &scratch.ent_grad,
+                            &scratch.batch.ent_grad,
                             &mut scratch.dense_ent,
                         ),
                         "entity allreduce",
                         'batches
                     );
                     rows_sent_sum += stats.rows_sent;
-                    AggGrad::Dense(std::mem::take(&mut scratch.dense_ent))
+                    true
                 }
                 CommChoice::AllGather => {
                     // Quantization costs ~2 flops per element.
                     ctx.comm_mut()
                         .clock_mut()
-                        .charge_flops((scratch.ent_grad.nnz() * dim * 2) as f64);
+                        .charge_flops((scratch.batch.ent_grad.nnz() * dim * 2) as f64);
                     let residuals = if strategy.error_feedback
                         && !matches!(strategy.quant, QuantScheme::None)
                     {
@@ -321,14 +333,19 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                     } else {
                         None
                     };
-                    let (agg, stats) = try_exchange!(
-                        exchange_allgather(
+                    // Sort now (cheap, reuses the cached order) so the
+                    // wire iteration below borrows instead of cloning.
+                    scratch.batch.ent_grad.ensure_sorted();
+                    let stats = try_exchange!(
+                        exchange_allgather_into(
                             ctx.comm_mut(),
-                            &scratch.ent_grad,
+                            &scratch.batch.ent_grad,
                             dim,
                             strategy.quant,
                             residuals,
                             &mut rng,
+                            &mut scratch.gather,
+                            &mut scratch.ent_agg,
                         ),
                         "entity allgather",
                         'batches
@@ -338,28 +355,30 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                     ctx.comm_mut()
                         .clock_mut()
                         .charge_flops((stats.rows_gathered * dim) as f64);
-                    AggGrad::Sparse(agg)
+                    false
                 }
             };
 
             // --- Relation gradient pipeline. --------------------------
-            let rel_agg: AggGrad = if strategy.relation_partition {
-                // No communication; relation rows are node-local and stay
-                // full precision (the paper's accuracy argument for RP).
-                AggGrad::Sparse(std::mem::replace(&mut scratch.rel_grad, SparseGrad::new(dim)))
+            // With relation partition there is no communication; relation
+            // rows are node-local and stay full precision (the paper's
+            // accuracy argument for RP) — the local gradient is applied
+            // directly below.
+            let rel_dense: bool = if strategy.relation_partition {
+                false
             } else {
                 match choice {
                     CommChoice::AllReduce => {
                         let _ = try_exchange!(
                             exchange_allreduce(
                                 ctx.comm_mut(),
-                                &scratch.rel_grad,
+                                &scratch.batch.rel_grad,
                                 &mut scratch.dense_rel,
                             ),
                             "relation allreduce",
                             'batches
                         );
-                        AggGrad::Dense(std::mem::take(&mut scratch.dense_rel))
+                        true
                     }
                     CommChoice::AllGather => {
                         let residuals = if strategy.error_feedback
@@ -369,50 +388,86 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                         } else {
                             None
                         };
-                        let (agg, _) = try_exchange!(
-                            exchange_allgather(
+                        scratch.batch.rel_grad.ensure_sorted();
+                        let _ = try_exchange!(
+                            exchange_allgather_into(
                                 ctx.comm_mut(),
-                                &scratch.rel_grad,
+                                &scratch.batch.rel_grad,
                                 dim,
                                 strategy.quant,
                                 residuals,
                                 &mut rng,
+                                &mut scratch.gather,
+                                &mut scratch.rel_agg,
                             ),
                             "relation allgather",
                             'batches
                         );
-                        AggGrad::Sparse(agg)
+                        false
                     }
                 }
             };
 
             // --- Optimizer step. ---------------------------------------
+            let ent_ref = if ent_dense {
+                AggRef::Dense {
+                    buf: &scratch.dense_ent,
+                    sparse_scratch: &mut scratch.ent_agg,
+                }
+            } else {
+                AggRef::Sparse {
+                    grad: &mut scratch.ent_agg,
+                    dense_scratch: &mut scratch.dense_ent,
+                }
+            };
             apply_update(
                 ctx,
                 ent_opt.as_mut(),
                 strategy.update_style,
                 choice,
                 &mut ent,
-                ent_agg,
+                ent_ref,
                 lr_scale,
-                &mut scratch.dense_ent,
             );
+            let rel_ref = if strategy.relation_partition {
+                AggRef::Sparse {
+                    grad: &mut scratch.batch.rel_grad,
+                    dense_scratch: &mut scratch.dense_rel,
+                }
+            } else if rel_dense {
+                AggRef::Dense {
+                    buf: &scratch.dense_rel,
+                    sparse_scratch: &mut scratch.rel_agg,
+                }
+            } else {
+                AggRef::Sparse {
+                    grad: &mut scratch.rel_agg,
+                    dense_scratch: &mut scratch.dense_rel,
+                }
+            };
             apply_update(
                 ctx,
                 rel_opt.as_mut(),
                 strategy.update_style,
                 choice,
                 &mut rel,
-                rel_agg,
+                rel_ref,
                 lr_scale,
-                &mut scratch.dense_rel,
             );
         }
 
         // --- Relation assembly under RP (once per epoch, so validation
         // and the final model see every relation's owner copy). ----------
         if !crashed_this_epoch && strategy.relation_partition && p > 1 {
-            match assemble_relations(ctx, &mut rel, &owned_rels, dim) {
+            match assemble_relations(
+                ctx,
+                &mut rel,
+                &owned_rels,
+                dim,
+                &mut scratch.asm_send,
+                &mut scratch.asm_recv,
+                &mut scratch.asm_counts,
+            ) {
                 Ok(()) => {}
                 Err(SimError::RankCrashed { .. }) => crashed_this_epoch = true,
                 Err(e) => panic!("relation assembly allgather: {e}"),
@@ -556,13 +611,40 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
     }
 }
 
-/// One chunk's contribution to a batch: loss, example count, and
-/// chunk-local gradient accumulators.
-struct ChunkGrad {
+/// One chunk's reusable working state: the example staging arrays fed to
+/// the fused block kernel, the kernel's gather/score scratch, the
+/// negative-sampling scratch, and the chunk-local gradient accumulators.
+/// Instances live in a [`ScratchPool`] so every buffer is reused across
+/// chunks, batches, and epochs — after warmup, processing a chunk
+/// performs no heap allocation.
+struct ChunkScratch {
     loss: f64,
     examples: usize,
+    /// Example labels (+1 positive / −1 negative), in example order.
+    labels: Vec<f32>,
+    /// `(head, rel, tail)` ids in example order, the block kernel's input.
+    triples: Vec<(u32, u32, u32)>,
+    block: BlockScratch,
+    neg_scratch: NegScratch,
+    negs: Vec<Triple>,
     ent: SparseGrad,
     rel: SparseGrad,
+}
+
+impl ChunkScratch {
+    fn new(dim: usize) -> Self {
+        ChunkScratch {
+            loss: 0.0,
+            examples: 0,
+            labels: Vec::new(),
+            triples: Vec::new(),
+            block: BlockScratch::new(),
+            neg_scratch: NegScratch::default(),
+            negs: Vec::new(),
+            ent: SparseGrad::new(dim),
+            rel: SparseGrad::new(dim),
+        }
+    }
 }
 
 /// RNG seed for one gradient chunk, derived from its structural
@@ -582,134 +664,235 @@ fn chunk_seed(seed: u64, rank: usize, epoch: usize, batch_idx: usize, chunk_idx:
     h
 }
 
-/// Score one example, form its scaled gradient (+L2), and accumulate it
-/// into the chunk's sparse accumulators.
+/// Stage one chunk's examples and run them through the fused block
+/// kernel. Phase 1 draws positives and negatives in the exact RNG order
+/// of the scalar path, staging `(label, triple)` pairs in example order;
+/// phase 2 makes a single [`KgeModel::score_grad_block`] call that
+/// gathers rows, scores the whole chunk, forms coefficients (accumulating
+/// the f64 loss in example order), and scatters regularized gradients
+/// into the chunk accumulators — bit-identical to per-example
+/// score/grad/axpy.
 #[allow(clippy::too_many_arguments)]
-fn accumulate_example(
-    model: &dyn KgeModel,
-    ent: &EmbeddingTable,
-    rel: &EmbeddingTable,
-    t: Triple,
-    y: f32,
-    inv_batch: f32,
-    l2: f32,
-    gh: &mut [f32],
-    gr: &mut [f32],
-    gt: &mut [f32],
-    out: &mut ChunkGrad,
-) {
-    let (h, r, tt) = (t.head as usize, t.rel as usize, t.tail as usize);
-    let score = model.score(ent.row(h), rel.row(r), ent.row(tt));
-    out.loss += logistic_loss(y, score) as f64;
-    let coeff = logistic_loss_grad(y, score) * inv_batch;
-
-    gh.fill(0.0);
-    gr.fill(0.0);
-    gt.fill(0.0);
-    model.grad(ent.row(h), rel.row(r), ent.row(tt), coeff, gh, gr, gt);
-    // L2 regularization on the touched rows.
-    let reg = 2.0 * l2 * inv_batch;
-    axpy(reg, ent.row(h), gh);
-    axpy(reg, rel.row(r), gr);
-    axpy(reg, ent.row(tt), gt);
-
-    // Head and tail may be the same entity; accumulate sequentially.
-    axpy(1.0, gh, out.ent.row_mut(t.head));
-    axpy(1.0, gt, out.ent.row_mut(t.tail));
-    axpy(1.0, gr, out.rel.row_mut(t.rel));
-    out.examples += 1;
-}
-
-/// Accumulate one batch's gradients into `scratch.{ent,rel}_grad`
-/// (cleared first). Returns `(summed loss, trained examples)`.
-///
-/// The batch is split into fixed-size chunks of [`GRAD_CHUNK`] positives.
-/// Each chunk samples its negatives from its own seeded RNG stream (see
-/// [`chunk_seed`]) and accumulates into chunk-local [`SparseGrad`]s in
-/// parallel; chunks are then merged **in chunk order**, so the result is
-/// bit-identical at any thread count.
-#[allow(clippy::too_many_arguments)]
-fn compute_batch_gradients(
+fn process_chunk(
     model: &dyn KgeModel,
     ent: &EmbeddingTable,
     rel: &EmbeddingTable,
     shard: &[Triple],
-    batch_idx: usize,
+    start: usize,
+    lo: usize,
+    hi: usize,
+    inv_batch: f32,
     config: &TrainConfig,
     filter: &FilterIndex,
     bias: Option<&CorruptionBias>,
-    rank: usize,
-    epoch: usize,
-    scratch: &mut Scratch,
-) -> (f64, usize) {
-    scratch.ent_grad.clear();
-    scratch.rel_grad.clear();
-    if shard.is_empty() {
-        return (0.0, 0);
+    rng_seed: u64,
+    cs: &mut ChunkScratch,
+) {
+    cs.loss = 0.0;
+    cs.labels.clear();
+    cs.triples.clear();
+    cs.ent.clear();
+    cs.rel.clear();
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    for i in lo..hi {
+        let pos = shard[(start + i) % shard.len()];
+        cs.labels.push(1.0);
+        cs.triples.push((pos.head, pos.rel, pos.tail));
+        cs.negs.clear();
+        sample_negatives_into(
+            config.strategy.neg,
+            pos,
+            model,
+            ent,
+            rel,
+            filter,
+            bias,
+            ent.rows(),
+            &mut rng,
+            &mut cs.neg_scratch,
+            &mut cs.negs,
+        );
+        for n in &cs.negs {
+            cs.labels.push(-1.0);
+            cs.triples.push((n.head, n.rel, n.tail));
+        }
     }
-    let bs = config.batch_size.min(shard.len());
-    let start = batch_idx * config.batch_size;
-    let dim = ent.dim();
-    // Every positive trains against exactly `neg.train` negatives
-    // (`sample_negatives` keeps `train` out of `pool ≥ train`), so the
-    // batch normalizer is known before any chunk runs.
-    let inv_batch = 1.0f32 / (bs * (1 + config.strategy.neg.train)) as f32;
-    let n_chunks = bs.div_ceil(GRAD_CHUNK);
+    cs.examples = cs.triples.len();
 
-    let chunks: Vec<ChunkGrad> = rayon::par_map_index(n_chunks, |c| {
-        let mut rng =
-            StdRng::seed_from_u64(chunk_seed(config.seed, rank, epoch, batch_idx, c));
-        let lo = c * GRAD_CHUNK;
-        let hi = (lo + GRAD_CHUNK).min(bs);
-        let mut out = ChunkGrad {
-            loss: 0.0,
-            examples: 0,
-            ent: SparseGrad::new(dim),
-            rel: SparseGrad::new(dim),
-        };
-        let mut gh = vec![0.0f32; dim];
-        let mut gr = vec![0.0f32; dim];
-        let mut gt = vec![0.0f32; dim];
-        for i in lo..hi {
-            let pos = shard[(start + i) % shard.len()];
-            accumulate_example(
-                model, ent, rel, pos, 1.0, inv_batch, config.l2, &mut gh, &mut gr, &mut gt,
-                &mut out,
-            );
-            let negs = sample_negatives(
-                config.strategy.neg,
-                pos,
-                model,
-                ent,
-                rel,
-                filter,
-                bias,
-                ent.rows(),
-                &mut rng,
-            );
-            for neg in negs.train {
-                accumulate_example(
-                    model, ent, rel, neg, -1.0, inv_batch, config.l2, &mut gh, &mut gr,
-                    &mut gt, &mut out,
+    let ChunkScratch {
+        loss,
+        labels,
+        triples,
+        block,
+        ent: ent_g,
+        rel: rel_g,
+        ..
+    } = cs;
+    let mut coeff_of = |i: usize, score: f32| {
+        let y = labels[i];
+        *loss += logistic_loss(y, score) as f64;
+        logistic_loss_grad(y, score) * inv_batch
+    };
+    model.score_grad_block(
+        ent,
+        rel,
+        triples,
+        2.0 * config.l2 * inv_batch,
+        block,
+        &mut coeff_of,
+        ent_g,
+        rel_g,
+    );
+}
+
+/// Reusable workspace for the batch-gradient hot path: the per-batch
+/// entity/relation accumulators plus the pool of per-chunk scratch
+/// state. Public so benches and the allocation-regression test can drive
+/// the exact code the trainer runs.
+pub struct BatchWorkspace {
+    ent_grad: SparseGrad,
+    rel_grad: SparseGrad,
+    chunk_pool: ScratchPool<ChunkScratch>,
+}
+
+impl BatchWorkspace {
+    pub fn new(dim: usize) -> Self {
+        BatchWorkspace {
+            ent_grad: SparseGrad::new(dim),
+            rel_grad: SparseGrad::new(dim),
+            chunk_pool: ScratchPool::new(),
+        }
+    }
+
+    /// Accumulate one batch's gradients into the workspace accumulators
+    /// (cleared first). Returns `(summed loss, trained examples)`.
+    ///
+    /// The batch is split into fixed-size chunks of [`GRAD_CHUNK`]
+    /// positives. Each chunk samples its negatives from its own seeded
+    /// RNG stream (see [`chunk_seed`]) and runs the fused block kernel
+    /// into pooled chunk-local accumulators; chunks are then merged **in
+    /// chunk order**, so the result is bit-identical at any thread
+    /// count. On a single-thread pool the chunks run inline with no
+    /// intermediate collection, so steady-state batches allocate nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_gradients_into(
+        &mut self,
+        model: &dyn KgeModel,
+        ent: &EmbeddingTable,
+        rel: &EmbeddingTable,
+        shard: &[Triple],
+        batch_idx: usize,
+        config: &TrainConfig,
+        filter: &FilterIndex,
+        bias: Option<&CorruptionBias>,
+        rank: usize,
+        epoch: usize,
+    ) -> (f64, usize) {
+        self.ent_grad.clear();
+        self.rel_grad.clear();
+        if shard.is_empty() {
+            return (0.0, 0);
+        }
+        let bs = config.batch_size.min(shard.len());
+        let start = batch_idx * config.batch_size;
+        let dim = ent.dim();
+        // Every positive trains against exactly `neg.train` negatives
+        // (`sample_negatives_into` keeps `train` out of `pool ≥ train`),
+        // so the batch normalizer is known before any chunk runs.
+        let inv_batch = 1.0f32 / (bs * (1 + config.strategy.neg.train)) as f32;
+        let n_chunks = bs.div_ceil(GRAD_CHUNK);
+        let pool = &self.chunk_pool;
+
+        let mut loss_sum = 0.0f64;
+        let mut examples = 0usize;
+        if rayon::current_num_threads() <= 1 || n_chunks == 1 {
+            // Sequential fast path: one pooled scratch processes the
+            // chunks in order and merges each immediately — same chunk
+            // seeds, same merge order, no intermediate collection.
+            let mut cs = pool.acquire_with(|| ChunkScratch::new(dim));
+            for c in 0..n_chunks {
+                let lo = c * GRAD_CHUNK;
+                let hi = (lo + GRAD_CHUNK).min(bs);
+                process_chunk(
+                    model,
+                    ent,
+                    rel,
+                    shard,
+                    start,
+                    lo,
+                    hi,
+                    inv_batch,
+                    config,
+                    filter,
+                    bias,
+                    chunk_seed(config.seed, rank, epoch, batch_idx, c),
+                    &mut cs,
                 );
+                loss_sum += cs.loss;
+                examples += cs.examples;
+                self.ent_grad.merge(&cs.ent);
+                self.rel_grad.merge(&cs.rel);
+            }
+            pool.release(cs);
+        } else {
+            let chunks: Vec<Box<ChunkScratch>> = rayon::par_map_index(n_chunks, |c| {
+                let mut cs = pool.acquire_with(|| ChunkScratch::new(dim));
+                let lo = c * GRAD_CHUNK;
+                let hi = (lo + GRAD_CHUNK).min(bs);
+                process_chunk(
+                    model,
+                    ent,
+                    rel,
+                    shard,
+                    start,
+                    lo,
+                    hi,
+                    inv_batch,
+                    config,
+                    filter,
+                    bias,
+                    chunk_seed(config.seed, rank, epoch, batch_idx, c),
+                    &mut cs,
+                );
+                cs
+            });
+            for cs in chunks {
+                loss_sum += cs.loss;
+                examples += cs.examples;
+                self.ent_grad.merge(&cs.ent);
+                self.rel_grad.merge(&cs.rel);
+                pool.release(cs);
             }
         }
-        out
-    });
-
-    let mut loss_sum = 0.0f64;
-    let mut examples = 0usize;
-    for c in &chunks {
-        loss_sum += c.loss;
-        examples += c.examples;
-        scratch.ent_grad.merge(&c.ent);
-        scratch.rel_grad.merge(&c.rel);
+        (loss_sum, examples)
     }
-    (loss_sum, examples)
+
+    /// The entity-gradient accumulator from the last batch.
+    pub fn ent_grad(&self) -> &SparseGrad {
+        &self.ent_grad
+    }
+
+    /// The relation-gradient accumulator from the last batch.
+    pub fn rel_grad(&self) -> &SparseGrad {
+        &self.rel_grad
+    }
+
+    /// Mutable access for downstream pipeline stages (selection,
+    /// residual feedback, sort warm-up) that edit the gradient in place.
+    pub fn ent_grad_mut(&mut self) -> &mut SparseGrad {
+        &mut self.ent_grad
+    }
+
+    /// See [`BatchWorkspace::ent_grad_mut`].
+    pub fn rel_grad_mut(&mut self) -> &mut SparseGrad {
+        &mut self.rel_grad
+    }
 }
 
 /// Public entry point for benches and tests: one batch's chunked-parallel
 /// gradient computation, returning `(loss, examples, ent_grad, rel_grad)`.
+/// Allocates a fresh [`BatchWorkspace`] per call; steady-state callers
+/// should hold a workspace and use [`BatchWorkspace::batch_gradients_into`].
 #[allow(clippy::too_many_arguments)]
 pub fn batch_gradients(
     model: &dyn KgeModel,
@@ -723,32 +906,43 @@ pub fn batch_gradients(
     rank: usize,
     epoch: usize,
 ) -> (f64, usize, SparseGrad, SparseGrad) {
-    let dim = ent.dim();
-    let mut scratch = Scratch {
-        ent_grad: SparseGrad::new(dim),
-        rel_grad: SparseGrad::new(dim),
-        dense_ent: Vec::new(),
-        dense_rel: Vec::new(),
-    };
-    let (loss, examples) = compute_batch_gradients(
-        model, ent, rel, shard, batch_idx, config, filter, bias, rank, epoch, &mut scratch,
-    );
-    (loss, examples, scratch.ent_grad, scratch.rel_grad)
+    let mut ws = BatchWorkspace::new(ent.dim());
+    let (loss, examples) =
+        ws.batch_gradients_into(model, ent, rel, shard, batch_idx, config, filter, bias, rank, epoch);
+    (loss, examples, ws.ent_grad, ws.rel_grad)
+}
+
+/// A borrowed view of one batch's aggregated gradient, paired with the
+/// scratch buffer the *other* representation would need, so the update
+/// step can convert in place without allocating.
+enum AggRef<'a> {
+    /// Dense mean gradient (all-reduce result). `sparse_scratch` holds a
+    /// reusable sparse view for lazy update styles.
+    Dense {
+        buf: &'a [f32],
+        sparse_scratch: &'a mut SparseGrad,
+    },
+    /// Sparse aggregated gradient (all-gather result or RP-local rows).
+    /// `dense_scratch` holds the full-table buffer dense update styles
+    /// scatter into. Mutable so the lazy path can warm the sorted-row
+    /// cache in place before the optimizer iterates it.
+    Sparse {
+        grad: &'a mut SparseGrad,
+        dense_scratch: &'a mut Vec<f32>,
+    },
 }
 
 /// Apply the optimizer step for one table, honoring the update style, and
-/// charge its simulated compute. Restores the scratch dense buffer when
-/// the aggregate consumed it.
-#[allow(clippy::too_many_arguments)]
+/// charge its simulated compute. Representation conversions (dense↔sparse)
+/// reuse the scratch buffer carried inside [`AggRef`].
 fn apply_update(
     ctx: &mut NodeCtx,
     opt: &mut dyn RowOptimizer,
     style: UpdateStyle,
     choice: CommChoice,
     table: &mut EmbeddingTable,
-    agg: AggGrad,
+    agg: AggRef<'_>,
     lr_scale: f32,
-    dense_home: &mut Vec<f32>,
 ) {
     let dim = table.dim();
     let dense_style = match style {
@@ -757,51 +951,60 @@ fn apply_update(
         UpdateStyle::Lazy => false,
     };
     match agg {
-        AggGrad::Dense(buf) => {
+        AggRef::Dense { buf, sparse_scratch } => {
             if dense_style {
-                opt.step_dense(table, &buf, lr_scale);
+                opt.step_dense(table, buf, lr_scale);
                 ctx.comm_mut()
                     .clock_mut()
                     .charge_flops(opt.dense_step_flops());
             } else {
-                let sparse = sparse_from_dense(&buf, dim);
+                sparse_from_dense_into(buf, dim, sparse_scratch);
+                sparse_scratch.ensure_sorted();
                 ctx.comm_mut()
                     .clock_mut()
-                    .charge_flops(opt.lazy_step_flops(sparse.nnz()));
-                opt.step_lazy(table, &sparse, lr_scale);
+                    .charge_flops(opt.lazy_step_flops(sparse_scratch.nnz()));
+                opt.step_lazy(table, sparse_scratch, lr_scale);
             }
-            *dense_home = buf; // hand the scratch buffer back for reuse
         }
-        AggGrad::Sparse(g) => {
+        AggRef::Sparse {
+            grad,
+            dense_scratch,
+        } => {
             if dense_style {
-                let buf = g.to_dense(table.rows());
-                opt.step_dense(table, &buf, lr_scale);
+                dense_scratch.resize(table.rows() * dim, 0.0);
+                dense_scratch.fill(0.0);
+                grad.scatter_into(dense_scratch);
+                opt.step_dense(table, dense_scratch, lr_scale);
                 ctx.comm_mut()
                     .clock_mut()
                     .charge_flops(opt.dense_step_flops());
             } else {
+                grad.ensure_sorted();
                 ctx.comm_mut()
                     .clock_mut()
-                    .charge_flops(opt.lazy_step_flops(g.nnz()));
-                opt.step_lazy(table, &g, lr_scale);
+                    .charge_flops(opt.lazy_step_flops(grad.nnz()));
+                opt.step_lazy(table, grad, lr_scale);
             }
         }
     }
 }
 
-/// Rows of a dense buffer with any non-zero entry, as a sparse gradient.
-fn sparse_from_dense(buf: &[f32], dim: usize) -> SparseGrad {
-    let mut g = SparseGrad::new(dim);
+/// Rows of a dense buffer with any non-zero entry, rebuilt into the
+/// reusable sparse gradient (cleared first).
+fn sparse_from_dense_into(buf: &[f32], dim: usize, g: &mut SparseGrad) {
+    g.clear();
     for (row, chunk) in buf.chunks(dim).enumerate() {
         if chunk.iter().any(|&x| x != 0.0) {
             g.row_mut(row as u32).copy_from_slice(chunk);
         }
     }
-    g
 }
 
 /// Under relation partition, gather every node's owned relation rows so
-/// all replicas hold the complete relation table (once per epoch).
+/// all replicas hold the complete relation table (once per epoch). The
+/// wire and count buffers are caller-owned and reused across epochs; rows
+/// are encoded straight from and decoded straight into the embedding
+/// table, so assembly allocates nothing once the buffers are warm.
 /// Propagates the collective's fault error so the caller can run the
 /// crash-recovery policy; local (de)serialization failures are bugs and
 /// still panic.
@@ -810,26 +1013,24 @@ fn assemble_relations(
     rel: &mut EmbeddingTable,
     owned: &[u32],
     dim: usize,
+    send: &mut Vec<u8>,
+    recv: &mut Vec<u8>,
+    counts: &mut Vec<usize>,
 ) -> Result<(), SimError> {
-    let rows: Vec<RowPayload> = owned
-        .iter()
-        .map(|&r| RowPayload {
-            row: r,
-            data: QuantizedRow::Full(rel.row(r as usize).to_vec()),
-        })
-        .collect();
-    let payload =
-        encode_rows(kge_compress::WireFormat::F32, dim, &rows).expect("encode relation rows");
-    let mut recv = Vec::new();
-    let counts = ctx.comm_mut().allgatherv_bytes_into(&payload, &mut recv)?;
+    let mut enc = RowEncoder::new(kge_compress::WireFormat::F32, dim, send);
+    for &r in owned {
+        enc.push_f32(r, rel.row(r as usize))
+            .expect("encode relation row");
+    }
+    enc.finish();
+    ctx.comm_mut().allgatherv_bytes_into(send, recv, counts)?;
     let mut off = 0usize;
-    for c in counts {
-        let (rows, _) = decode_rows(&recv[off..off + c]).expect("peer relation payload");
+    for &c in counts.iter() {
+        let mut dec = RowDecoder::new(&recv[off..off + c]).expect("peer relation payload");
         off += c;
-        for rp in rows {
-            if let QuantizedRow::Full(v) = rp.data {
-                rel.row_mut(rp.row as usize).copy_from_slice(&v);
-            }
+        while let Some(row) = dec.next_row() {
+            let row = row.expect("peer relation payload");
+            row.dequantize_into(rel.row_mut(row.row as usize));
         }
     }
     Ok(())

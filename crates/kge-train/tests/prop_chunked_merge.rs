@@ -11,7 +11,10 @@ use proptest::prelude::*;
 const DIM: usize = 4;
 const CHUNK: usize = 7; // deliberately not a divisor of most lengths
 
-fn sequential(examples: &[(u32, (i8, i8, i8, i8))]) -> SparseGrad {
+/// One example: a row index plus its four small-integer contributions.
+type Example = (u32, (i8, i8, i8, i8));
+
+fn sequential(examples: &[Example]) -> SparseGrad {
     let mut g = SparseGrad::new(DIM);
     for &(row, v) in examples {
         let vals = [v.0, v.1, v.2, v.3];
@@ -22,7 +25,7 @@ fn sequential(examples: &[(u32, (i8, i8, i8, i8))]) -> SparseGrad {
     g
 }
 
-fn chunked(examples: &[(u32, (i8, i8, i8, i8))]) -> SparseGrad {
+fn chunked(examples: &[Example]) -> SparseGrad {
     let mut total = SparseGrad::new(DIM);
     for chunk in examples.chunks(CHUNK) {
         let part = sequential(chunk);

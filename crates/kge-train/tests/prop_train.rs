@@ -16,7 +16,7 @@ proptest! {
     ) {
         let mut s = PlateauSchedule::new(p, 4.0, 0.1, tolerance, max_drops);
         let mut prev = s.lr_scale();
-        prop_assert!(prev <= 4.0 && prev >= 1.0);
+        prop_assert!((1.0..=4.0).contains(&prev));
         for &m in &metrics {
             let _ = s.observe(m);
             let cur = s.lr_scale();

@@ -68,10 +68,10 @@ pub fn ring_allreduce(bufs: &mut [Vec<f32>]) {
     for step in 0..p - 1 {
         // Snapshot the chunks being sent this step before any writes.
         let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(p); // (dst, chunk, data)
-        for r in 0..p {
+        for (r, buf) in bufs.iter().enumerate() {
             let c = (r + p - step) % p;
             let dst = (r + 1) % p;
-            sends.push((dst, c, bufs[r][chunk_range(c)].to_vec()));
+            sends.push((dst, c, buf[chunk_range(c)].to_vec()));
         }
         for (dst, c, data) in sends {
             let range = chunk_range(c);
@@ -84,10 +84,10 @@ pub fn ring_allreduce(bufs: &mut [Vec<f32>]) {
     // chunk (r+1) mod p. Circulate ownership around the ring.
     for step in 0..p - 1 {
         let mut sends: Vec<(usize, usize, Vec<f32>)> = Vec::with_capacity(p);
-        for r in 0..p {
+        for (r, buf) in bufs.iter().enumerate() {
             let c = (r + 1 + p - step) % p;
             let dst = (r + 1) % p;
-            sends.push((dst, c, bufs[r][chunk_range(c)].to_vec()));
+            sends.push((dst, c, buf[chunk_range(c)].to_vec()));
         }
         for (dst, c, data) in sends {
             let range = chunk_range(c);

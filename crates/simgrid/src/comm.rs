@@ -91,6 +91,9 @@ pub struct Communicator {
     /// Per-destination (original-id) send counters for the p2p drop
     /// stream; sized at the initial world size.
     p2p_seq: Vec<u64>,
+    /// Reused per-rank byte-count scratch for uniform-size collectives, so
+    /// steady-state all-reduces don't allocate a count vector per call.
+    bytes_scratch: Vec<usize>,
 }
 
 impl Communicator {
@@ -106,6 +109,7 @@ impl Communicator {
             traffic: TrafficStats::default(),
             coll_seq: 0,
             p2p_seq: vec![0; n_orig],
+            bytes_scratch: Vec::new(),
             world,
         }
     }
@@ -192,7 +196,7 @@ impl Communicator {
             slot.clear();
             slot.extend_from_slice(buf);
         }
-        self.sync_clocks(Collective::AllReduce, &vec![bytes; self.size()]);
+        self.sync_clocks_uniform(Collective::AllReduce, bytes);
         if let Err(e) = self.apply_faults(Collective::AllReduce, "allreduce_sum_f32") {
             self.world.barrier.wait(); // symmetric error: release staging
             return Err(e);
@@ -297,7 +301,8 @@ impl Communicator {
     /// which copies each peer's payload exactly once.
     pub fn allgatherv_bytes(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, SimError> {
         let mut recv = Vec::new();
-        let counts = self.allgatherv_bytes_into(data, &mut recv)?;
+        let mut counts = Vec::new();
+        self.allgatherv_bytes_into(data, &mut recv, &mut counts)?;
         let mut out = Vec::with_capacity(counts.len());
         let mut off = 0usize;
         for n in counts {
@@ -307,23 +312,27 @@ impl Communicator {
         Ok(out)
     }
 
-    /// Variable-size all-gather of opaque byte payloads into a caller-owned
-    /// flat buffer: `recv` is cleared and filled with every rank's payload
+    /// Variable-size all-gather of opaque byte payloads into caller-owned
+    /// buffers: `recv` is cleared and filled with every rank's payload
     /// concatenated in rank order (one copy per peer, straight out of the
-    /// staging slot — no intermediate per-rank allocation). Returns the
-    /// per-rank byte counts; rank `r`'s payload is
-    /// `recv[offsets[r]..offsets[r] + counts[r]]`.
+    /// staging slot — no intermediate per-rank allocation), and `counts`
+    /// with the per-rank byte counts; rank `r`'s payload is
+    /// `recv[offsets[r]..offsets[r] + counts[r]]`. Both buffers keep their
+    /// capacity across calls, so the steady state allocates nothing.
     pub fn allgatherv_bytes_into(
         &mut self,
         data: &[u8],
         recv: &mut Vec<u8>,
-    ) -> Result<Vec<usize>, SimError> {
+        counts: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
         recv.clear();
+        counts.clear();
         if self.size() == 1 {
             self.traffic
                 .record(Collective::AllGatherV, data.len(), data.len());
             recv.extend_from_slice(data);
-            return Ok(vec![data.len()]);
+            counts.push(data.len());
+            return Ok(());
         }
         {
             let mut slot = self.world.byte_slots[self.rank].lock();
@@ -332,16 +341,15 @@ impl Communicator {
         }
         *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
         self.world.barrier.wait();
-        let mut per_rank_bytes = Vec::with_capacity(self.size());
         for r in 0..self.size() {
-            per_rank_bytes.push(self.world.byte_slots[r].lock().len());
+            counts.push(self.world.byte_slots[r].lock().len());
         }
-        self.align_and_charge(Collective::AllGatherV, &per_rank_bytes);
+        self.align_and_charge(Collective::AllGatherV, counts);
         if let Err(e) = self.apply_faults(Collective::AllGatherV, "allgatherv_bytes") {
             self.world.barrier.wait();
             return Err(e);
         }
-        let total: usize = per_rank_bytes.iter().sum();
+        let total: usize = counts.iter().sum();
         recv.reserve(total);
         for r in 0..self.size() {
             recv.extend_from_slice(&self.world.byte_slots[r].lock());
@@ -353,7 +361,7 @@ impl Communicator {
             total - data.len(),
         );
         self.world.barrier.wait();
-        Ok(per_rank_bytes)
+        Ok(())
     }
 
     /// Broadcast `buf` from `root` to every rank.
@@ -374,7 +382,7 @@ impl Communicator {
             slot.clear();
             slot.extend_from_slice(buf);
         }
-        self.sync_clocks(Collective::Broadcast, &vec![bytes; self.size()]);
+        self.sync_clocks_uniform(Collective::Broadcast, bytes);
         if let Err(e) = self.apply_faults(Collective::Broadcast, "broadcast_f32") {
             self.world.barrier.wait();
             return Err(e);
@@ -571,7 +579,7 @@ impl Communicator {
             return v;
         }
         *self.world.f64_slots[self.rank].lock() = v;
-        self.sync_clocks(Collective::AllReduce, &vec![8usize; self.size()]);
+        self.sync_clocks_uniform(Collective::AllReduce, 8);
         let mut acc = *self.world.f64_slots[0].lock();
         for r in 1..self.size() {
             acc = f(acc, *self.world.f64_slots[r].lock());
@@ -707,6 +715,18 @@ impl Communicator {
             }
             None => Ok(None),
         }
+    }
+
+    /// [`Communicator::sync_clocks`] for collectives where every rank moves
+    /// the same `bytes`, using the communicator's reused count scratch
+    /// instead of building a fresh `vec![bytes; size]` per call.
+    fn sync_clocks_uniform(&mut self, op: Collective, bytes: usize) {
+        let size = self.size();
+        let mut scratch = std::mem::take(&mut self.bytes_scratch);
+        scratch.clear();
+        scratch.resize(size, bytes);
+        self.sync_clocks(op, &scratch);
+        self.bytes_scratch = scratch;
     }
 
     /// Deposit clock, barrier, align to latest arrival, charge the cost of
@@ -921,9 +941,9 @@ mod tests {
         let out = cluster.run(|ctx| {
             let payload = vec![ctx.rank() as u8 + 1; 2 * ctx.rank() + 1];
             let mut flat = Vec::new();
-            let counts = ctx
-                .comm_mut()
-                .allgatherv_bytes_into(&payload, &mut flat)
+            let mut counts = Vec::new();
+            ctx.comm_mut()
+                .allgatherv_bytes_into(&payload, &mut flat, &mut counts)
                 .unwrap();
             let nested = ctx.comm_mut().allgatherv_bytes(&payload).unwrap();
             (flat, counts, nested)
@@ -940,9 +960,9 @@ mod tests {
         let cluster = Cluster::new(1, ClusterSpec::cray_xc40());
         let out = cluster.run(|ctx| {
             let mut flat = vec![9u8; 4]; // stale contents must be cleared
-            let counts = ctx
-                .comm_mut()
-                .allgatherv_bytes_into(&[1, 2, 3], &mut flat)
+            let mut counts = vec![7usize]; // likewise
+            ctx.comm_mut()
+                .allgatherv_bytes_into(&[1, 2, 3], &mut flat, &mut counts)
                 .unwrap();
             (flat, counts)
         });

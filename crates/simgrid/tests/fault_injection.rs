@@ -121,7 +121,7 @@ fn crash_is_detected_and_world_shrinks() {
             )
         });
     // Original ranks 0, 1, 3 survive as new ranks 0, 1, 2.
-    assert_eq!(out[2].0, false);
+    assert!(!out[2].0);
     for (orig, (survived, size, new_rank, failed, orig_sum)) in out.iter().enumerate() {
         assert_eq!(*failed, vec![2], "rank {orig}");
         if orig == 2 {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Lint gate: clippy with warnings denied over every first-party crate.
+#
+# The shim-* crates are offline stand-ins for external dependencies
+# (rand, rayon, serde, ...) and intentionally mirror foreign APIs —
+# idiom lints there are noise, so they are excluded. Everything else
+# (library code, tests, benches, binaries) must be clippy-clean.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(
+  simgrid
+  kge-core
+  kge-data
+  kge-compress
+  kge-partition
+  kge-eval
+  kge-train
+  bench
+)
+
+ARGS=()
+for c in "${CRATES[@]}"; do
+  ARGS+=(-p "$c")
+done
+
+cargo clippy "${ARGS[@]}" --all-targets -- -D warnings
+cargo clippy "${ARGS[@]}" --all-targets --features bench/count-allocs -- -D warnings
+echo "check: clippy clean (warnings denied) for: ${CRATES[*]}"
