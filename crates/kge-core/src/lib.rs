@@ -30,7 +30,7 @@ pub mod scratch;
 
 pub use grad::SparseGrad;
 pub use matrix::EmbeddingTable;
-pub use model::{ComplEx, DistMult, KgeModel, RotatE, SimplE, TransE};
+pub use model::{ComplEx, DistMult, KgeModel, ReplaceDir, RotatE, SimplE, TransE, OVA_T_LANES};
 pub use optim::{
     Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, RowOptimizer, Sgd,
 };

@@ -9,6 +9,438 @@ use crate::matrix::{axpy, dot};
 use crate::scratch::BlockScratch;
 use crate::{EmbeddingTable, SparseGrad};
 
+/// Which side of a query a one-vs-all candidate sweep replaces.
+///
+/// Link-prediction evaluation asks two questions per test triple: "which
+/// head completes `(?, r, t)`" and "which tail completes `(h, r, ?)`".
+/// [`KgeModel::score_one_vs_all`] answers one of them for a whole tile of
+/// candidate entities at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaceDir {
+    /// Candidates substitute the head: `φ(c, r, query)`.
+    Head,
+    /// Candidates substitute the tail: `φ(query, r, c)`.
+    Tail,
+}
+
+/// Candidate rows processed together by the fused one-vs-all kernels.
+///
+/// Bit-identity to the scalar `score` path forbids reassociating the
+/// per-candidate f32 sum, so a single candidate can never vectorize — its
+/// accumulator is one serial add chain, latency-bound. Grouping `OVA_LANES`
+/// candidates gives that many *independent* chains (each still summed in
+/// its own original order), which the compiler turns into ILP/SIMD across
+/// lanes. 8 lanes × 4 B counters comfortably fit the register file and
+/// divide the evaluation tile sizes.
+const OVA_LANES: usize = 8;
+
+/// Lane width of the **transposed** one-vs-all kernels: 16 accumulators =
+/// two 256-bit (or four 128-bit) vector chains, enough independent adds
+/// to hide FP-add latency while leaving registers for the column loads
+/// and broadcast scalars. Tile row counts are rounded up to a multiple of
+/// this so the remainder path stays cold.
+pub const OVA_T_LANES: usize = 16;
+
+/// Dispatchers for the transposed one-vs-all kernels: explicit AVX
+/// vector code where the CPU supports it (runtime-detected once, cached
+/// by `std`), the portable register-blocked body otherwise. The AVX
+/// kernels use **only** mul/add/sub intrinsics — never FMA: a fused
+/// multiply-add rounds once where [`KgeModel::score`] rounds twice, which
+/// would break the bit-identity contract. Wider registers alone reorder
+/// nothing: every lane is one candidate's own serial sum, in `score`'s
+/// exact order.
+macro_rules! ova_t_dispatch {
+    ($base:ident, $avx:ident, $body:ident) => {
+        #[inline]
+        fn $base(
+            rank: usize,
+            query: &[f32],
+            r: &[f32],
+            tile_t: &[f32],
+            rows: usize,
+            dir: ReplaceDir,
+            scores: &mut [f32],
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx") {
+                // SAFETY: the target feature was just detected at runtime;
+                // slice bounds are asserted inside before any raw access.
+                return unsafe { $avx(rank, query, r, tile_t, rows, dir, scores) };
+            }
+            $body(rank, query, r, tile_t, rows, dir, scores)
+        }
+    };
+}
+
+ova_t_dispatch!(complex_ova_t, complex_ova_t_avx, complex_ova_t_body);
+ova_t_dispatch!(distmult_ova_t, distmult_ova_t_avx, distmult_ova_t_body);
+ova_t_dispatch!(transe_ova_t, transe_ova_t_avx, transe_ova_t_body);
+
+/// AVX ComplEx transposed kernel: 16 lanes = two 256-bit accumulators per
+/// candidate chunk, held in registers across the whole `k` loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn complex_ova_t_avx(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let d = rank;
+    assert_eq!(tile_t.len(), rows * 2 * d);
+    assert_eq!(scores.len(), rows);
+    assert!(query.len() >= 2 * d && r.len() >= 2 * d);
+    let (qr, qi) = query.split_at(d);
+    let (rr, ri) = r.split_at(d);
+    let n_grouped = rows - rows % OVA_T_LANES;
+    let tp = tile_t.as_ptr();
+    let sp = scores.as_mut_ptr();
+    for c0 in (0..n_grouped).step_by(OVA_T_LANES) {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for k in 0..d {
+            let vqr = _mm256_set1_ps(*qr.get_unchecked(k));
+            let vqi = _mm256_set1_ps(*qi.get_unchecked(k));
+            let vrr = _mm256_set1_ps(*rr.get_unchecked(k));
+            let vri = _mm256_set1_ps(*ri.get_unchecked(k));
+            let re = tp.add(k * rows + c0);
+            let im = tp.add((d + k) * rows + c0);
+            let (re0, re1) = (_mm256_loadu_ps(re), _mm256_loadu_ps(re.add(8)));
+            let (im0, im1) = (_mm256_loadu_ps(im), _mm256_loadu_ps(im.add(8)));
+            // acc += rr·(qr·re + qi·im) + ri·b per lane, where the cross
+            // term b flips sign structure with direction: Tail is
+            // qr·im − qi·re, Head is re·qi − im·qr. The first bracket is
+            // shared — f32 multiplication of finite values is bitwise
+            // commutative, so qr·re here equals score's re·qr exactly.
+            let a0 = _mm256_add_ps(_mm256_mul_ps(vqr, re0), _mm256_mul_ps(vqi, im0));
+            let a1 = _mm256_add_ps(_mm256_mul_ps(vqr, re1), _mm256_mul_ps(vqi, im1));
+            let (b0, b1) = match dir {
+                ReplaceDir::Tail => (
+                    _mm256_sub_ps(_mm256_mul_ps(vqr, im0), _mm256_mul_ps(vqi, re0)),
+                    _mm256_sub_ps(_mm256_mul_ps(vqr, im1), _mm256_mul_ps(vqi, re1)),
+                ),
+                ReplaceDir::Head => (
+                    _mm256_sub_ps(_mm256_mul_ps(re0, vqi), _mm256_mul_ps(im0, vqr)),
+                    _mm256_sub_ps(_mm256_mul_ps(re1, vqi), _mm256_mul_ps(im1, vqr)),
+                ),
+            };
+            acc0 = _mm256_add_ps(
+                acc0,
+                _mm256_add_ps(_mm256_mul_ps(vrr, a0), _mm256_mul_ps(vri, b0)),
+            );
+            acc1 = _mm256_add_ps(
+                acc1,
+                _mm256_add_ps(_mm256_mul_ps(vrr, a1), _mm256_mul_ps(vri, b1)),
+            );
+        }
+        _mm256_storeu_ps(sp.add(c0), acc0);
+        _mm256_storeu_ps(sp.add(c0 + 8), acc1);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..d {
+            let (tr, ti) = (tile_t[k * rows + c], tile_t[(d + k) * rows + c]);
+            acc += match dir {
+                ReplaceDir::Tail => {
+                    rr[k] * (qr[k] * tr + qi[k] * ti) + ri[k] * (qr[k] * ti - qi[k] * tr)
+                }
+                ReplaceDir::Head => {
+                    rr[k] * (tr * qr[k] + ti * qi[k]) + ri[k] * (tr * qi[k] - ti * qr[k])
+                }
+            };
+        }
+        scores[c] = acc;
+    }
+}
+
+/// AVX DistMult transposed kernel (see [`complex_ova_t_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn distmult_ova_t_avx(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let dim = rank;
+    assert_eq!(tile_t.len(), rows * dim);
+    assert_eq!(scores.len(), rows);
+    assert!(query.len() >= dim && r.len() >= dim);
+    let n_grouped = rows - rows % OVA_T_LANES;
+    let tp = tile_t.as_ptr();
+    let sp = scores.as_mut_ptr();
+    for c0 in (0..n_grouped).step_by(OVA_T_LANES) {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for k in 0..dim {
+            let col = tp.add(k * rows + c0);
+            let (c0v, c1v) = (_mm256_loadu_ps(col), _mm256_loadu_ps(col.add(8)));
+            match dir {
+                ReplaceDir::Tail => {
+                    // The exact scalar product query[k]·r[k], broadcast.
+                    let p = _mm256_set1_ps(*query.get_unchecked(k) * *r.get_unchecked(k));
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(p, c0v));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(p, c1v));
+                }
+                ReplaceDir::Head => {
+                    let vr = _mm256_set1_ps(*r.get_unchecked(k));
+                    let vq = _mm256_set1_ps(*query.get_unchecked(k));
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_mul_ps(c0v, vr), vq));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_mul_ps(c1v, vr), vq));
+                }
+            }
+        }
+        _mm256_storeu_ps(sp.add(c0), acc0);
+        _mm256_storeu_ps(sp.add(c0 + 8), acc1);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..dim {
+            let v = tile_t[k * rows + c];
+            acc += match dir {
+                ReplaceDir::Tail => query[k] * r[k] * v,
+                ReplaceDir::Head => v * r[k] * query[k],
+            };
+        }
+        scores[c] = acc;
+    }
+}
+
+/// AVX TransE transposed kernel (see [`complex_ova_t_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn transe_ova_t_avx(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let dim = rank;
+    assert_eq!(tile_t.len(), rows * dim);
+    assert_eq!(scores.len(), rows);
+    assert!(query.len() >= dim && r.len() >= dim);
+    let n_grouped = rows - rows % OVA_T_LANES;
+    let tp = tile_t.as_ptr();
+    let sp = scores.as_mut_ptr();
+    for c0 in (0..n_grouped).step_by(OVA_T_LANES) {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        for k in 0..dim {
+            let col = tp.add(k * rows + c0);
+            let (c0v, c1v) = (_mm256_loadu_ps(col), _mm256_loadu_ps(col.add(8)));
+            let (d0, d1) = match dir {
+                ReplaceDir::Tail => {
+                    // The exact scalar sum query[k] + r[k], broadcast.
+                    let s = _mm256_set1_ps(*query.get_unchecked(k) + *r.get_unchecked(k));
+                    (_mm256_sub_ps(s, c0v), _mm256_sub_ps(s, c1v))
+                }
+                ReplaceDir::Head => {
+                    let vr = _mm256_set1_ps(*r.get_unchecked(k));
+                    let vq = _mm256_set1_ps(*query.get_unchecked(k));
+                    (
+                        _mm256_sub_ps(_mm256_add_ps(c0v, vr), vq),
+                        _mm256_sub_ps(_mm256_add_ps(c1v, vr), vq),
+                    )
+                }
+            };
+            acc0 = _mm256_sub_ps(acc0, _mm256_mul_ps(d0, d0));
+            acc1 = _mm256_sub_ps(acc1, _mm256_mul_ps(d1, d1));
+        }
+        _mm256_storeu_ps(sp.add(c0), acc0);
+        _mm256_storeu_ps(sp.add(c0 + 8), acc1);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..dim {
+            let v = tile_t[k * rows + c];
+            let d = match dir {
+                ReplaceDir::Tail => query[k] + r[k] - v,
+                ReplaceDir::Head => v + r[k] - query[k],
+            };
+            acc -= d * d;
+        }
+        scores[c] = acc;
+    }
+}
+
+#[inline(always)]
+fn complex_ova_t_body(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    const W: usize = OVA_T_LANES;
+    let d = rank;
+    debug_assert_eq!(tile_t.len(), rows * 2 * d);
+    debug_assert_eq!(scores.len(), rows);
+    let (qr, qi) = query.split_at(d);
+    let (rr, ri) = r.split_at(d);
+    let n_grouped = rows - rows % W;
+    for c0 in (0..n_grouped).step_by(W) {
+        let mut acc = [0.0f32; W];
+        for k in 0..d {
+            let (qrk, qik, rrk, rik) = (qr[k], qi[k], rr[k], ri[k]);
+            let re: &[f32; W] = tile_t[k * rows + c0..k * rows + c0 + W]
+                .try_into()
+                .unwrap();
+            let im: &[f32; W] = tile_t[(d + k) * rows + c0..(d + k) * rows + c0 + W]
+                .try_into()
+                .unwrap();
+            match dir {
+                ReplaceDir::Tail => {
+                    for j in 0..W {
+                        let (tr, ti) = (re[j], im[j]);
+                        acc[j] += rrk * (qrk * tr + qik * ti) + rik * (qrk * ti - qik * tr);
+                    }
+                }
+                ReplaceDir::Head => {
+                    for j in 0..W {
+                        let (hr, hi) = (re[j], im[j]);
+                        acc[j] += rrk * (hr * qrk + hi * qik) + rik * (hr * qik - hi * qrk);
+                    }
+                }
+            }
+        }
+        scores[c0..c0 + W].copy_from_slice(&acc);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..d {
+            let (tr, ti) = (tile_t[k * rows + c], tile_t[(d + k) * rows + c]);
+            acc += match dir {
+                ReplaceDir::Tail => {
+                    rr[k] * (qr[k] * tr + qi[k] * ti) + ri[k] * (qr[k] * ti - qi[k] * tr)
+                }
+                ReplaceDir::Head => {
+                    rr[k] * (tr * qr[k] + ti * qi[k]) + ri[k] * (tr * qi[k] - ti * qr[k])
+                }
+            };
+        }
+        scores[c] = acc;
+    }
+}
+
+#[inline(always)]
+fn distmult_ova_t_body(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    const W: usize = OVA_T_LANES;
+    let dim = rank;
+    debug_assert_eq!(tile_t.len(), rows * dim);
+    debug_assert_eq!(scores.len(), rows);
+    let n_grouped = rows - rows % W;
+    for c0 in (0..n_grouped).step_by(W) {
+        let mut acc = [0.0f32; W];
+        for k in 0..dim {
+            let col: &[f32; W] = tile_t[k * rows + c0..k * rows + c0 + W]
+                .try_into()
+                .unwrap();
+            match dir {
+                ReplaceDir::Tail => {
+                    let qrk = query[k] * r[k];
+                    for j in 0..W {
+                        acc[j] += qrk * col[j];
+                    }
+                }
+                ReplaceDir::Head => {
+                    let (rk, qk) = (r[k], query[k]);
+                    for j in 0..W {
+                        acc[j] += col[j] * rk * qk;
+                    }
+                }
+            }
+        }
+        scores[c0..c0 + W].copy_from_slice(&acc);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..dim {
+            let v = tile_t[k * rows + c];
+            acc += match dir {
+                ReplaceDir::Tail => query[k] * r[k] * v,
+                ReplaceDir::Head => v * r[k] * query[k],
+            };
+        }
+        scores[c] = acc;
+    }
+}
+
+#[inline(always)]
+fn transe_ova_t_body(
+    rank: usize,
+    query: &[f32],
+    r: &[f32],
+    tile_t: &[f32],
+    rows: usize,
+    dir: ReplaceDir,
+    scores: &mut [f32],
+) {
+    const W: usize = OVA_T_LANES;
+    let dim = rank;
+    debug_assert_eq!(tile_t.len(), rows * dim);
+    debug_assert_eq!(scores.len(), rows);
+    let n_grouped = rows - rows % W;
+    for c0 in (0..n_grouped).step_by(W) {
+        let mut acc = [0.0f32; W];
+        for k in 0..dim {
+            let col: &[f32; W] = tile_t[k * rows + c0..k * rows + c0 + W]
+                .try_into()
+                .unwrap();
+            match dir {
+                ReplaceDir::Tail => {
+                    let qrk = query[k] + r[k];
+                    for j in 0..W {
+                        let d = qrk - col[j];
+                        acc[j] -= d * d;
+                    }
+                }
+                ReplaceDir::Head => {
+                    let (rk, qk) = (r[k], query[k]);
+                    for j in 0..W {
+                        let d = col[j] + rk - qk;
+                        acc[j] -= d * d;
+                    }
+                }
+            }
+        }
+        scores[c0..c0 + W].copy_from_slice(&acc);
+    }
+    for c in n_grouped..rows {
+        let mut acc = 0.0f32;
+        for k in 0..dim {
+            let v = tile_t[k * rows + c];
+            let d = match dir {
+                ReplaceDir::Tail => query[k] + r[k] - v,
+                ReplaceDir::Head => v + r[k] - query[k],
+            };
+            acc -= d * d;
+        }
+        scores[c] = acc;
+    }
+}
+
 /// A knowledge-graph embedding scoring model.
 ///
 /// `storage_dim(d)` says how many floats one embedding row needs for a
@@ -65,6 +497,76 @@ pub trait KgeModel: Send + Sync {
             let b = a + dim;
             *s = self.score(&h[a..b], &r[a..b], &t[a..b]);
         }
+    }
+
+    /// Score one query against a contiguous tile of candidate entity rows —
+    /// the one-vs-all evaluation kernel.
+    ///
+    /// `query` is the fixed entity row (the head under [`ReplaceDir::Tail`],
+    /// the tail under [`ReplaceDir::Head`]), `r` the relation row, and
+    /// `candidates` holds `scores.len()` rows of `storage_dim()` floats —
+    /// typically a slice straight out of the entity table, so sweeping all
+    /// entities needs no gather at all. `scores[i]` receives `φ` with
+    /// candidate `i` substituted on the replaced side.
+    ///
+    /// Per-candidate arithmetic uses the exact expression and reduction
+    /// order of [`Self::score`], so every score is **bit-identical** to the
+    /// scalar call — ranks derived from a tile sweep (including tie counts)
+    /// match the one-candidate-at-a-time path exactly. The default
+    /// delegates row by row (monomorphized per model, so `score` inlines);
+    /// fused overrides hoist the query/relation splits out of the candidate
+    /// loop and stream the tile once.
+    fn score_one_vs_all(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        candidates: &[f32],
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        let dim = self.storage_dim();
+        debug_assert_eq!(candidates.len(), scores.len() * dim);
+        for (c, s) in candidates.chunks_exact(dim).zip(scores.iter_mut()) {
+            *s = match dir {
+                ReplaceDir::Head => self.score(c, r, query),
+                ReplaceDir::Tail => self.score(query, r, c),
+            };
+        }
+    }
+
+    /// Whether [`Self::score_one_vs_all_transposed`] has a fused
+    /// implementation. Callers that pay the tile-transpose cost must check
+    /// this first — the transposed default panics rather than silently
+    /// running a slow gather.
+    fn has_transposed_kernel(&self) -> bool {
+        false
+    }
+
+    /// One-vs-all against a **column-major** candidate tile:
+    /// `tile_t[k * rows + j]` holds element `k` of candidate `j`
+    /// (`0 ≤ j < rows`, `0 ≤ k < storage_dim()`), i.e. the row-major tile
+    /// transposed. Semantics otherwise match [`Self::score_one_vs_all`]:
+    /// each candidate's expression and accumulation order are exactly
+    /// [`Self::score`]'s, so scores are bit-identical to the scalar call.
+    ///
+    /// The transposed layout makes the inner candidate loop unit-stride —
+    /// one `k` broadcasts the query/relation scalars against a contiguous
+    /// run of candidate elements, which vectorizes where the row-major
+    /// kernel's strided lane loads cannot. Callers transpose a tile once
+    /// and reuse it across every query and direction of a work unit.
+    fn score_one_vs_all_transposed(
+        &self,
+        _query: &[f32],
+        _r: &[f32],
+        _tile_t: &[f32],
+        _rows: usize,
+        _dir: ReplaceDir,
+        _scores: &mut [f32],
+    ) {
+        unimplemented!(
+            "{}: no transposed one-vs-all kernel; check has_transposed_kernel()",
+            self.name()
+        )
     }
 
     /// Fill the gradient arenas with `coeffs[i] · ∂φ/∂(h,r,t)` for every
@@ -284,6 +786,108 @@ impl KgeModel for ComplEx {
             }
         }
     }
+
+    /// Fused one-vs-all: query/relation halves are split once, then the
+    /// candidate tile streams through in groups of [`OVA_LANES`] rows with
+    /// one accumulator per row. Each candidate's per-`k` expression and
+    /// accumulation order are exactly [`Self::score`]'s with `h` or `t`
+    /// substituted — no algebraic refactoring (e.g. pre-folding `r` into
+    /// the query), which would change f32 rounding and break rank
+    /// bit-identity. The cross-candidate grouping only interleaves
+    /// *independent* sum chains, trading the single chain's add latency
+    /// for instruction-level parallelism.
+    fn score_one_vs_all(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        candidates: &[f32],
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        let d = self.rank;
+        let dim = 2 * d;
+        debug_assert_eq!(candidates.len(), scores.len() * dim);
+        let (qr, qi) = query.split_at(d);
+        let (rr, ri) = r.split_at(d);
+        let n = scores.len();
+        let n_grouped = n - n % OVA_LANES;
+        match dir {
+            ReplaceDir::Tail => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [(&[][..], &[][..]); OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = candidates[(c0 + j) * dim..(c0 + j + 1) * dim].split_at(d);
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..d {
+                        let (qrk, qik, rrk, rik) = (qr[k], qi[k], rr[k], ri[k]);
+                        for (a, (tr, ti)) in acc.iter_mut().zip(&rows) {
+                            *a += rrk * (qrk * tr[k] + qik * ti[k])
+                                + rik * (qrk * ti[k] - qik * tr[k]);
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let (tr, ti) = candidates[c * dim..(c + 1) * dim].split_at(d);
+                    let mut acc = 0.0f32;
+                    for k in 0..d {
+                        acc += rr[k] * (qr[k] * tr[k] + qi[k] * ti[k])
+                            + ri[k] * (qr[k] * ti[k] - qi[k] * tr[k]);
+                    }
+                    scores[c] = acc;
+                }
+            }
+            ReplaceDir::Head => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [(&[][..], &[][..]); OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = candidates[(c0 + j) * dim..(c0 + j + 1) * dim].split_at(d);
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..d {
+                        let (qrk, qik, rrk, rik) = (qr[k], qi[k], rr[k], ri[k]);
+                        for (a, (hr, hi)) in acc.iter_mut().zip(&rows) {
+                            *a += rrk * (hr[k] * qrk + hi[k] * qik)
+                                + rik * (hr[k] * qik - hi[k] * qrk);
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let (hr, hi) = candidates[c * dim..(c + 1) * dim].split_at(d);
+                    let mut acc = 0.0f32;
+                    for k in 0..d {
+                        acc += rr[k] * (hr[k] * qr[k] + hi[k] * qi[k])
+                            + ri[k] * (hr[k] * qi[k] - hi[k] * qr[k]);
+                    }
+                    scores[c] = acc;
+                }
+            }
+        }
+    }
+
+    fn has_transposed_kernel(&self) -> bool {
+        true
+    }
+
+    /// Transposed one-vs-all, register-blocked: each [`OVA_T_LANES`]-wide
+    /// candidate chunk keeps its accumulators in registers across the
+    /// whole `k` loop (`0` then `+=` per `k` in ascending order —
+    /// [`Self::score`]'s exact sequence per candidate), loading the
+    /// tile's `k`-th column pair with unit-stride vector loads. Runs the
+    /// AVX2 function-multiversion where the CPU supports it.
+    fn score_one_vs_all_transposed(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        tile_t: &[f32],
+        rows: usize,
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        complex_ova_t(self.rank, query, r, tile_t, rows, dir, scores);
+    }
 }
 
 /// DistMult — ComplEx restricted to real embeddings: `φ = Σ h·r·t`.
@@ -361,6 +965,95 @@ impl KgeModel for DistMult {
                 gt[k] = coeff * h[k] * r[k];
             }
         }
+    }
+
+    /// Fused one-vs-all (see [`ComplEx::score_one_vs_all`]): the product
+    /// keeps [`Self::score`]'s `h·r` then `·t` association in both
+    /// directions, so scores stay bit-identical to the scalar path.
+    /// In the tail direction `query[k]·r[k]` is hoisted out of the lane
+    /// loop — the identical f32 product, computed once per `k`.
+    fn score_one_vs_all(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        candidates: &[f32],
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        let dim = self.rank;
+        debug_assert_eq!(candidates.len(), scores.len() * dim);
+        let n = scores.len();
+        let n_grouped = n - n % OVA_LANES;
+        match dir {
+            ReplaceDir::Tail => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [&[][..]; OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = &candidates[(c0 + j) * dim..(c0 + j + 1) * dim];
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..dim {
+                        let qrk = query[k] * r[k];
+                        for (a, c) in acc.iter_mut().zip(&rows) {
+                            *a += qrk * c[k];
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let row = &candidates[c * dim..(c + 1) * dim];
+                    let mut acc = 0.0f32;
+                    for k in 0..dim {
+                        acc += query[k] * r[k] * row[k];
+                    }
+                    scores[c] = acc;
+                }
+            }
+            ReplaceDir::Head => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [&[][..]; OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = &candidates[(c0 + j) * dim..(c0 + j + 1) * dim];
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..dim {
+                        let (rk, qk) = (r[k], query[k]);
+                        for (a, c) in acc.iter_mut().zip(&rows) {
+                            *a += c[k] * rk * qk;
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let row = &candidates[c * dim..(c + 1) * dim];
+                    let mut acc = 0.0f32;
+                    for k in 0..dim {
+                        acc += row[k] * r[k] * query[k];
+                    }
+                    scores[c] = acc;
+                }
+            }
+        }
+    }
+
+    fn has_transposed_kernel(&self) -> bool {
+        true
+    }
+
+    /// Transposed one-vs-all (see [`ComplEx::score_one_vs_all_transposed`]).
+    /// Tail hoists the exact `query[k]·r[k]` product; head keeps
+    /// [`Self::score`]'s `(c·r)·q` association with the scalars in
+    /// registers.
+    fn score_one_vs_all_transposed(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        tile_t: &[f32],
+        rows: usize,
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        distmult_ova_t(self.rank, query, r, tile_t, rows, dir, scores);
     }
 }
 
@@ -445,6 +1138,99 @@ impl KgeModel for TransE {
                 gt[k] = coeff * (2.0 * d);
             }
         }
+    }
+
+    /// Fused one-vs-all (see [`ComplEx::score_one_vs_all`]): the residual
+    /// keeps [`Self::score`]'s `(h + r) - t` association. In the tail
+    /// direction the already-associated `query[k] + r[k]` is hoisted out
+    /// of the lane loop — the identical f32 sum, computed once per `k`;
+    /// in the head direction each candidate supplies `h`, so nothing can
+    /// be hoisted past the scalar `r[k]`/`query[k]` loads.
+    fn score_one_vs_all(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        candidates: &[f32],
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        let dim = self.rank;
+        debug_assert_eq!(candidates.len(), scores.len() * dim);
+        let n = scores.len();
+        let n_grouped = n - n % OVA_LANES;
+        match dir {
+            ReplaceDir::Tail => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [&[][..]; OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = &candidates[(c0 + j) * dim..(c0 + j + 1) * dim];
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..dim {
+                        let qrk = query[k] + r[k];
+                        for (a, c) in acc.iter_mut().zip(&rows) {
+                            let d = qrk - c[k];
+                            *a -= d * d;
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let row = &candidates[c * dim..(c + 1) * dim];
+                    let mut acc = 0.0f32;
+                    for k in 0..dim {
+                        let d = query[k] + r[k] - row[k];
+                        acc -= d * d;
+                    }
+                    scores[c] = acc;
+                }
+            }
+            ReplaceDir::Head => {
+                for c0 in (0..n_grouped).step_by(OVA_LANES) {
+                    let mut rows = [&[][..]; OVA_LANES];
+                    for (j, row) in rows.iter_mut().enumerate() {
+                        *row = &candidates[(c0 + j) * dim..(c0 + j + 1) * dim];
+                    }
+                    let mut acc = [0.0f32; OVA_LANES];
+                    for k in 0..dim {
+                        let (rk, qk) = (r[k], query[k]);
+                        for (a, c) in acc.iter_mut().zip(&rows) {
+                            let d = c[k] + rk - qk;
+                            *a -= d * d;
+                        }
+                    }
+                    scores[c0..c0 + OVA_LANES].copy_from_slice(&acc);
+                }
+                for c in n_grouped..n {
+                    let row = &candidates[c * dim..(c + 1) * dim];
+                    let mut acc = 0.0f32;
+                    for k in 0..dim {
+                        let d = row[k] + r[k] - query[k];
+                        acc -= d * d;
+                    }
+                    scores[c] = acc;
+                }
+            }
+        }
+    }
+
+    fn has_transposed_kernel(&self) -> bool {
+        true
+    }
+
+    /// Transposed one-vs-all (see [`ComplEx::score_one_vs_all_transposed`]).
+    /// Tail hoists the exact already-associated `query[k] + r[k]`; head
+    /// keeps [`Self::score`]'s `(c + r) − q` association.
+    fn score_one_vs_all_transposed(
+        &self,
+        query: &[f32],
+        r: &[f32],
+        tile_t: &[f32],
+        rows: usize,
+        dir: ReplaceDir,
+        scores: &mut [f32],
+    ) {
+        transe_ova_t(self.rank, query, r, tile_t, rows, dir, scores);
     }
 }
 
@@ -856,6 +1642,104 @@ mod tests {
         check_block_matches_scalar(&TransE::new(8));
         check_block_matches_scalar(&RotatE::new(5)); // default impls
         check_block_matches_scalar(&SimplE::new(6));
+    }
+
+    fn check_one_vs_all_matches_scalar(model: &dyn KgeModel) {
+        let mut rng = StdRng::seed_from_u64(55);
+        let dim = model.storage_dim();
+        let n_cand = 9;
+        let query = rand_vec(&mut rng, dim);
+        let r = rand_vec(&mut rng, dim);
+        let candidates = rand_vec(&mut rng, n_cand * dim);
+        for dir in [ReplaceDir::Head, ReplaceDir::Tail] {
+            // Poison the output so overwrite semantics are exercised.
+            let mut scores = vec![99.0f32; n_cand];
+            model.score_one_vs_all(&query, &r, &candidates, dir, &mut scores);
+            for i in 0..n_cand {
+                let c = &candidates[i * dim..(i + 1) * dim];
+                let scalar = match dir {
+                    ReplaceDir::Head => model.score(c, &r, &query),
+                    ReplaceDir::Tail => model.score(&query, &r, c),
+                };
+                assert_eq!(
+                    scores[i].to_bits(),
+                    scalar.to_bits(),
+                    "{} one-vs-all {dir:?} candidate {i}",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_vs_all_matches_scalar_for_every_model() {
+        check_one_vs_all_matches_scalar(&ComplEx::new(5));
+        check_one_vs_all_matches_scalar(&DistMult::new(8));
+        check_one_vs_all_matches_scalar(&TransE::new(8));
+        check_one_vs_all_matches_scalar(&RotatE::new(5)); // default impl
+        check_one_vs_all_matches_scalar(&SimplE::new(6));
+    }
+
+    #[test]
+    fn one_vs_all_handles_empty_tile() {
+        let m = DistMult::new(4);
+        let mut scores: Vec<f32> = Vec::new();
+        m.score_one_vs_all(&[1.0; 4], &[1.0; 4], &[], ReplaceDir::Tail, &mut scores);
+        assert!(scores.is_empty());
+    }
+
+    fn check_transposed_matches_scalar(model: &dyn KgeModel) {
+        assert!(model.has_transposed_kernel(), "{}", model.name());
+        let mut rng = StdRng::seed_from_u64(56);
+        let dim = model.storage_dim();
+        // Not a multiple of any lane width, to exercise ragged columns.
+        let rows = 11;
+        let query = rand_vec(&mut rng, dim);
+        let r = rand_vec(&mut rng, dim);
+        let candidates = rand_vec(&mut rng, rows * dim);
+        let mut tile_t = vec![0.0f32; rows * dim];
+        for j in 0..rows {
+            for k in 0..dim {
+                tile_t[k * rows + j] = candidates[j * dim + k];
+            }
+        }
+        for dir in [ReplaceDir::Head, ReplaceDir::Tail] {
+            // Poison the output so overwrite semantics are exercised.
+            let mut scores = vec![99.0f32; rows];
+            model.score_one_vs_all_transposed(&query, &r, &tile_t, rows, dir, &mut scores);
+            for j in 0..rows {
+                let c = &candidates[j * dim..(j + 1) * dim];
+                let scalar = match dir {
+                    ReplaceDir::Head => model.score(c, &r, &query),
+                    ReplaceDir::Tail => model.score(&query, &r, c),
+                };
+                assert_eq!(
+                    scores[j].to_bits(),
+                    scalar.to_bits(),
+                    "{} transposed one-vs-all {dir:?} candidate {j}",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_one_vs_all_matches_scalar_where_fused() {
+        check_transposed_matches_scalar(&ComplEx::new(5));
+        check_transposed_matches_scalar(&DistMult::new(8));
+        check_transposed_matches_scalar(&TransE::new(8));
+        // Models without a fused transposed kernel must say so.
+        assert!(!RotatE::new(5).has_transposed_kernel());
+        assert!(!SimplE::new(6).has_transposed_kernel());
+    }
+
+    #[test]
+    #[should_panic(expected = "no transposed one-vs-all kernel")]
+    fn transposed_default_panics() {
+        let m = RotatE::new(3);
+        let mut scores = [0.0f32; 1];
+        let row = vec![0.0f32; m.storage_dim()];
+        m.score_one_vs_all_transposed(&row, &row, &row, 1, ReplaceDir::Tail, &mut scores);
     }
 
     #[test]

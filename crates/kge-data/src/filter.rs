@@ -65,6 +65,60 @@ impl FilterIndex {
     }
 }
 
+/// The filter inverted for blocked evaluation: for every `(entity, rel)`
+/// query side, the **sorted, deduplicated** list of known completions.
+///
+/// `evaluate_ranking`'s scalar path probed `FilterIndex::contains` once per
+/// candidate — a hash lookup inside the O(|queries| × |E|) inner loop. The
+/// blocked path instead sweeps *all* candidates branch-free and then walks
+/// these (short) lists once per query as a post-pass rank correction: one
+/// hash lookup per query instead of one per candidate.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedFilter {
+    /// (head, rel) → sorted known tails.
+    tails: HashMap<(u32, u32), Vec<u32>>,
+    /// (tail, rel) → sorted known heads.
+    heads: HashMap<(u32, u32), Vec<u32>>,
+}
+
+impl GroupedFilter {
+    /// Invert an existing [`FilterIndex`].
+    pub fn from_index(idx: &FilterIndex) -> Self {
+        Self::from_triples(idx.all.iter().copied())
+    }
+
+    /// Build directly from a triple stream.
+    pub fn from_triples(triples: impl Iterator<Item = Triple>) -> Self {
+        let mut g = GroupedFilter::default();
+        for t in triples {
+            g.tails.entry((t.head, t.rel)).or_default().push(t.tail);
+            g.heads.entry((t.tail, t.rel)).or_default().push(t.head);
+        }
+        for list in g.tails.values_mut().chain(g.heads.values_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        g
+    }
+
+    /// Known true tails of `(head, rel, ?)`, ascending.
+    #[inline]
+    pub fn known_tails(&self, head: u32, rel: u32) -> &[u32] {
+        self.tails.get(&(head, rel)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Known true heads of `(?, rel, tail)`, ascending.
+    #[inline]
+    pub fn known_heads(&self, tail: u32, rel: u32) -> &[u32] {
+        self.heads.get(&(tail, rel)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct `(head, rel)` groups (tail-side).
+    pub fn n_tail_groups(&self) -> usize {
+        self.tails.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +158,50 @@ mod tests {
         );
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.known_tails(0, 0), &[1]);
+    }
+
+    #[test]
+    fn grouped_filter_lists_are_sorted_and_deduped() {
+        let g = GroupedFilter::from_triples(
+            [
+                Triple::new(0, 0, 2),
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2), // duplicate
+                Triple::new(3, 0, 1),
+                Triple::new(0, 1, 1),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(g.known_tails(0, 0), &[1, 2]);
+        assert_eq!(g.known_heads(1, 0), &[0, 3]);
+        assert_eq!(g.known_tails(0, 1), &[1]);
+        assert_eq!(g.known_tails(9, 9), &[] as &[u32]);
+        assert_eq!(g.n_tail_groups(), 3);
+    }
+
+    #[test]
+    fn grouped_filter_agrees_with_index_membership() {
+        let idx = index();
+        let g = GroupedFilter::from_index(&idx);
+        // Every candidate the scalar path would skip via `contains` appears
+        // in the grouped list, and vice versa.
+        for rel in 0..2u32 {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    let t = Triple::new(a, rel, b);
+                    assert_eq!(
+                        idx.contains(t),
+                        g.known_tails(a, rel).contains(&b),
+                        "tail side {t:?}"
+                    );
+                    assert_eq!(
+                        idx.contains(t),
+                        g.known_heads(b, rel).contains(&a),
+                        "head side {t:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

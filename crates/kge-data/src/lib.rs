@@ -30,7 +30,7 @@ pub mod triple;
 pub mod vocab;
 
 pub use dataset::{classify_relations, Dataset, DatasetStats, RelationCategory, Split};
-pub use filter::FilterIndex;
+pub use filter::{FilterIndex, GroupedFilter};
 pub use synth::{SynthConfig, SynthPreset};
 pub use triple::Triple;
 pub use vocab::Vocab;

@@ -32,9 +32,15 @@ pub fn fast_valid_accuracy(
     let mut rng = StdRng::seed_from_u64(seed);
     let n = valid.len().min(max_samples);
     let mut correct = 0usize;
+    // Partial Fisher–Yates: draw `n` distinct validation triples without
+    // replacement, deterministically from `seed`. (The former
+    // stride-plus-random-offset formula could evaluate one triple several
+    // times while never touching another, biasing the plateau signal.)
+    let mut idx: Vec<u32> = (0..valid.len() as u32).collect();
     for i in 0..n {
-        // Stride through the validation set for coverage without shuffling.
-        let t = valid[(i * valid.len() / n + rng.gen_range(0..valid.len())) % valid.len()];
+        let j = rng.gen_range(i..valid.len());
+        idx.swap(i, j);
+        let t = valid[idx[i] as usize];
         let neg = corrupt(t, n_entities, filter, &mut rng);
         let sp = model.score(
             ent.row(t.head as usize),
@@ -108,6 +114,32 @@ mod tests {
         assert_eq!(a, b);
         // Different seed may differ (not asserted unequal — could collide).
         let _ = c;
+    }
+
+    #[test]
+    fn full_sample_covers_every_triple_exactly_once() {
+        // Entity 0 is the only non-zero embedding; valid[0] = (0,0,0) is
+        // the only triple whose positive strictly outscores any corrupted
+        // negative (corruptions replace its head or tail with a zero
+        // entity, and (0,0,0) itself is filtered). All other triples score
+        // 0 vs 0 and never win. A without-replacement draw over the whole
+        // set therefore yields exactly 1/n for every seed; the old biased
+        // stride could count the winner zero or multiple times.
+        let model = DistMult::new(2);
+        let mut ent = EmbeddingTable::zeros(6, 2);
+        ent.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        let mut rel = EmbeddingTable::zeros(1, 2);
+        rel.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        let mut valid = vec![Triple::new(0, 0, 0)];
+        for i in 1..5u32 {
+            valid.push(Triple::new(i, 0, i));
+        }
+        let filter = FilterIndex::from_triples(valid.iter().copied());
+        let n = valid.len();
+        for seed in 0..20u64 {
+            let acc = fast_valid_accuracy(&model, &ent, &rel, &valid, &filter, 6, n, seed);
+            assert_eq!(acc, 1.0 / n as f64, "seed {seed}");
+        }
     }
 
     #[test]

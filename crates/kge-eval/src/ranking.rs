@@ -1,10 +1,30 @@
 //! Link-prediction ranking metrics (raw & filtered MRR, Hits@k, mean rank).
+//!
+//! The filtered protocol scores every query against *all* entities —
+//! O(|queries| × |E|) model evaluations, which dwarfs a training epoch on
+//! Freebase-shaped data. This module therefore runs evaluation the same
+//! way the trainer runs its hot path:
+//!
+//! - queries are grouped by relation and swept against the entity table in
+//!   cache-sized tiles through [`KgeModel::score_one_vs_all`], whose
+//!   per-candidate reduction order is bit-identical to `score` — so every
+//!   rank (including tie counts) matches the scalar reference path
+//!   [`rank_of_scalar`] exactly;
+//! - the per-candidate `FilterIndex::contains` hash probe is gone: the
+//!   blocked sweep counts *all* candidates, then a post-pass walks the
+//!   short [`GroupedFilter`] list for the query and subtracts the known
+//!   true competitors (their recomputed scores are bit-identical, so the
+//!   correction is exact);
+//! - all state lives in a reusable [`RankingWorkspace`] (ScratchPool
+//!   check-in/check-out, same discipline as the training batch loop) —
+//!   steady-state evaluation allocates nothing on the single-thread path
+//!   and runs units in parallel under rayon otherwise, with bit-identical
+//!   results at any thread count.
 
-use kge_core::{EmbeddingTable, KgeModel};
-use kge_data::{FilterIndex, RelationCategory, Triple};
+use kge_core::{EmbeddingTable, KgeModel, ReplaceDir, ScratchPool};
+use kge_data::{FilterIndex, GroupedFilter, RelationCategory, Triple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Options for a ranking evaluation.
@@ -43,7 +63,10 @@ pub struct RankingMetrics {
 }
 
 impl RankingMetrics {
-    fn from_ranks(ranks: &[usize]) -> Self {
+    /// Aggregate a rank list (ordered; the f64 sums are taken in list
+    /// order, so callers that need bit-identical metrics must present
+    /// ranks in the same order).
+    pub fn from_ranks(ranks: &[usize]) -> Self {
         let n = ranks.len().max(1);
         let mrr = ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / n as f64;
         let mean_rank = ranks.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
@@ -59,12 +82,17 @@ impl RankingMetrics {
     }
 }
 
-/// Rank of the true entity among all candidates for one query.
+/// Rank of the true entity among all candidates for one query — the
+/// scalar reference path (one `score` call and one filter hash probe per
+/// candidate).
 ///
 /// Rank = 1 + number of candidates scoring strictly higher, plus half of
 /// the ties (the unbiased tie treatment; with continuous scores ties are
 /// rare and this matches the strict definition).
-fn rank_of(
+///
+/// Kept public as the oracle the blocked pipeline is property-tested and
+/// benchmarked against; use [`evaluate_ranking`] for real evaluations.
+pub fn rank_of_scalar(
     model: &dyn KgeModel,
     ent: &EmbeddingTable,
     rel: &EmbeddingTable,
@@ -116,7 +144,415 @@ fn rank_of(
     1 + better + ties / 2
 }
 
+/// Candidate-tile size target: one tile of entity rows plus its
+/// column-major copy (models with a transposed kernel keep both live)
+/// should sit in L1 alongside the query rows, so the tile is reused
+/// across every query and direction of a unit without thrashing.
+const TILE_BYTES: usize = 8 * 1024;
+
+/// Queries per work unit. Each query is O(|E| · dim) work, so even one
+/// query is a chunky parallel task; small units load-balance across the
+/// pool while amortizing the candidate tile over a few queries.
+const UNIT_QUERIES: usize = 8;
+
+fn tile_rows(dim: usize) -> usize {
+    // Round up to a whole number of transposed-kernel lane groups so the
+    // remainder (scalar, strided) path only ever sees the final tile.
+    let rows = (TILE_BYTES / (dim * 4)).max(1);
+    rows.div_ceil(kge_core::OVA_T_LANES) * kge_core::OVA_T_LANES
+}
+
+/// Per-worker scratch for one unit of queries (pooled; all buffers grow to
+/// a high-water mark during warm-up and are reused verbatim afterwards).
+#[derive(Default)]
+struct EvalScratch {
+    /// Score of the unmodified test triple, per query of the unit.
+    true_scores: Vec<f32>,
+    /// Candidates scoring strictly above `true_scores[q]`, over the full
+    /// entity sweep. Signed: the filter post-pass subtracts.
+    better: Vec<i64>,
+    /// Candidates scoring exactly `true_scores[q]` (incl. the true entity
+    /// itself, removed by the post-pass).
+    ties: Vec<i64>,
+    /// One candidate tile's scores.
+    tile_scores: Vec<f32>,
+    /// Head-direction ranks of the unit, per query.
+    unit_head_ranks: Vec<usize>,
+    /// Output: `(subsample slot, head rank, tail rank)` per query.
+    ranks: Vec<(u32, usize, usize)>,
+}
+
+/// Reusable state for [`evaluate_ranking_with`]: the query subsample,
+/// relation-grouped evaluation order, pooled per-worker scratches, and the
+/// per-query rank buffers. Steady-state reuse allocates nothing on the
+/// single-thread path.
+#[derive(Default)]
+pub struct RankingWorkspace {
+    pool: ScratchPool<EvalScratch>,
+    idx: Vec<usize>,
+    subsample: Vec<Triple>,
+    /// Subsample slots sorted by `(rel, slot)` — groups queries that share
+    /// a relation row so a unit hoists it once.
+    order: Vec<u32>,
+    /// Work units: `[lo, hi)` ranges of `order`, never crossing a relation
+    /// boundary, at most [`UNIT_QUERIES`] long.
+    units: Vec<(u32, u32)>,
+    /// Entity table re-laid-out tile-by-tile in column-major order (models
+    /// with a transposed kernel; empty otherwise): the block for the tile
+    /// starting at entity `e0` lives at `e0·dim` and stores
+    /// `block[k·rows + j] = ent[(e0+j)·dim + k]`. Built **once per
+    /// evaluation** and shared read-only by every unit — the transpose
+    /// depends only on the entity table, not on the queries.
+    ent_t: Vec<f32>,
+    head_ranks: Vec<usize>,
+    tail_ranks: Vec<usize>,
+    ranks: Vec<usize>,
+}
+
+impl RankingWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subsampled queries of the last evaluation, in subsample order.
+    pub fn queries(&self) -> &[Triple] {
+        &self.subsample
+    }
+
+    /// Head-replacement ranks of the last evaluation, per subsampled query.
+    pub fn head_ranks(&self) -> &[usize] {
+        &self.head_ranks
+    }
+
+    /// Tail-replacement ranks of the last evaluation, per subsampled query.
+    pub fn tail_ranks(&self) -> &[usize] {
+        &self.tail_ranks
+    }
+
+    /// Interleaved `[head, tail]` ranks in subsample order — the exact
+    /// order [`RankingMetrics::from_ranks`] sums over.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+}
+
+/// Deterministic subsample (shuffled index prefix), reusing buffers. The
+/// RNG consumption is identical to the original scalar implementation, so
+/// the selected queries — and therefore the metrics — are unchanged.
+pub(crate) fn subsample_into(
+    queries: &[Triple],
+    opts: &RankingOptions,
+    idx: &mut Vec<usize>,
+    out: &mut Vec<Triple>,
+) {
+    out.clear();
+    match opts.max_queries {
+        Some(k) if k < queries.len() => {
+            idx.clear();
+            idx.extend(0..queries.len());
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            out.extend(idx[..k].iter().map(|&i| queries[i]));
+        }
+        _ => out.extend_from_slice(queries),
+    }
+}
+
+/// Evaluate one unit (queries `order[lo..hi]`, all sharing a relation):
+/// blocked sweep over every entity tile, then the filter post-pass.
+/// `ent_t` is the shared per-tile column-major copy of the entity table
+/// (see [`RankingWorkspace::ent_t`]); empty when the model has no
+/// transposed kernel.
+#[allow(clippy::too_many_arguments)]
+fn process_unit(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    ent_t: &[f32],
+    rel: &EmbeddingTable,
+    sub: &[Triple],
+    order: &[u32],
+    lo: usize,
+    hi: usize,
+    grouped: Option<&GroupedFilter>,
+    s: &mut EvalScratch,
+) {
+    let dim = ent.dim();
+    let n_ent = ent.rows();
+    let tile = tile_rows(dim);
+    let q = hi - lo;
+    let slots = &order[lo..hi];
+    let r_row = rel.row(sub[slots[0] as usize].rel as usize);
+
+    s.ranks.clear();
+    s.true_scores.resize(q, 0.0);
+    s.better.resize(2 * q, 0);
+    s.ties.resize(2 * q, 0);
+    s.tile_scores.resize(tile, 0.0);
+    s.unit_head_ranks.resize(q, 0);
+
+    for (qi, &slot) in slots.iter().enumerate() {
+        let t = sub[slot as usize];
+        s.true_scores[qi] = model.score(ent.row(t.head as usize), r_row, ent.row(t.tail as usize));
+    }
+    s.better[..2 * q].fill(0);
+    s.ties[..2 * q].fill(0);
+
+    // Blocked sweep: count better/ties over ALL candidates, tile-major so
+    // each candidate tile (in its shared column-major copy, for models
+    // with a transposed kernel) stays hot across the unit's queries in
+    // both directions. Per-query counts are integer sums, so accumulating
+    // them tile-by-tile is order-independent and the final ranks stay
+    // bit-identical to the scalar path.
+    let transposed = model.has_transposed_kernel();
+    let mut e0 = 0usize;
+    while e0 < n_ent {
+        let e1 = (e0 + tile).min(n_ent);
+        let rows = e1 - e0;
+        let cand = &ent.as_slice()[e0 * dim..e1 * dim];
+        for (di, dir) in [ReplaceDir::Head, ReplaceDir::Tail].into_iter().enumerate() {
+            for (qi, &slot) in slots.iter().enumerate() {
+                let t = sub[slot as usize];
+                let query_row = match dir {
+                    ReplaceDir::Head => ent.row(t.tail as usize),
+                    ReplaceDir::Tail => ent.row(t.head as usize),
+                };
+                if transposed {
+                    model.score_one_vs_all_transposed(
+                        query_row,
+                        r_row,
+                        &ent_t[e0 * dim..e1 * dim],
+                        rows,
+                        dir,
+                        &mut s.tile_scores[..rows],
+                    );
+                } else {
+                    model.score_one_vs_all(
+                        query_row,
+                        r_row,
+                        cand,
+                        dir,
+                        &mut s.tile_scores[..rows],
+                    );
+                }
+                // Branchless: score-vs-true comparisons are effectively
+                // random, so a branchy count would mispredict per
+                // candidate and dominate the fused kernel's cost.
+                let ts = s.true_scores[qi];
+                let mut better = 0i64;
+                let mut ties = 0i64;
+                for &sc in &s.tile_scores[..rows] {
+                    better += i64::from(sc > ts);
+                    ties += i64::from(sc == ts);
+                }
+                s.better[di * q + qi] += better;
+                s.ties[di * q + qi] += ties;
+            }
+        }
+        e0 = e1;
+    }
+
+    for (di, dir) in [ReplaceDir::Head, ReplaceDir::Tail].into_iter().enumerate() {
+        // Post-pass correction: the sweep counted every entity, including
+        // the true one and (in filtered mode) known true competitors. Their
+        // recomputed scores are bit-identical to the sweep's (the
+        // score_one_vs_all contract), so subtracting them from the matching
+        // bucket reproduces the scalar skip-before-score counts exactly.
+        for (qi, &slot) in slots.iter().enumerate() {
+            let t = sub[slot as usize];
+            let ts = s.true_scores[qi];
+            let mut better = s.better[di * q + qi];
+            let mut ties = s.ties[di * q + qi];
+            // The true entity tied with itself — unless the true score is
+            // NaN, in which case the sweep counted it nowhere.
+            if !ts.is_nan() {
+                ties -= 1;
+            }
+            if let Some(g) = grouped {
+                let (true_e, known) = match dir {
+                    ReplaceDir::Head => (t.head, g.known_heads(t.tail, t.rel)),
+                    ReplaceDir::Tail => (t.tail, g.known_tails(t.head, t.rel)),
+                };
+                for &e in known {
+                    if e == true_e {
+                        continue; // already removed above
+                    }
+                    let sc = match dir {
+                        ReplaceDir::Head => {
+                            model.score(ent.row(e as usize), r_row, ent.row(t.tail as usize))
+                        }
+                        ReplaceDir::Tail => {
+                            model.score(ent.row(t.head as usize), r_row, ent.row(e as usize))
+                        }
+                    };
+                    if sc > ts {
+                        better -= 1;
+                    } else if sc == ts {
+                        ties -= 1;
+                    }
+                }
+            }
+            debug_assert!(better >= 0 && ties >= 0, "over-corrected rank counts");
+            let rank = (1 + better + ties / 2) as usize;
+            match dir {
+                ReplaceDir::Head => s.unit_head_ranks[qi] = rank,
+                ReplaceDir::Tail => s.ranks.push((slot, s.unit_head_ranks[qi], rank)),
+            }
+        }
+    }
+}
+
+/// Fill `ws.head_ranks` / `ws.tail_ranks` for the current `ws.subsample`.
+fn evaluate_ranks_into(
+    ws: &mut RankingWorkspace,
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    grouped: Option<&GroupedFilter>,
+) {
+    let RankingWorkspace {
+        pool,
+        subsample,
+        order,
+        units,
+        head_ranks,
+        tail_ranks,
+        ent_t,
+        ..
+    } = ws;
+    let n = subsample.len();
+
+    // Transpose the entity table tile-by-tile once per evaluation; every
+    // unit then sweeps the same read-only copy. (Done per unit, the
+    // transpose would repeat per unit × per tile and rival the kernel
+    // cost for units with few queries.)
+    if model.has_transposed_kernel() {
+        let dim = ent.dim();
+        let n_ent = ent.rows();
+        let tile = tile_rows(dim);
+        ent_t.resize(n_ent * dim, 0.0);
+        let src = ent.as_slice();
+        let mut e0 = 0usize;
+        while e0 < n_ent {
+            let e1 = (e0 + tile).min(n_ent);
+            let rows = e1 - e0;
+            let cand = &src[e0 * dim..e1 * dim];
+            for (k, col) in ent_t[e0 * dim..e1 * dim]
+                .chunks_exact_mut(rows)
+                .enumerate()
+            {
+                for (j, v) in col.iter_mut().enumerate() {
+                    *v = cand[j * dim + k];
+                }
+            }
+            e0 = e1;
+        }
+    } else {
+        ent_t.clear();
+    }
+
+    order.clear();
+    order.extend(0..n as u32);
+    // Unstable sort with the slot as tiebreak: deterministic, in-place,
+    // allocation-free.
+    order.sort_unstable_by_key(|&s| (subsample[s as usize].rel, s));
+
+    units.clear();
+    let mut start = 0usize;
+    while start < n {
+        let r = subsample[order[start] as usize].rel;
+        let mut end = start + 1;
+        while end < n && subsample[order[end] as usize].rel == r {
+            end += 1;
+        }
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + UNIT_QUERIES).min(end);
+            units.push((lo as u32, hi as u32));
+            lo = hi;
+        }
+        start = end;
+    }
+
+    head_ranks.clear();
+    head_ranks.resize(n, 0);
+    tail_ranks.clear();
+    tail_ranks.resize(n, 0);
+
+    // Shared-borrow the transposed table so the closure is `Sync` for the
+    // parallel branch.
+    let ent_t: &[f32] = ent_t;
+    let run_unit = |u: usize, s: &mut EvalScratch| {
+        let (lo, hi) = units[u];
+        process_unit(
+            model, ent, ent_t, rel, subsample, order, lo as usize, hi as usize, grouped, s,
+        );
+    };
+
+    // Units write disjoint slots, so the merge order is immaterial for the
+    // result — ranks are bit-identical at any thread count. The
+    // single-thread branch reuses one pooled scratch with no collection
+    // (the zero-steady-state-allocation path).
+    if rayon::current_num_threads() <= 1 || units.len() <= 1 {
+        let mut s = pool.acquire_with(EvalScratch::default);
+        for u in 0..units.len() {
+            run_unit(u, &mut s);
+            for &(slot, hr, tr) in &s.ranks {
+                head_ranks[slot as usize] = hr;
+                tail_ranks[slot as usize] = tr;
+            }
+        }
+        pool.release(s);
+    } else {
+        let done: Vec<Box<EvalScratch>> = rayon::par_map_index(units.len(), |u| {
+            let mut s = pool.acquire_with(EvalScratch::default);
+            run_unit(u, &mut s);
+            s
+        });
+        for s in done {
+            for &(slot, hr, tr) in &s.ranks {
+                head_ranks[slot as usize] = hr;
+                tail_ranks[slot as usize] = tr;
+            }
+            pool.release(s);
+        }
+    }
+}
+
+/// Blocked ranking evaluation against a reusable workspace and a
+/// prebuilt [`GroupedFilter`] — the steady-state entry point (per-epoch
+/// eval, benchmarks). Allocation-free after warm-up on the single-thread
+/// path; metrics are bit-identical to the scalar reference at any thread
+/// count.
+pub fn evaluate_ranking_with(
+    ws: &mut RankingWorkspace,
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    queries: &[Triple],
+    grouped: &GroupedFilter,
+    opts: &RankingOptions,
+) -> RankingMetrics {
+    subsample_into(queries, opts, &mut ws.idx, &mut ws.subsample);
+    let g = opts.filtered.then_some(grouped);
+    evaluate_ranks_into(ws, model, ent, rel, g);
+    // Interleave [head, tail] per query in subsample order — the exact
+    // rank order the scalar implementation summed in.
+    ws.ranks.clear();
+    for i in 0..ws.subsample.len() {
+        ws.ranks.push(ws.head_ranks[i]);
+        ws.ranks.push(ws.tail_ranks[i]);
+    }
+    RankingMetrics::from_ranks(&ws.ranks)
+}
+
 /// Evaluate ranking metrics on `queries` (both directions per triple).
+///
+/// Convenience wrapper that builds the workspace and grouped filter per
+/// call; long-running callers should hold a [`RankingWorkspace`] and a
+/// [`GroupedFilter`] and use [`evaluate_ranking_with`].
 pub fn evaluate_ranking(
     model: &dyn KgeModel,
     ent: &EmbeddingTable,
@@ -125,36 +561,26 @@ pub fn evaluate_ranking(
     filter: &FilterIndex,
     opts: &RankingOptions,
 ) -> RankingMetrics {
-    let subsampled: Vec<Triple> = match opts.max_queries {
-        Some(k) if k < queries.len() => {
-            // Deterministic reservoir-free subsample: shuffle indices.
-            let mut idx: Vec<usize> = (0..queries.len()).collect();
-            let mut rng = StdRng::seed_from_u64(opts.seed);
-            for i in (1..idx.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                idx.swap(i, j);
-            }
-            idx[..k].iter().map(|&i| queries[i]).collect()
-        }
-        _ => queries.to_vec(),
+    let grouped = if opts.filtered {
+        GroupedFilter::from_index(filter)
+    } else {
+        GroupedFilter::default()
     };
-    let f = if opts.filtered { Some(filter) } else { None };
-    let ranks: Vec<usize> = subsampled
-        .par_iter()
-        .flat_map_iter(|&t| {
-            let head_rank = rank_of(model, ent, rel, t, true, f);
-            let tail_rank = rank_of(model, ent, rel, t, false, f);
-            [head_rank, tail_rank]
-        })
-        .collect();
-    RankingMetrics::from_ranks(&ranks)
+    let mut ws = RankingWorkspace::new();
+    evaluate_ranking_with(&mut ws, model, ent, rel, queries, &grouped, opts)
 }
-
 
 /// Ranking metrics broken down by Bordes relation category (1-1 / 1-N /
 /// N-1 / N-N) — the standard analysis for where a KGE model's MRR comes
 /// from. `categories[r]` classifies relation id `r` (see
 /// [`kge_data::classify_relations`]).
+///
+/// Single-pass: the query set is subsampled **once** (same draw as
+/// [`evaluate_ranking`]) and every query is ranked once; the per-category
+/// metrics then partition those ranks by the query relation's category.
+/// (Previously each category re-scanned and re-subsampled `queries`
+/// independently, so the union of the four subsamples was inconsistent
+/// with the full evaluation's subsample.)
 pub fn evaluate_ranking_by_category(
     model: &dyn KgeModel,
     ent: &EmbeddingTable,
@@ -164,16 +590,44 @@ pub fn evaluate_ranking_by_category(
     filter: &FilterIndex,
     opts: &RankingOptions,
 ) -> Vec<(RelationCategory, RankingMetrics)> {
+    let grouped = if opts.filtered {
+        GroupedFilter::from_index(filter)
+    } else {
+        GroupedFilter::default()
+    };
+    let mut ws = RankingWorkspace::new();
+    evaluate_ranking_by_category_with(
+        &mut ws, model, ent, rel, queries, categories, &grouped, opts,
+    )
+}
+
+/// Workspace-reusing variant of [`evaluate_ranking_by_category`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_ranking_by_category_with(
+    ws: &mut RankingWorkspace,
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    queries: &[Triple],
+    categories: &[RelationCategory],
+    grouped: &GroupedFilter,
+    opts: &RankingOptions,
+) -> Vec<(RelationCategory, RankingMetrics)> {
     use RelationCategory::*;
+    subsample_into(queries, opts, &mut ws.idx, &mut ws.subsample);
+    let g = opts.filtered.then_some(grouped);
+    evaluate_ranks_into(ws, model, ent, rel, g);
     [OneToOne, OneToMany, ManyToOne, ManyToMany]
         .into_iter()
         .map(|cat| {
-            let subset: Vec<Triple> = queries
+            let ranks: Vec<usize> = ws
+                .subsample
                 .iter()
-                .filter(|t| categories[t.rel as usize] == cat)
-                .copied()
+                .enumerate()
+                .filter(|(_, t)| categories[t.rel as usize] == cat)
+                .flat_map(|(i, _)| [ws.head_ranks[i], ws.tail_ranks[i]])
                 .collect();
-            (cat, evaluate_ranking(model, ent, rel, &subset, filter, opts))
+            (cat, RankingMetrics::from_ranks(&ranks))
         })
         .collect()
 }
@@ -334,5 +788,74 @@ mod tests {
             .find(|(c, _)| *c == kge_data::RelationCategory::OneToOne)
             .unwrap();
         assert_eq!(one_one.1.n_queries, 4); // two rel-0 triples × 2 dirs
+    }
+
+    #[test]
+    fn blocked_matches_scalar_on_mixed_relations() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = DistMult::new(6);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ent = EmbeddingTable::xavier(60, 6, &mut rng);
+        let rel = EmbeddingTable::xavier(5, 6, &mut rng);
+        let queries: Vec<Triple> = (0..40)
+            .map(|i| Triple::new(i % 60, i % 5, (i * 7 + 3) % 60))
+            .collect();
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        for filtered in [false, true] {
+            let opts = RankingOptions {
+                filtered,
+                ..Default::default()
+            };
+            let blocked = evaluate_ranking(&model, &ent, &rel, &queries, &filter, &opts);
+            let f = filtered.then_some(&filter);
+            let scalar_ranks: Vec<usize> = queries
+                .iter()
+                .flat_map(|&t| {
+                    [
+                        rank_of_scalar(&model, &ent, &rel, t, true, f),
+                        rank_of_scalar(&model, &ent, &rel, t, false, f),
+                    ]
+                })
+                .collect();
+            let scalar = RankingMetrics::from_ranks(&scalar_ranks);
+            assert_eq!(blocked, scalar, "filtered={filtered}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable_across_query_sets() {
+        let (model, ent, rel) = setup();
+        let queries: Vec<Triple> = (0..4).map(|i| Triple::new(i, 0, (i + 1) % 4)).collect();
+        let filter = FilterIndex::from_triples(queries.iter().copied());
+        let grouped = GroupedFilter::from_index(&filter);
+        let mut ws = RankingWorkspace::new();
+        let opts = RankingOptions::default();
+        let a = evaluate_ranking_with(&mut ws, &model, &ent, &rel, &queries, &grouped, &opts);
+        // Smaller query set on the same workspace: stale state must not leak.
+        let b = evaluate_ranking_with(&mut ws, &model, &ent, &rel, &queries[..1], &grouped, &opts);
+        assert_eq!(b.n_queries, 2);
+        // And back to the full set reproduces the first result exactly.
+        let c = evaluate_ranking_with(&mut ws, &model, &ent, &rel, &queries, &grouped, &opts);
+        assert_eq!(a, c);
+        assert_eq!(ws.ranks().len(), 8);
+        assert_eq!(ws.queries().len(), 4);
+    }
+
+    #[test]
+    fn nan_scores_do_not_underflow_rank_counts() {
+        // A NaN true score compares false against everything: the sweep
+        // counts no better/ties, the correction must not subtract below
+        // zero, and the rank comes out 1 — same as the scalar path.
+        let (model, mut ent, rel) = setup();
+        ent.row_mut(0)[0] = f32::NAN;
+        let t = Triple::new(0, 0, 1);
+        let filter = FilterIndex::from_triples([t, Triple::new(0, 0, 2)].into_iter());
+        let blocked = evaluate_ranking(&model, &ent, &rel, &[t], &filter, &RankingOptions::default());
+        let scalar_ranks = [
+            rank_of_scalar(&model, &ent, &rel, t, true, Some(&filter)),
+            rank_of_scalar(&model, &ent, &rel, t, false, Some(&filter)),
+        ];
+        assert_eq!(blocked, RankingMetrics::from_ranks(&scalar_ranks));
     }
 }

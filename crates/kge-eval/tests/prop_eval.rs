@@ -1,12 +1,15 @@
 //! Property tests for evaluation: metric bounds, filtering monotonicity,
 //! and threshold-fit optimality.
 
-use kge_core::{DistMult, EmbeddingTable};
-use kge_data::{FilterIndex, Triple};
-use kge_eval::{evaluate_ranking, triple_classification, RankingOptions};
+use kge_core::{ComplEx, DistMult, EmbeddingTable, KgeModel, TransE};
+use kge_data::{FilterIndex, GroupedFilter, Triple};
+use kge_eval::{
+    evaluate_ranking, evaluate_ranking_with, rank_of_scalar, triple_classification,
+    RankingMetrics, RankingOptions, RankingWorkspace,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn world(seed: u64, n_ent: usize, n_rel: usize) -> (DistMult, EmbeddingTable, EmbeddingTable) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -22,6 +25,19 @@ fn triples_strategy(n_ent: u32, n_rel: u32) -> impl Strategy<Value = Vec<Triple>
         (0..n_ent, 0..n_rel, 0..n_ent).prop_map(Triple::from),
         1..30,
     )
+}
+
+/// Embeddings drawn from a coarse lattice ({-1, -0.5, 0, 0.5, 1}) so score
+/// ties are common and the `ties/2` midpoint correction gets exercised.
+fn quantized_table(rows: usize, dim: usize, seed: u64) -> EmbeddingTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = EmbeddingTable::zeros(rows, dim);
+    for i in 0..rows {
+        for v in t.row_mut(i) {
+            *v = rng.gen_range(-2i32..=2) as f32 * 0.5;
+        }
+    }
+    t
 }
 
 proptest! {
@@ -84,6 +100,55 @@ proptest! {
         prop_assert!((0.0..=100.0).contains(&a.accuracy_pct));
         prop_assert_eq!(a.accuracy_pct, b.accuracy_pct);
         prop_assert_eq!(a.n_test, (triples.len() - half) * 2);
+    }
+
+    /// The blocked one-vs-all pipeline (fused kernels, tiling, grouped
+    /// filter inversion, unit scheduling) must reproduce the scalar
+    /// oracle's ranks *bit-identically* — per query and direction, under
+    /// both raw and filtered protocols, through subsampling, and on
+    /// tie-heavy quantized tables where midpoint tie handling matters.
+    #[test]
+    fn blocked_ranks_match_scalar_oracle(
+        model_id in 0usize..3,
+        rank in 2usize..5,
+        triples in triples_strategy(25, 3),
+        seed in any::<u64>(),
+        filtered in any::<bool>(),
+        subsample in any::<bool>(),
+    ) {
+        let model: Box<dyn KgeModel> = match model_id {
+            0 => Box::new(ComplEx::new(rank)),
+            1 => Box::new(DistMult::new(rank)),
+            _ => Box::new(TransE::new(rank)),
+        };
+        let dim = model.storage_dim();
+        let ent = quantized_table(25, dim, seed);
+        let rel = quantized_table(3, dim, seed ^ 0x9E37_79B9);
+        let filter = FilterIndex::from_triples(triples.iter().copied());
+        let grouped = GroupedFilter::from_triples(triples.iter().copied());
+        let opts = RankingOptions {
+            filtered,
+            max_queries: subsample.then(|| triples.len().div_ceil(2)),
+            seed,
+        };
+
+        let mut ws = RankingWorkspace::new();
+        let blocked =
+            evaluate_ranking_with(&mut ws, model.as_ref(), &ent, &rel, &triples, &grouped, &opts);
+
+        let f = filtered.then_some(&filter);
+        let mut scalar_ranks = Vec::with_capacity(ws.queries().len() * 2);
+        for (i, t) in ws.queries().iter().enumerate() {
+            let head = rank_of_scalar(model.as_ref(), &ent, &rel, *t, true, f);
+            let tail = rank_of_scalar(model.as_ref(), &ent, &rel, *t, false, f);
+            prop_assert_eq!(ws.head_ranks()[i], head, "head rank diverges at query {}", i);
+            prop_assert_eq!(ws.tail_ranks()[i], tail, "tail rank diverges at query {}", i);
+            scalar_ranks.push(head);
+            scalar_ranks.push(tail);
+        }
+        // Same ranks in the same interleaved order ⇒ the f64 metric sums
+        // must match bit-for-bit too.
+        prop_assert_eq!(blocked, RankingMetrics::from_ranks(&scalar_ranks));
     }
 
     #[test]

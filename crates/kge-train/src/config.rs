@@ -229,6 +229,17 @@ pub struct TrainConfig {
     /// the crashed epoch and reports what it has.
     #[serde(default)]
     pub recover_from_crashes: bool,
+    /// Run the full filtered-ranking evaluation on the validation split
+    /// every this many epochs (0 = never), sharded across ranks with
+    /// allreduced metric sums. Results land in `EpochTrace::ranking`; the
+    /// eval's compute and collective time are charged to the simulated
+    /// clock.
+    #[serde(default)]
+    pub eval_every: usize,
+    /// Query cap for the per-epoch ranking eval (deterministic subsample;
+    /// `None` = the whole validation split).
+    #[serde(default)]
+    pub eval_max_queries: Option<usize>,
 }
 
 impl TrainConfig {
@@ -250,6 +261,8 @@ impl TrainConfig {
             strategy,
             seed: 0,
             recover_from_crashes: true,
+            eval_every: 0,
+            eval_max_queries: None,
         }
     }
 

@@ -363,6 +363,9 @@ fn run_ps_node(
             mean_rows_sent: rows_pulled as f64 / batches_per_epoch as f64,
             rs_sparsity: 0.0,
             bytes_sent: 0,
+            // The PS topology has no symmetric communicator for the
+            // sharded eval collective; per-epoch ranking stays off here.
+            ranking: None,
         });
         if matches!(schedule.observe(acc), crate::lr::LrDecision::Converged) {
             converged = true;

@@ -2,6 +2,7 @@
 
 use crate::comm_select::CommChoice;
 use kge_core::EmbeddingTable;
+use kge_eval::RankingMetrics;
 use serde::{Deserialize, Serialize};
 use simgrid::TimeBreakdown;
 
@@ -29,6 +30,10 @@ pub struct EpochTrace {
     pub rs_sparsity: f64,
     /// Bytes this node contributed to gradient collectives this epoch.
     pub bytes_sent: u64,
+    /// Full filtered-ranking metrics, present on epochs where the opt-in
+    /// distributed evaluation ran (`TrainConfig::eval_every`).
+    #[serde(default)]
+    pub ranking: Option<RankingMetrics>,
 }
 
 /// Summary of a training run.
@@ -119,6 +124,7 @@ mod tests {
             mean_rows_sent: 8.0,
             rs_sparsity: 0.2,
             bytes_sent: 1000,
+            ranking: None,
         }
     }
 

@@ -27,8 +27,8 @@ use kge_compress::ResidualStore;
 use kge_core::loss::{logistic_loss, logistic_loss_grad};
 use kge_core::{BlockScratch, EmbeddingTable, KgeModel, RowOptimizer, ScratchPool, SparseGrad};
 use kge_data::batch::EpochShuffler;
-use kge_data::{Dataset, FilterIndex, Triple};
-use kge_eval::fast_valid_accuracy;
+use kge_data::{Dataset, FilterIndex, GroupedFilter, Triple};
+use kge_eval::{evaluate_ranking_distributed, fast_valid_accuracy, RankingOptions, RankingWorkspace};
 use kge_partition::{partition_for, Partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -167,6 +167,14 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
     );
 
     let filter = FilterIndex::build(dataset);
+    // Per-epoch ranking eval (opt-in): the grouped filter and workspace are
+    // built once and reused, so steady-state evaluation allocates only its
+    // per-call query shard.
+    let mut eval_state = if config.eval_every > 0 {
+        Some((GroupedFilter::from_index(&filter), RankingWorkspace::new()))
+    } else {
+        None
+    };
     let bias = if strategy.bern {
         Some(CorruptionBias::fit(dataset))
     } else {
@@ -549,6 +557,34 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             sel.observe_epoch(epoch_time);
         }
 
+        // --- Optional full ranking eval, sharded across ranks. ----------
+        // Runs after `epoch_time` is taken so the dynamic comm selector's
+        // per-epoch signal stays a pure training measurement; the eval's
+        // compute and collectives still land on the simulated clock (and
+        // therefore in `sim_total_seconds`). Collective: every surviving
+        // rank reaches this point with the same epoch counter.
+        let ranking = match eval_state.as_mut() {
+            Some((grouped, ws))
+                if (epoch + 1) % config.eval_every == 0 && !dataset.valid.is_empty() =>
+            {
+                Some(evaluate_ranking_distributed(
+                    ctx.comm_mut(),
+                    ws,
+                    model,
+                    &ent,
+                    &rel,
+                    &dataset.valid,
+                    grouped,
+                    &RankingOptions {
+                        filtered: true,
+                        max_queries: config.eval_max_queries,
+                        seed: config.seed,
+                    },
+                ))
+            }
+            _ => None,
+        };
+
         let batches = batches_per_epoch as f64;
         trace.push(EpochTrace {
             epoch,
@@ -569,6 +605,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                 0.0
             },
             bytes_sent: ctx.comm().traffic().total_sent() - bytes_at_start,
+            ranking,
         });
 
         if matches!(schedule.observe(acc), crate::lr::LrDecision::Converged) {

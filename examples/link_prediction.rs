@@ -65,13 +65,18 @@ fn main() {
         );
     }
 
-    // Aggregate quality.
-    let ranking = evaluate_ranking(
+    // Aggregate quality — the steady-state API: prebuilt GroupedFilter +
+    // reusable workspace, so repeated evaluations (per-epoch use) run on
+    // the blocked one-vs-all kernels without reallocating.
+    let grouped = GroupedFilter::from_index(&filter);
+    let mut ws = RankingWorkspace::new();
+    let ranking = evaluate_ranking_with(
+        &mut ws,
         &model,
         &outcome.entities,
         &outcome.relations,
         &dataset.test,
-        &filter,
+        &grouped,
         &RankingOptions {
             max_queries: Some(300),
             ..Default::default()

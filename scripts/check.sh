@@ -29,3 +29,13 @@ done
 cargo clippy "${ARGS[@]}" --all-targets -- -D warnings
 cargo clippy "${ARGS[@]}" --all-targets --features bench/count-allocs -- -D warnings
 echo "check: clippy clean (warnings denied) for: ${CRATES[*]}"
+
+# Criterion benches must at least compile (they are not run in CI).
+cargo bench -p bench --no-run
+echo "check: benches compile"
+
+# The evaluation bit-identity property tests: blocked one-vs-all ranking
+# must reproduce the scalar oracle's ranks exactly, and steady-state
+# evaluation must not allocate.
+cargo test -p kge-eval --release --test prop_eval --test zero_alloc_eval
+echo "check: eval property + zero-alloc tests pass"

@@ -57,9 +57,11 @@ pub use simgrid as sim;
 pub mod prelude {
     pub use kge_compress::{QuantScheme, RowSelector, ScaleRule};
     pub use kge_core::{ComplEx, DistMult, EmbeddingTable, KgeModel, RotatE, SimplE, TransE};
-    pub use kge_data::{Dataset, FilterIndex, SynthConfig, SynthPreset, Triple};
+    pub use kge_data::{Dataset, FilterIndex, GroupedFilter, SynthConfig, SynthPreset, Triple};
     pub use kge_eval::{
-        evaluate_ranking, fast_valid_accuracy, triple_classification, RankingOptions,
+        evaluate_ranking, evaluate_ranking_distributed, evaluate_ranking_with,
+        fast_valid_accuracy, triple_classification, RankingMetrics, RankingOptions,
+        RankingWorkspace,
     };
     pub use kge_train::{
         train, train_ps, CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig,
