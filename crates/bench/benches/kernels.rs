@@ -5,7 +5,9 @@
 //! a contiguous scratch arena, scores and differentiates the whole block
 //! in one pass, and scatters straight into the reused sparse
 //! accumulators — one virtual dispatch per block instead of two per
-//! example, and no per-example buffer zeroing.
+//! example, and no per-example buffer zeroing. The `fused_forced_scalar`
+//! arm runs the same fused path under `KGE_FORCE_SCALAR` dispatch,
+//! isolating the runtime-dispatched AVX kernels' contribution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kge_core::loss::{logistic_loss, logistic_loss_grad};
@@ -68,6 +70,32 @@ fn bench_kernels(c: &mut Criterion) {
                 );
                 black_box(loss)
             });
+        });
+
+        g.bench_function(BenchmarkId::new("fused_forced_scalar", dim), |b| {
+            kge_core::simd::set_force_scalar(Some(true));
+            b.iter(|| {
+                ent_g.clear();
+                rel_g.clear();
+                let mut loss = 0.0f64;
+                let mut coeff = |i: usize, s: f32| {
+                    let y = labels[i];
+                    loss += logistic_loss(y, s) as f64;
+                    logistic_loss_grad(y, s) * inv_batch
+                };
+                model.score_grad_block(
+                    black_box(&ent),
+                    black_box(&rel),
+                    &triples,
+                    l2_reg,
+                    &mut scratch,
+                    &mut coeff,
+                    &mut ent_g,
+                    &mut rel_g,
+                );
+                black_box(loss)
+            });
+            kge_core::simd::set_force_scalar(None);
         });
 
         let mut gh = vec![0.0f32; dim];

@@ -21,7 +21,7 @@
 
 use bench::{fb15k_bench, BenchScale};
 use kge_core::loss::{logistic_loss, logistic_loss_grad};
-use kge_core::{BlockScratch, EmbeddingTable, SparseGrad};
+use kge_core::{BlockScratch, EmbeddingTable, KgeModel, SparseGrad};
 use kge_data::FilterIndex;
 use kge_train::{batch_gradients, train, BatchWorkspace, StrategyConfig, TrainConfig, TrainOutcome};
 use rand::rngs::StdRng;
@@ -264,6 +264,99 @@ fn main() {
         kernel_secs, KERNEL_PASSES, kernel_triples_per_sec
     );
 
+    // SIMD-vs-scalar A/B of the fused kernel at the larger rank
+    // (ComplEx 64 → storage dim 128), single thread: the same staged
+    // examples run under both arms of the force-scalar override, the
+    // final pass's loss and both gradient accumulators are compared
+    // bitwise, and the speedup of the dispatched arm over the forced
+    // scalar fused kernel is reported. Examples are fed in trainer-sized
+    // chunks — one `score_grad_block` call over all ~100k staged examples
+    // would grow the block scratch to tens of MB and turn every pass into
+    // a DRAM stream, which measures memory bandwidth rather than the
+    // kernels under comparison.
+    const SIMD_CHUNK: usize = 1024;
+    let simd_model = kge_core::ComplEx::new(64);
+    let simd_dim = simd_model.storage_dim();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51D);
+    let simd_ent = EmbeddingTable::xavier(ds.n_entities, simd_dim, &mut rng);
+    let simd_rel = EmbeddingTable::xavier(ds.n_relations, simd_dim, &mut rng);
+    let mut sblock = BlockScratch::new();
+    let mut sent_g = SparseGrad::new(simd_dim);
+    let mut srel_g = SparseGrad::new(simd_dim);
+    let simd_kernel_pass =
+        |kent: &mut SparseGrad, krel: &mut SparseGrad, block: &mut BlockScratch| -> f64 {
+            kent.clear();
+            krel.clear();
+            let mut loss = 0.0f64;
+            for (c, chunk) in staged.chunks(SIMD_CHUNK).enumerate() {
+                let base = c * SIMD_CHUNK;
+                let mut coeff = |i: usize, s: f32| {
+                    let y = labels[base + i];
+                    loss += logistic_loss(y, s) as f64;
+                    logistic_loss_grad(y, s) * inv
+                };
+                simd_model.score_grad_block(
+                    &simd_ent,
+                    &simd_rel,
+                    chunk,
+                    2.0 * config.l2 * inv,
+                    block,
+                    &mut coeff,
+                    kent,
+                    krel,
+                );
+            }
+            loss
+        };
+    // The two arms are timed in strictly alternating passes and each arm
+    // reports its best pass. Alternation keeps slow drift on a shared
+    // host (frequency or noisy-neighbor changes) from systematically
+    // favoring one arm, and timing noise only ever adds time, so the
+    // per-pass minimum is the robust estimate of true throughput.
+    let timed_pass = |force_scalar: bool,
+                          best: &mut f64,
+                          sent_g: &mut SparseGrad,
+                          srel_g: &mut SparseGrad,
+                          sblock: &mut BlockScratch|
+     -> f64 {
+        kge_core::simd::set_force_scalar(Some(force_scalar));
+        let start = Instant::now();
+        let loss = simd_kernel_pass(sent_g, srel_g, sblock);
+        *best = best.min(start.elapsed().as_secs_f64());
+        loss
+    };
+    kge_core::simd::set_force_scalar(Some(true));
+    simd_kernel_pass(&mut sent_g, &mut srel_g, &mut sblock); // warm scalar arm
+    kge_core::simd::set_force_scalar(Some(false));
+    simd_kernel_pass(&mut sent_g, &mut srel_g, &mut sblock); // warm simd arm
+    let (mut scalar_best, mut simd_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..KERNEL_PASSES {
+        timed_pass(true, &mut scalar_best, &mut sent_g, &mut srel_g, &mut sblock);
+        timed_pass(false, &mut simd_best, &mut sent_g, &mut srel_g, &mut sblock);
+    }
+    // One more pass per arm, outside the timing contest, to capture the
+    // loss and gradient state compared bitwise below.
+    let mut sink = f64::INFINITY;
+    let scalar_loss = timed_pass(true, &mut sink, &mut sent_g, &mut srel_g, &mut sblock);
+    let scalar_rows = (grad_rows(&sent_g), grad_rows(&srel_g));
+    let simd_loss = timed_pass(false, &mut sink, &mut sent_g, &mut srel_g, &mut sblock);
+    let simd_rows = (grad_rows(&sent_g), grad_rows(&srel_g));
+    kge_core::simd::set_force_scalar(None);
+    let scalar_tps = n_staged as f64 / scalar_best;
+    let simd_tps = n_staged as f64 / simd_best;
+    let (scalar_ent_rows, scalar_rel_rows) = scalar_rows;
+    let (simd_ent_rows, simd_rel_rows) = simd_rows;
+    let avx_host = kge_core::simd::avx_detected();
+    let simd_bit_identical = scalar_loss.to_bits() == simd_loss.to_bits()
+        && scalar_ent_rows == simd_ent_rows
+        && scalar_rel_rows == simd_rel_rows;
+    let simd_speedup = simd_tps / scalar_tps;
+    eprintln!(
+        "  simd kernel (dim {}): {:.0} vs scalar {:.0} triples/sec -> {:.2}x \
+         (avx host: {}, bit-identical: {})",
+        simd_dim, simd_tps, scalar_tps, simd_speedup, avx_host, simd_bit_identical
+    );
+
     // Faulted vs fault-free end-to-end pair on the simulated cluster.
     // Both runs share one seed; the crash time is anchored to the
     // fault-free run's simulated total so the pair stays comparable as
@@ -291,7 +384,22 @@ fn main() {
         fault_reproducible,
     );
 
-    let speedup = results[1].2 / results[0].2;
+    // A 4-thread-over-1 speedup is only meaningful when the host can
+    // actually run 4 threads in parallel; on smaller hosts the "parallel"
+    // run just time-slices one core and the ratio measures scheduler
+    // noise, so record null plus the reason instead.
+    let max_threads = *THREAD_COUNTS.iter().max().unwrap();
+    let (speedup, speedup_skipped_reason) = if host_cores >= max_threads {
+        (Some(results[1].2 / results[0].2), None)
+    } else {
+        (
+            None,
+            Some(format!(
+                "host has {host_cores} core(s) < {max_threads} threads; \
+                 threads would time-slice one core"
+            )),
+        )
+    };
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|&(threads, seconds_per_batch, triples_per_sec, steady_allocs)| {
@@ -319,7 +427,20 @@ fn main() {
             "examples_per_pass": n_staged,
             "passes": KERNEL_PASSES,
         }),
+        "kernel_simd": serde_json::json!({
+            "model": "complex",
+            "dim": simd_dim,
+            "threads": 1,
+            "avx_host": avx_host,
+            "triples_per_sec_simd": simd_tps,
+            "triples_per_sec_scalar": scalar_tps,
+            "speedup_simd_over_scalar": simd_speedup,
+            "avx_vs_scalar_bit_identical": simd_bit_identical,
+            "examples_per_pass": n_staged,
+            "passes": KERNEL_PASSES,
+        }),
         "speedup_4_threads_over_1": speedup,
+        "speedup_skipped_reason": speedup_skipped_reason,
         "gradients_bit_identical_across_pools": identical,
         "fault_injection": serde_json::json!({
             "nodes": FAULT_NODES,
@@ -331,11 +452,27 @@ fn main() {
         }),
     });
     std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_batch.json");
-    eprintln!(
-        "bench_batch: speedup(4/1) = {:.2} on {} host core(s); grads identical: {}; wrote {}",
-        speedup, host_cores, identical, out_path
-    );
+    match speedup {
+        Some(s) => eprintln!(
+            "bench_batch: speedup(4/1) = {:.2} on {} host core(s); grads identical: {}; wrote {}",
+            s, host_cores, identical, out_path
+        ),
+        None => eprintln!(
+            "bench_batch: speedup(4/1) skipped ({} host core(s)); grads identical: {}; wrote {}",
+            host_cores, identical, out_path
+        ),
+    }
     assert!(identical, "gradients diverged across pool sizes");
+    assert!(
+        simd_bit_identical,
+        "SIMD and forced-scalar fused kernels diverged"
+    );
+    if avx_host {
+        assert!(
+            simd_speedup >= 1.5,
+            "expected >= 1.5x SIMD kernel speedup on an AVX host, got {simd_speedup:.2}x"
+        );
+    }
     assert!(
         fault_reproducible,
         "faulted run diverged across invocations"

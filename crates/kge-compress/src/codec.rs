@@ -196,6 +196,46 @@ impl<'a> RowEncoder<'a> {
         Ok(())
     }
 
+    /// Append one OneBit row by quantizing the dense row `v` straight into
+    /// the packed wire format — scales via
+    /// [`crate::quant::one_bit_scales`], signs via
+    /// [`crate::quant::pack_signs_into`]'s movemask packing — skipping the
+    /// intermediate `Vec<bool>` a [`QuantizedRow::OneBit`] would carry.
+    /// The bytes are identical to `quantize_row_into` + [`Self::push`];
+    /// the scales are returned so callers can record error feedback (see
+    /// [`crate::quant::one_bit_dequantize_from`]) without re-deriving
+    /// them.
+    pub fn push_one_bit(
+        &mut self,
+        row: u32,
+        v: &[f32],
+        rule: crate::quant::ScaleRule,
+    ) -> Result<(f32, f32), CodecError> {
+        let two_scales = match self.format {
+            WireFormat::OneBit { two_scales } => two_scales,
+            _ => return Err(CodecError::WrongVariant { expected: "OneBit" }),
+        };
+        if v.len() != self.dim {
+            return Err(CodecError::DimMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        let (pos, neg) = crate::quant::one_bit_scales(rule, v);
+        self.buf.extend_from_slice(&row.to_le_bytes());
+        self.buf.extend_from_slice(&pos.to_le_bytes());
+        if two_scales {
+            self.buf.extend_from_slice(&neg.to_le_bytes());
+        } else if pos != neg {
+            return Err(CodecError::WrongVariant {
+                expected: "one-scale OneBit",
+            });
+        }
+        crate::quant::pack_signs_into(v, self.buf);
+        self.n_rows += 1;
+        Ok((pos, neg))
+    }
+
     /// Append a raw `f32` row under the [`WireFormat::F32`] format without
     /// materializing a [`QuantizedRow`] (the parameter-server relation
     /// broadcast path encodes embedding rows straight out of the table).
@@ -290,10 +330,7 @@ impl RowRef<'_> {
                 pos_scale,
                 neg_scale,
             } => {
-                for (k, o) in out.iter_mut().enumerate() {
-                    let bit = sign_bytes[k / 8] & (1 << (k % 8)) != 0;
-                    *o += if bit { pos_scale } else { -neg_scale };
-                }
+                one_bit_apply::<true>(sign_bytes, pos_scale, neg_scale, out);
             }
             RowBytes::TwoBit { level_bytes, scale } => {
                 for (k, o) in out.iter_mut().enumerate() {
@@ -327,10 +364,7 @@ impl RowRef<'_> {
                 pos_scale,
                 neg_scale,
             } => {
-                for (k, o) in out.iter_mut().enumerate() {
-                    let bit = sign_bytes[k / 8] & (1 << (k % 8)) != 0;
-                    *o = if bit { pos_scale } else { -neg_scale };
-                }
+                one_bit_apply::<false>(sign_bytes, pos_scale, neg_scale, out);
             }
             RowBytes::TwoBit { level_bytes, scale } => {
                 for (k, o) in out.iter_mut().enumerate() {
@@ -376,6 +410,82 @@ impl RowRef<'_> {
                     .collect(),
                 scale,
             },
+        }
+    }
+}
+
+/// Expand packed sign bytes into `±scale` values, eight elements per sign
+/// byte — the OneBit decode fast path behind [`RowRef::add_into`]
+/// (`ADD = true`) and [`RowRef::dequantize_into`] (`ADD = false`). The
+/// portable body expands each byte through a two-entry value table; the
+/// AVX2 arm broadcasts the byte, turns its bits into a lane mask
+/// (`and` + `cmpeq` against `1,2,…,128` — bit `i` selects lane `i`,
+/// matching the codec's `1 << i` packing) and `blendv`s between the two
+/// broadcast scales. Both are pure selections of the same two f32 values
+/// the per-element probe produced, hence bit-identical to it.
+fn one_bit_apply<const ADD: bool>(sign_bytes: &[u8], pos_scale: f32, neg_scale: f32, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if kge_core::simd::use_avx2() {
+        // SAFETY: AVX2 presence was just detected at runtime.
+        return unsafe { one_bit_apply_avx2::<ADD>(sign_bytes, pos_scale, neg_scale, out) };
+    }
+    let vals = [-neg_scale, pos_scale];
+    let n = out.len();
+    let n8 = n - n % 8;
+    for (b, o8) in sign_bytes.iter().zip(out[..n8].chunks_exact_mut(8)) {
+        for (i, o) in o8.iter_mut().enumerate() {
+            let x = vals[((b >> i) & 1) as usize];
+            if ADD {
+                *o += x;
+            } else {
+                *o = x;
+            }
+        }
+    }
+    for (i, o) in out[n8..].iter_mut().enumerate() {
+        let x = vals[((sign_bytes[n8 / 8] >> i) & 1) as usize];
+        if ADD {
+            *o += x;
+        } else {
+            *o = x;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn one_bit_apply_avx2<const ADD: bool>(
+    sign_bytes: &[u8],
+    pos_scale: f32,
+    neg_scale: f32,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let n8 = n - n % 8;
+    assert!(sign_bytes.len() >= n.div_ceil(8));
+    let vpos = _mm256_set1_ps(pos_scale);
+    let vneg = _mm256_set1_ps(-neg_scale);
+    let bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    let op = out.as_mut_ptr();
+    for (j, &b) in sign_bytes[..n8 / 8].iter().enumerate() {
+        let vb = _mm256_set1_epi32(b as i32);
+        let mask = _mm256_cmpeq_epi32(_mm256_and_si256(vb, bits), bits);
+        let sel = _mm256_blendv_ps(vneg, vpos, _mm256_castsi256_ps(mask));
+        let p = op.add(j * 8);
+        if ADD {
+            _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), sel));
+        } else {
+            _mm256_storeu_ps(p, sel);
+        }
+    }
+    let vals = [-neg_scale, pos_scale];
+    for (i, o) in out[n8..].iter_mut().enumerate() {
+        let x = vals[((sign_bytes[n8 / 8] >> i) & 1) as usize];
+        if ADD {
+            *o += x;
+        } else {
+            *o = x;
         }
     }
 }
@@ -523,6 +633,37 @@ mod tests {
         assert_eq!(decoded, rows);
     }
 
+    /// The dense rows behind `sample_rows(scheme, dim, n)` (the packed
+    /// fast path quantizes straight from these).
+    fn sample_dense(dim: usize, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|k| ((i * 7 + k * 3) % 11) as f32 - 5.0 + 0.5 * (i as f32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Encode the same dense rows through [`RowEncoder::push_one_bit`]
+    /// and assert byte-identity with the `QuantizedRow` reference payload.
+    fn assert_packed_path_matches(
+        rule: crate::quant::ScaleRule,
+        fmt: WireFormat,
+        dim: usize,
+        rows: &[RowPayload],
+        reference: &[u8],
+    ) {
+        let dense = sample_dense(dim, rows.len());
+        let mut buf = Vec::new();
+        let mut enc = RowEncoder::new(fmt, dim, &mut buf);
+        for (rp, v) in rows.iter().zip(&dense) {
+            enc.push_one_bit(rp.row, v, rule).unwrap();
+        }
+        enc.finish();
+        assert_eq!(buf, reference, "packed fast path must match {fmt:?}");
+    }
+
     #[test]
     fn one_bit_roundtrip_one_scale() {
         let rows = sample_rows(QuantScheme::paper_one_bit(), 13, 4);
@@ -534,6 +675,7 @@ mod tests {
             assert_eq!(a.row, b.row);
             assert_eq!(a.data.dequantize(), b.data.dequantize());
         }
+        assert_packed_path_matches(crate::quant::ScaleRule::Max, fmt, 13, &rows, &bytes);
     }
 
     #[test]
@@ -550,6 +692,30 @@ mod tests {
         let bytes = encode_rows(fmt, 9, &rows).unwrap();
         let (decoded, _) = decode_rows(&bytes).unwrap();
         assert_eq!(decoded, rows);
+        assert_packed_path_matches(ScaleRule::PosNegAvg, fmt, 9, &rows, &bytes);
+    }
+
+    #[test]
+    fn push_one_bit_rejects_mismatches() {
+        let mut buf = Vec::new();
+        let mut enc = RowEncoder::new(WireFormat::F32, 4, &mut buf);
+        let err = enc
+            .push_one_bit(0, &[1.0; 4], crate::quant::ScaleRule::Max)
+            .unwrap_err();
+        assert!(matches!(err, CodecError::WrongVariant { .. }));
+
+        let mut buf = Vec::new();
+        let mut enc = RowEncoder::new(WireFormat::OneBit { two_scales: false }, 4, &mut buf);
+        let err = enc
+            .push_one_bit(0, &[1.0; 3], crate::quant::ScaleRule::Max)
+            .unwrap_err();
+        assert!(matches!(err, CodecError::DimMismatch { .. }));
+        // A two-scale rule cannot ride a one-scale format (unless the
+        // scales coincide) — same contract as `push`.
+        let err = enc
+            .push_one_bit(0, &[1.0, -2.0, 3.0, -4.0], crate::quant::ScaleRule::PosNegMax)
+            .unwrap_err();
+        assert!(matches!(err, CodecError::WrongVariant { .. }));
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod residual;
 pub mod row_select;
 
 pub use codec::{decode_rows, encode_rows, RowDecoder, RowEncoder, RowPayload, RowRef, WireFormat};
-pub use quant::{QuantScheme, QuantizedRow, ScaleRule};
+pub use quant::{one_bit_dequantize_from, QuantScheme, QuantizedRow, ScaleRule};
 pub use residual::ResidualStore;
 pub use row_select::{RowSelection, RowSelector};

@@ -240,8 +240,175 @@ fn mean_abs(v: &[f32]) -> f32 {
     v.iter().map(|x| x.abs()).sum::<f32>() / v.len() as f32
 }
 
+/// `max(|v|)`, AVX-dispatched. f32 max is a *selection*, not a rounding
+/// operation, so for finite (non-NaN) inputs the reduction is order-free
+/// and the vector arm returns the identical bits; `|x|` canonicalizes
+/// `-0.0` to `+0.0` before any comparison. The `Avg` rules stay on the
+/// serial sum, whose rounding *does* depend on order.
 fn max_abs(v: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kge_core::simd::use_avx() {
+        // SAFETY: AVX presence was just detected at runtime.
+        return unsafe { max_abs_avx(v) };
+    }
     v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn max_abs_avx(v: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = v.len();
+    let n8 = n - n % 8;
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let mut vm = _mm256_setzero_ps();
+    for k in (0..n8).step_by(8) {
+        let x = _mm256_and_ps(absmask, _mm256_loadu_ps(v.as_ptr().add(k)));
+        vm = _mm256_max_ps(vm, x);
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vm);
+    let mut m = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+    for &x in &v[n8..] {
+        m = m.max(x.abs());
+    }
+    m
+}
+
+/// `(max(pos), max(|neg|))` with the same `x >= 0.0` split as the scalar
+/// rule, AVX-dispatched. Masked-out lanes contribute `+0.0`, the fold's
+/// identity, so the selection result matches the filtered scalar fold for
+/// finite inputs.
+fn posneg_max(v: &[f32]) -> (f32, f32) {
+    #[cfg(target_arch = "x86_64")]
+    if kge_core::simd::use_avx() {
+        // SAFETY: AVX presence was just detected at runtime.
+        return unsafe { posneg_max_avx(v) };
+    }
+    let pos = v.iter().filter(|&&x| x >= 0.0).fold(0.0f32, |m, &x| m.max(x));
+    let neg = v.iter().filter(|&&x| x < 0.0).fold(0.0f32, |m, &x| m.max(-x));
+    (pos, neg)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn posneg_max_avx(v: &[f32]) -> (f32, f32) {
+    use std::arch::x86_64::*;
+    let n = v.len();
+    let n8 = n - n % 8;
+    let zero = _mm256_setzero_ps();
+    let mut vp = zero;
+    let mut vn = zero;
+    for k in (0..n8).step_by(8) {
+        let x = _mm256_loadu_ps(v.as_ptr().add(k));
+        let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(x, zero);
+        let lt = _mm256_cmp_ps::<_CMP_LT_OQ>(x, zero);
+        vp = _mm256_max_ps(vp, _mm256_and_ps(ge, x));
+        vn = _mm256_max_ps(vn, _mm256_and_ps(lt, _mm256_sub_ps(zero, x)));
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vp);
+    let mut pos = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vn);
+    let mut neg = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+    for &x in &v[n8..] {
+        if x >= 0.0 {
+            pos = pos.max(x);
+        } else {
+            neg = neg.max(-x);
+        }
+    }
+    (pos, neg)
+}
+
+/// Public [`scales`]: the codec's packed encode fast path
+/// ([`crate::codec::RowEncoder::push_one_bit`]) derives scales straight
+/// from the dense row without building a [`QuantizedRow`].
+pub fn one_bit_scales(rule: ScaleRule, v: &[f32]) -> (f32, f32) {
+    scales(rule, v)
+}
+
+/// Pack the signs of `v` (predicate `x >= 0.0`, exactly
+/// [`quantize_row_into`]'s) straight into codec sign bytes appended to
+/// `out`: bit `i` of byte `b` is element `8b + i`, the layout
+/// [`crate::codec::RowEncoder::push`] produces from a sign vec. The AVX
+/// arm is one `cmp_ps` + `movemask_ps` per 8 elements — movemask bit `j`
+/// is lane `j`'s predicate, so the byte matches the scalar packing bit
+/// for bit (including `-0.0 → positive` and `NaN → negative`).
+pub fn pack_signs_into(v: &[f32], out: &mut Vec<u8>) {
+    #[cfg(target_arch = "x86_64")]
+    if kge_core::simd::use_avx() {
+        // SAFETY: AVX presence was just detected at runtime.
+        return unsafe { pack_signs_avx(v, out) };
+    }
+    for chunk in v.chunks(8) {
+        let mut byte = 0u8;
+        for (i, &x) in chunk.iter().enumerate() {
+            if x >= 0.0 {
+                byte |= 1 << i;
+            }
+        }
+        out.push(byte);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn pack_signs_avx(v: &[f32], out: &mut Vec<u8>) {
+    use std::arch::x86_64::*;
+    let n = v.len();
+    let n8 = n - n % 8;
+    let zero = _mm256_setzero_ps();
+    for k in (0..n8).step_by(8) {
+        let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(_mm256_loadu_ps(v.as_ptr().add(k)), zero);
+        out.push(_mm256_movemask_ps(ge) as u8);
+    }
+    if n8 < n {
+        let mut byte = 0u8;
+        for (i, &x) in v[n8..].iter().enumerate() {
+            if x >= 0.0 {
+                byte |= 1 << i;
+            }
+        }
+        out.push(byte);
+    }
+}
+
+/// Overwrite `out` with the 1-bit dequantization of the dense row `v`
+/// under scales `(pos_scale, neg_scale)` — the same `x >= 0.0` sign
+/// predicate and `±scale` values as quantizing `v` and calling
+/// [`QuantizedRow::dequantize_into`], without materializing the sign vec.
+/// The exchange path uses this to record error feedback next to
+/// [`crate::codec::RowEncoder::push_one_bit`]. Pure selection (AVX arm is
+/// a `blendv` between the two broadcast scales), hence bit-identical.
+pub fn one_bit_dequantize_from(v: &[f32], pos_scale: f32, neg_scale: f32, out: &mut [f32]) {
+    assert_eq!(out.len(), v.len(), "dequantize buffer size mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if kge_core::simd::use_avx() {
+        // SAFETY: AVX presence was just detected at runtime.
+        return unsafe { one_bit_dequantize_from_avx(v, pos_scale, neg_scale, out) };
+    }
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = if x >= 0.0 { pos_scale } else { -neg_scale };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn one_bit_dequantize_from_avx(v: &[f32], pos_scale: f32, neg_scale: f32, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = v.len().min(out.len());
+    let n8 = n - n % 8;
+    let zero = _mm256_setzero_ps();
+    let vpos = _mm256_set1_ps(pos_scale);
+    let vneg = _mm256_set1_ps(-neg_scale);
+    for k in (0..n8).step_by(8) {
+        let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(_mm256_loadu_ps(v.as_ptr().add(k)), zero);
+        _mm256_storeu_ps(out.as_mut_ptr().add(k), _mm256_blendv_ps(vneg, vpos, ge));
+    }
+    for k in n8..n {
+        out[k] = if v[k] >= 0.0 { pos_scale } else { -neg_scale };
+    }
 }
 
 /// `(pos_scale, neg_scale)` for a 1-bit rule.
@@ -255,11 +422,7 @@ fn scales(rule: ScaleRule, v: &[f32]) -> (f32, f32) {
             let s = mean_abs(v);
             (s, s)
         }
-        ScaleRule::PosNegMax => {
-            let pos = v.iter().filter(|&&x| x >= 0.0).fold(0.0f32, |m, &x| m.max(x));
-            let neg = v.iter().filter(|&&x| x < 0.0).fold(0.0f32, |m, &x| m.max(-x));
-            (pos, neg)
-        }
+        ScaleRule::PosNegMax => posneg_max(v),
         ScaleRule::PosNegAvg => {
             let (psum, pn) = v
                 .iter()

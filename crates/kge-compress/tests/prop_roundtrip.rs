@@ -1,8 +1,8 @@
 //! Property tests for the compression stack: codec roundtrips, sign
 //! preservation, error-feedback conservation, and selection invariants.
 
-use kge_compress::codec::{decode_rows, encode_rows, RowPayload};
-use kge_compress::quant::{quantize_row, QuantScheme, ScaleRule};
+use kge_compress::codec::{decode_rows, encode_rows, RowDecoder, RowEncoder, RowPayload};
+use kge_compress::quant::{quantize_row, QuantScheme, QuantizedRow, ScaleRule};
 use kge_compress::row_select::{select_rows, RowSelector};
 use kge_compress::{ResidualStore, WireFormat};
 use kge_core::SparseGrad;
@@ -12,6 +12,23 @@ use rand::SeedableRng;
 
 fn row_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, dim..=dim)
+}
+
+const RULES: [ScaleRule; 4] = [
+    ScaleRule::Max,
+    ScaleRule::Avg,
+    ScaleRule::PosNegMax,
+    ScaleRule::PosNegAvg,
+];
+
+fn fmt_for(rule: ScaleRule) -> WireFormat {
+    WireFormat::OneBit {
+        two_scales: matches!(rule, ScaleRule::PosNegMax | ScaleRule::PosNegAvg),
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
 }
 
 proptest! {
@@ -149,6 +166,73 @@ proptest! {
         // Values of surviving rows are untouched (paper RS does not rescale).
         for &r in &after {
             prop_assert_eq!(grad.get(r).unwrap()[0], norms[r as usize]);
+        }
+    }
+
+    #[test]
+    fn packed_one_bit_encode_matches_scalar_codec(dim in 1usize..70, seed in any::<u64>()) {
+        // The packed fast path (SIMD scales + movemask sign packing,
+        // straight into wire bytes) must be byte-identical to quantizing
+        // into a `QuantizedRow` and pushing it — for every rule, odd dims,
+        // and both dispatch arms of the force-scalar override.
+        let v = det_row(dim, seed);
+        for force in [true, false] {
+            kge_core::simd::set_force_scalar(Some(force));
+            for rule in RULES {
+                let fmt = fmt_for(rule);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let q = quantize_row(QuantScheme::OneBit { rule }, &v, &mut rng);
+                let reference =
+                    encode_rows(fmt, dim, &[RowPayload { row: 42, data: q.clone() }]).unwrap();
+                let mut buf = Vec::new();
+                let mut enc = RowEncoder::new(fmt, dim, &mut buf);
+                let (pos, neg) = enc.push_one_bit(42, &v, rule).unwrap();
+                enc.finish();
+                prop_assert_eq!(&buf, &reference, "rule {:?} force_scalar {}", rule, force);
+                // Returned scales and the error-feedback companion match
+                // the QuantizedRow bit for bit.
+                if let QuantizedRow::OneBit { pos_scale, neg_scale, .. } = &q {
+                    prop_assert_eq!(pos.to_bits(), pos_scale.to_bits(), "rule {:?}", rule);
+                    prop_assert_eq!(neg.to_bits(), neg_scale.to_bits(), "rule {:?}", rule);
+                }
+                let mut from_dense = vec![f32::NAN; dim];
+                kge_compress::one_bit_dequantize_from(&v, pos, neg, &mut from_dense);
+                let mut from_row = vec![f32::NAN; dim];
+                q.dequantize_into(&mut from_row);
+                prop_assert_eq!(bits(&from_dense), bits(&from_row), "rule {:?}", rule);
+            }
+        }
+        kge_core::simd::set_force_scalar(None);
+    }
+
+    #[test]
+    fn simd_and_scalar_codec_arms_bit_identical(dim in 1usize..70, seed in any::<u64>()) {
+        // Quantize → encode → decode (through the byte-expanded /
+        // AVX2-blend fast paths) under both dispatch arms: wire bytes,
+        // dequantized values, accumulated values and error-feedback rows
+        // must all be bit-identical.
+        let v = det_row(dim, seed);
+        for rule in RULES {
+            let fmt = fmt_for(rule);
+            let mut runs = Vec::new();
+            for force in [true, false] {
+                kge_core::simd::set_force_scalar(Some(force));
+                let mut buf = Vec::new();
+                let mut enc = RowEncoder::new(fmt, dim, &mut buf);
+                let (pos, neg) = enc.push_one_bit(9, &v, rule).unwrap();
+                enc.finish();
+                let mut dec = RowDecoder::new(&buf).unwrap();
+                let r = dec.next_row().unwrap().unwrap();
+                let mut deq = vec![f32::NAN; dim];
+                r.dequantize_into(&mut deq);
+                let mut acc = vec![0.5f32; dim];
+                r.add_into(&mut acc);
+                let mut ef = vec![f32::NAN; dim];
+                kge_compress::one_bit_dequantize_from(&v, pos, neg, &mut ef);
+                runs.push((buf.clone(), bits(&deq), bits(&acc), bits(&ef)));
+            }
+            kge_core::simd::set_force_scalar(None);
+            prop_assert_eq!(&runs[0], &runs[1], "rule {:?}", rule);
         }
     }
 

@@ -27,10 +27,13 @@ pub mod matrix;
 pub mod model;
 pub mod optim;
 pub mod scratch;
+pub mod simd;
 
 pub use grad::SparseGrad;
 pub use matrix::EmbeddingTable;
-pub use model::{ComplEx, DistMult, KgeModel, ReplaceDir, RotatE, SimplE, TransE, OVA_T_LANES};
+pub use model::{
+    ComplEx, DistMult, KgeModel, ReplaceDir, RotatE, SimplE, TransE, BLOCK_T_LANES, OVA_T_LANES,
+};
 pub use optim::{
     Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, RowOptimizer, Sgd,
 };

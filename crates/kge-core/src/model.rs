@@ -43,12 +43,12 @@ pub const OVA_T_LANES: usize = 16;
 
 /// Dispatchers for the transposed one-vs-all kernels: explicit AVX
 /// vector code where the CPU supports it (runtime-detected once, cached
-/// by `std`), the portable register-blocked body otherwise. The AVX
-/// kernels use **only** mul/add/sub intrinsics — never FMA: a fused
-/// multiply-add rounds once where [`KgeModel::score`] rounds twice, which
-/// would break the bit-identity contract. Wider registers alone reorder
-/// nothing: every lane is one candidate's own serial sum, in `score`'s
-/// exact order.
+/// by `std`, overridable via [`crate::simd::force_scalar`]), the portable
+/// register-blocked body otherwise. The AVX kernels use **only**
+/// mul/add/sub intrinsics — never FMA: a fused multiply-add rounds once
+/// where [`KgeModel::score`] rounds twice, which would break the
+/// bit-identity contract. Wider registers alone reorder nothing: every
+/// lane is one candidate's own serial sum, in `score`'s exact order.
 macro_rules! ova_t_dispatch {
     ($base:ident, $avx:ident, $body:ident) => {
         #[inline]
@@ -62,7 +62,7 @@ macro_rules! ova_t_dispatch {
             scores: &mut [f32],
         ) {
             #[cfg(target_arch = "x86_64")]
-            if std::arch::is_x86_feature_detected!("avx") {
+            if crate::simd::use_avx() {
                 // SAFETY: the target feature was just detected at runtime;
                 // slice bounds are asserted inside before any raw access.
                 return unsafe { $avx(rank, query, r, tile_t, rows, dir, scores) };
@@ -441,6 +441,664 @@ fn transe_ova_t_body(
     }
 }
 
+/// Lane width of the transposed **training** forward kernels: one group
+/// of 16 examples = two 256-bit accumulator chains. Unlike evaluation,
+/// where only the candidate varies, a training block varies head,
+/// relation *and* tail per example — so the fused forward gathers a group
+/// of examples into lane-major tiles (`tile[k * BLOCK_T_LANES + j]` =
+/// element `k` of example `j`) and sweeps `k` with pure vector loads, no
+/// broadcasts. Each lane is one example's own serial sum in
+/// [`KgeModel::score`]'s exact operation order, so blocked losses are
+/// bit-identical to the scalar path; block remainders take the scalar
+/// tail.
+pub const BLOCK_T_LANES: usize = 16;
+
+/// Transpose one group of `BLOCK_T_LANES` gathered rows (`src`, row-major
+/// `BLOCK_T_LANES × dim`) into the lane-major tile `dst`
+/// (`dst[k * BLOCK_T_LANES + j]` = element `k` of row `j`). Reads are
+/// contiguous per row; the whole tile stays L1-sized for training dims.
+#[inline]
+fn transpose_group(src: &[f32], dim: usize, dst: &mut [f32]) {
+    const L: usize = BLOCK_T_LANES;
+    debug_assert_eq!(src.len(), L * dim);
+    debug_assert_eq!(dst.len(), dim * L);
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_avx() {
+        // SAFETY: AVX was just detected at runtime; slice bounds are
+        // asserted inside before any raw access.
+        return unsafe { transpose_group_avx(src, dim, dst) };
+    }
+    for (j, row) in src.chunks_exact(dim).enumerate() {
+        for (k, &x) in row.iter().enumerate() {
+            dst[k * L + j] = x;
+        }
+    }
+}
+
+/// AVX [`transpose_group`]: in-register 8x8 transposes (unpack + shuffle +
+/// 128-bit permute), one lane half at a time, with a scalar column tail.
+/// Pure data movement, so bit-identity to the scalar gather is structural.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn transpose_group_avx(src: &[f32], dim: usize, dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const L: usize = BLOCK_T_LANES;
+    assert!(src.len() >= L * dim);
+    assert!(dst.len() >= dim * L);
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let d8 = dim - dim % 8;
+    for half in 0..2 {
+        let o = half * 8;
+        for k0 in (0..d8).step_by(8) {
+            // 8 rows (lanes o..o+8) x 8 columns (dims k0..k0+8).
+            let r0 = _mm256_loadu_ps(sp.add(o * dim + k0));
+            let r1 = _mm256_loadu_ps(sp.add((o + 1) * dim + k0));
+            let r2 = _mm256_loadu_ps(sp.add((o + 2) * dim + k0));
+            let r3 = _mm256_loadu_ps(sp.add((o + 3) * dim + k0));
+            let r4 = _mm256_loadu_ps(sp.add((o + 4) * dim + k0));
+            let r5 = _mm256_loadu_ps(sp.add((o + 5) * dim + k0));
+            let r6 = _mm256_loadu_ps(sp.add((o + 6) * dim + k0));
+            let r7 = _mm256_loadu_ps(sp.add((o + 7) * dim + k0));
+            let t0 = _mm256_unpacklo_ps(r0, r1);
+            let t1 = _mm256_unpackhi_ps(r0, r1);
+            let t2 = _mm256_unpacklo_ps(r2, r3);
+            let t3 = _mm256_unpackhi_ps(r2, r3);
+            let t4 = _mm256_unpacklo_ps(r4, r5);
+            let t5 = _mm256_unpackhi_ps(r4, r5);
+            let t6 = _mm256_unpacklo_ps(r6, r7);
+            let t7 = _mm256_unpackhi_ps(r6, r7);
+            let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+            let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+            let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+            let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+            let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+            let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+            let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+            let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+            _mm256_storeu_ps(dp.add(k0 * L + o), _mm256_permute2f128_ps::<0x20>(s0, s4));
+            _mm256_storeu_ps(dp.add((k0 + 1) * L + o), _mm256_permute2f128_ps::<0x20>(s1, s5));
+            _mm256_storeu_ps(dp.add((k0 + 2) * L + o), _mm256_permute2f128_ps::<0x20>(s2, s6));
+            _mm256_storeu_ps(dp.add((k0 + 3) * L + o), _mm256_permute2f128_ps::<0x20>(s3, s7));
+            _mm256_storeu_ps(dp.add((k0 + 4) * L + o), _mm256_permute2f128_ps::<0x31>(s0, s4));
+            _mm256_storeu_ps(dp.add((k0 + 5) * L + o), _mm256_permute2f128_ps::<0x31>(s1, s5));
+            _mm256_storeu_ps(dp.add((k0 + 6) * L + o), _mm256_permute2f128_ps::<0x31>(s2, s6));
+            _mm256_storeu_ps(dp.add((k0 + 7) * L + o), _mm256_permute2f128_ps::<0x31>(s3, s7));
+        }
+        for k in d8..dim {
+            for j in 0..8 {
+                *dp.add(k * L + o + j) = *sp.add((o + j) * dim + k);
+            }
+        }
+    }
+}
+
+/// Dispatchers for the lane-major training forward kernels — same
+/// discipline as [`ova_t_dispatch!`]: runtime-detected AVX with only
+/// mul/add/sub intrinsics (never FMA), portable register-blocked body
+/// otherwise, both bit-identical per lane to [`KgeModel::score`].
+macro_rules! fwd_t_dispatch {
+    ($base:ident, $avx:ident, $body:ident) => {
+        #[inline]
+        fn $base(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+            #[cfg(target_arch = "x86_64")]
+            if crate::simd::use_avx() {
+                // SAFETY: the target feature was just detected at runtime;
+                // slice bounds are asserted inside before any raw access.
+                return unsafe { $avx(rank, h_t, r_t, t_t, scores) };
+            }
+            $body(rank, h_t, r_t, t_t, scores)
+        }
+    };
+}
+
+fwd_t_dispatch!(complex_fwd_t, complex_fwd_t_avx, complex_fwd_t_body);
+fwd_t_dispatch!(distmult_fwd_t, distmult_fwd_t_avx, distmult_fwd_t_body);
+fwd_t_dispatch!(transe_fwd_t, transe_fwd_t_avx, transe_fwd_t_body);
+
+/// Dispatchers for the vectorized backward block kernels. The backward
+/// pass is elementwise over `dim` — no reductions — so vectorizing the
+/// `k` loop on the row-major arenas is trivially bit-exact: every output
+/// element is computed by the same f32 expression as the scalar loop,
+/// just eight at a time.
+macro_rules! grad_block_dispatch {
+    ($base:ident, $avx:ident, $body:ident) => {
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        fn $base<const FUSE_L2: bool>(
+            rank: usize,
+            h: &[f32],
+            r: &[f32],
+            t: &[f32],
+            coeffs: &[f32],
+            l2: f32,
+            gh: &mut [f32],
+            gr: &mut [f32],
+            gt: &mut [f32],
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            if crate::simd::use_avx() {
+                // SAFETY: the target feature was just detected at runtime;
+                // slice bounds are asserted inside before any raw access.
+                return unsafe { $avx::<FUSE_L2>(rank, h, r, t, coeffs, l2, gh, gr, gt) };
+            }
+            $body::<FUSE_L2>(rank, h, r, t, coeffs, l2, gh, gr, gt)
+        }
+    };
+}
+
+grad_block_dispatch!(
+    complex_grad_block,
+    complex_grad_block_avx,
+    complex_grad_block_body
+);
+grad_block_dispatch!(
+    distmult_grad_block,
+    distmult_grad_block_avx,
+    distmult_grad_block_body
+);
+grad_block_dispatch!(
+    transe_grad_block,
+    transe_grad_block_avx,
+    transe_grad_block_body
+);
+
+/// AVX ComplEx lane-major forward: 16 lanes as two 8-lane halves, each
+/// half's accumulator held in a register across the whole `k` loop. Per
+/// `k` every operand is a unit-stride vector load from the tiles — the
+/// expression tree is exactly [`ComplEx::score`]'s per lane.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn complex_fwd_t_avx(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const L: usize = BLOCK_T_LANES;
+    let d = rank;
+    assert_eq!(scores.len(), L);
+    assert!(h_t.len() >= 2 * d * L && r_t.len() >= 2 * d * L && t_t.len() >= 2 * d * L);
+    let (hp, rp, tp) = (h_t.as_ptr(), r_t.as_ptr(), t_t.as_ptr());
+    for half in 0..2 {
+        let o = half * 8;
+        let mut acc = _mm256_setzero_ps();
+        for k in 0..d {
+            let re = k * L + o;
+            let im = (d + k) * L + o;
+            let vhr = _mm256_loadu_ps(hp.add(re));
+            let vhi = _mm256_loadu_ps(hp.add(im));
+            let vrr = _mm256_loadu_ps(rp.add(re));
+            let vri = _mm256_loadu_ps(rp.add(im));
+            let vtr = _mm256_loadu_ps(tp.add(re));
+            let vti = _mm256_loadu_ps(tp.add(im));
+            // score: s += rr·(hr·tr + hi·ti) + ri·(hr·ti − hi·tr)
+            let a = _mm256_add_ps(_mm256_mul_ps(vhr, vtr), _mm256_mul_ps(vhi, vti));
+            let b = _mm256_sub_ps(_mm256_mul_ps(vhr, vti), _mm256_mul_ps(vhi, vtr));
+            acc = _mm256_add_ps(
+                acc,
+                _mm256_add_ps(_mm256_mul_ps(vrr, a), _mm256_mul_ps(vri, b)),
+            );
+        }
+        _mm256_storeu_ps(scores.as_mut_ptr().add(o), acc);
+    }
+}
+
+/// AVX DistMult lane-major forward (see [`complex_fwd_t_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn distmult_fwd_t_avx(
+    rank: usize,
+    h_t: &[f32],
+    r_t: &[f32],
+    t_t: &[f32],
+    scores: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    const L: usize = BLOCK_T_LANES;
+    let dim = rank;
+    assert_eq!(scores.len(), L);
+    assert!(h_t.len() >= dim * L && r_t.len() >= dim * L && t_t.len() >= dim * L);
+    let (hp, rp, tp) = (h_t.as_ptr(), r_t.as_ptr(), t_t.as_ptr());
+    for half in 0..2 {
+        let o = half * 8;
+        let mut acc = _mm256_setzero_ps();
+        for k in 0..dim {
+            let vh = _mm256_loadu_ps(hp.add(k * L + o));
+            let vr = _mm256_loadu_ps(rp.add(k * L + o));
+            let vt = _mm256_loadu_ps(tp.add(k * L + o));
+            // score: s += (h·r)·t
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_mul_ps(vh, vr), vt));
+        }
+        _mm256_storeu_ps(scores.as_mut_ptr().add(o), acc);
+    }
+}
+
+/// AVX TransE lane-major forward (see [`complex_fwd_t_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn transe_fwd_t_avx(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const L: usize = BLOCK_T_LANES;
+    let dim = rank;
+    assert_eq!(scores.len(), L);
+    assert!(h_t.len() >= dim * L && r_t.len() >= dim * L && t_t.len() >= dim * L);
+    let (hp, rp, tp) = (h_t.as_ptr(), r_t.as_ptr(), t_t.as_ptr());
+    for half in 0..2 {
+        let o = half * 8;
+        let mut acc = _mm256_setzero_ps();
+        for k in 0..dim {
+            let vh = _mm256_loadu_ps(hp.add(k * L + o));
+            let vr = _mm256_loadu_ps(rp.add(k * L + o));
+            let vt = _mm256_loadu_ps(tp.add(k * L + o));
+            // score: d = (h + r) − t; s −= d·d
+            let vd = _mm256_sub_ps(_mm256_add_ps(vh, vr), vt);
+            acc = _mm256_sub_ps(acc, _mm256_mul_ps(vd, vd));
+        }
+        _mm256_storeu_ps(scores.as_mut_ptr().add(o), acc);
+    }
+}
+
+#[inline(always)]
+fn complex_fwd_t_body(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+    const L: usize = BLOCK_T_LANES;
+    let d = rank;
+    debug_assert_eq!(scores.len(), L);
+    let mut acc = [0.0f32; L];
+    for k in 0..d {
+        let (re, im) = (k * L, (d + k) * L);
+        let hr: &[f32; L] = h_t[re..re + L].try_into().unwrap();
+        let hi: &[f32; L] = h_t[im..im + L].try_into().unwrap();
+        let rr: &[f32; L] = r_t[re..re + L].try_into().unwrap();
+        let ri: &[f32; L] = r_t[im..im + L].try_into().unwrap();
+        let tr: &[f32; L] = t_t[re..re + L].try_into().unwrap();
+        let ti: &[f32; L] = t_t[im..im + L].try_into().unwrap();
+        for j in 0..L {
+            acc[j] +=
+                rr[j] * (hr[j] * tr[j] + hi[j] * ti[j]) + ri[j] * (hr[j] * ti[j] - hi[j] * tr[j]);
+        }
+    }
+    scores.copy_from_slice(&acc);
+}
+
+#[inline(always)]
+fn distmult_fwd_t_body(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+    const L: usize = BLOCK_T_LANES;
+    debug_assert_eq!(scores.len(), L);
+    let mut acc = [0.0f32; L];
+    for k in 0..rank {
+        let h: &[f32; L] = h_t[k * L..k * L + L].try_into().unwrap();
+        let r: &[f32; L] = r_t[k * L..k * L + L].try_into().unwrap();
+        let t: &[f32; L] = t_t[k * L..k * L + L].try_into().unwrap();
+        for j in 0..L {
+            acc[j] += h[j] * r[j] * t[j];
+        }
+    }
+    scores.copy_from_slice(&acc);
+}
+
+#[inline(always)]
+fn transe_fwd_t_body(rank: usize, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+    const L: usize = BLOCK_T_LANES;
+    debug_assert_eq!(scores.len(), L);
+    let mut acc = [0.0f32; L];
+    for k in 0..rank {
+        let h: &[f32; L] = h_t[k * L..k * L + L].try_into().unwrap();
+        let r: &[f32; L] = r_t[k * L..k * L + L].try_into().unwrap();
+        let t: &[f32; L] = t_t[k * L..k * L + L].try_into().unwrap();
+        for j in 0..L {
+            let d = h[j] + r[j] - t[j];
+            acc[j] -= d * d;
+        }
+    }
+    scores.copy_from_slice(&acc);
+}
+
+/// AVX ComplEx backward block: per example, the six gradient half-rows
+/// are produced eight elements at a time with the scalar loop's exact
+/// per-element expressions (overwrite semantics), scalar tail for
+/// `rank % 8`.
+///
+/// With `FUSE_L2`, the per-row L2 term `l2 * row` is added to the stored
+/// value in the same pass. The addition happens after the gradient
+/// expression is fully formed — the exact operation order of the separate
+/// `axpy` pass it replaces — so fused and unfused results are bit-equal.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn complex_grad_block_avx<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let d = rank;
+    let dim = 2 * d;
+    let len = coeffs.len() * dim;
+    assert!(h.len() >= len && r.len() >= len && t.len() >= len);
+    assert!(gh.len() >= len && gr.len() >= len && gt.len() >= len);
+    let d8 = d - d % 8;
+    let vl2 = _mm256_set1_ps(l2);
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        let b = a + dim;
+        let (hr, hi) = h[a..b].split_at(d);
+        let (rr, ri) = r[a..b].split_at(d);
+        let (tr, ti) = t[a..b].split_at(d);
+        let (ghr, ghi) = gh[a..b].split_at_mut(d);
+        let (grr, gri) = gr[a..b].split_at_mut(d);
+        let (gtr, gti) = gt[a..b].split_at_mut(d);
+        let vc = _mm256_set1_ps(coeff);
+        for k in (0..d8).step_by(8) {
+            let vhr = _mm256_loadu_ps(hr.as_ptr().add(k));
+            let vhi = _mm256_loadu_ps(hi.as_ptr().add(k));
+            let vrr = _mm256_loadu_ps(rr.as_ptr().add(k));
+            let vri = _mm256_loadu_ps(ri.as_ptr().add(k));
+            let vtr = _mm256_loadu_ps(tr.as_ptr().add(k));
+            let vti = _mm256_loadu_ps(ti.as_ptr().add(k));
+            let mut vghr = _mm256_mul_ps(
+                vc,
+                _mm256_add_ps(_mm256_mul_ps(vrr, vtr), _mm256_mul_ps(vri, vti)),
+            );
+            let mut vghi = _mm256_mul_ps(
+                vc,
+                _mm256_sub_ps(_mm256_mul_ps(vrr, vti), _mm256_mul_ps(vri, vtr)),
+            );
+            let mut vgrr = _mm256_mul_ps(
+                vc,
+                _mm256_add_ps(_mm256_mul_ps(vhr, vtr), _mm256_mul_ps(vhi, vti)),
+            );
+            let mut vgri = _mm256_mul_ps(
+                vc,
+                _mm256_sub_ps(_mm256_mul_ps(vhr, vti), _mm256_mul_ps(vhi, vtr)),
+            );
+            let mut vgtr = _mm256_mul_ps(
+                vc,
+                _mm256_sub_ps(_mm256_mul_ps(vrr, vhr), _mm256_mul_ps(vri, vhi)),
+            );
+            let mut vgti = _mm256_mul_ps(
+                vc,
+                _mm256_add_ps(_mm256_mul_ps(vrr, vhi), _mm256_mul_ps(vri, vhr)),
+            );
+            if FUSE_L2 {
+                vghr = _mm256_add_ps(vghr, _mm256_mul_ps(vl2, vhr));
+                vghi = _mm256_add_ps(vghi, _mm256_mul_ps(vl2, vhi));
+                vgrr = _mm256_add_ps(vgrr, _mm256_mul_ps(vl2, vrr));
+                vgri = _mm256_add_ps(vgri, _mm256_mul_ps(vl2, vri));
+                vgtr = _mm256_add_ps(vgtr, _mm256_mul_ps(vl2, vtr));
+                vgti = _mm256_add_ps(vgti, _mm256_mul_ps(vl2, vti));
+            }
+            _mm256_storeu_ps(ghr.as_mut_ptr().add(k), vghr);
+            _mm256_storeu_ps(ghi.as_mut_ptr().add(k), vghi);
+            _mm256_storeu_ps(grr.as_mut_ptr().add(k), vgrr);
+            _mm256_storeu_ps(gri.as_mut_ptr().add(k), vgri);
+            _mm256_storeu_ps(gtr.as_mut_ptr().add(k), vgtr);
+            _mm256_storeu_ps(gti.as_mut_ptr().add(k), vgti);
+        }
+        for k in d8..d {
+            let mut xhr = coeff * (rr[k] * tr[k] + ri[k] * ti[k]);
+            let mut xhi = coeff * (rr[k] * ti[k] - ri[k] * tr[k]);
+            let mut xrr = coeff * (hr[k] * tr[k] + hi[k] * ti[k]);
+            let mut xri = coeff * (hr[k] * ti[k] - hi[k] * tr[k]);
+            let mut xtr = coeff * (rr[k] * hr[k] - ri[k] * hi[k]);
+            let mut xti = coeff * (rr[k] * hi[k] + ri[k] * hr[k]);
+            if FUSE_L2 {
+                xhr += l2 * hr[k];
+                xhi += l2 * hi[k];
+                xrr += l2 * rr[k];
+                xri += l2 * ri[k];
+                xtr += l2 * tr[k];
+                xti += l2 * ti[k];
+            }
+            ghr[k] = xhr;
+            ghi[k] = xhi;
+            grr[k] = xrr;
+            gri[k] = xri;
+            gtr[k] = xtr;
+            gti[k] = xti;
+        }
+    }
+}
+
+/// AVX DistMult backward block (see [`complex_grad_block_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn distmult_grad_block_avx<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let dim = rank;
+    let len = coeffs.len() * dim;
+    assert!(h.len() >= len && r.len() >= len && t.len() >= len);
+    assert!(gh.len() >= len && gr.len() >= len && gt.len() >= len);
+    let d8 = dim - dim % 8;
+    let vl2 = _mm256_set1_ps(l2);
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        let vc = _mm256_set1_ps(coeff);
+        for k in (0..d8).step_by(8) {
+            let p = a + k;
+            let vh = _mm256_loadu_ps(h.as_ptr().add(p));
+            let vr = _mm256_loadu_ps(r.as_ptr().add(p));
+            let vt = _mm256_loadu_ps(t.as_ptr().add(p));
+            // grad: gh = (c·r)·t, gr = (c·h)·t, gt = (c·h)·r
+            let mut vgh = _mm256_mul_ps(_mm256_mul_ps(vc, vr), vt);
+            let mut vgr = _mm256_mul_ps(_mm256_mul_ps(vc, vh), vt);
+            let mut vgt = _mm256_mul_ps(_mm256_mul_ps(vc, vh), vr);
+            if FUSE_L2 {
+                vgh = _mm256_add_ps(vgh, _mm256_mul_ps(vl2, vh));
+                vgr = _mm256_add_ps(vgr, _mm256_mul_ps(vl2, vr));
+                vgt = _mm256_add_ps(vgt, _mm256_mul_ps(vl2, vt));
+            }
+            _mm256_storeu_ps(gh.as_mut_ptr().add(p), vgh);
+            _mm256_storeu_ps(gr.as_mut_ptr().add(p), vgr);
+            _mm256_storeu_ps(gt.as_mut_ptr().add(p), vgt);
+        }
+        for k in a + d8..a + dim {
+            let mut xh = coeff * r[k] * t[k];
+            let mut xr = coeff * h[k] * t[k];
+            let mut xt = coeff * h[k] * r[k];
+            if FUSE_L2 {
+                xh += l2 * h[k];
+                xr += l2 * r[k];
+                xt += l2 * t[k];
+            }
+            gh[k] = xh;
+            gr[k] = xr;
+            gt[k] = xt;
+        }
+    }
+}
+
+/// AVX TransE backward block (see [`complex_grad_block_avx`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn transe_grad_block_avx<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let dim = rank;
+    let len = coeffs.len() * dim;
+    assert!(h.len() >= len && r.len() >= len && t.len() >= len);
+    assert!(gh.len() >= len && gr.len() >= len && gt.len() >= len);
+    let d8 = dim - dim % 8;
+    let vm2 = _mm256_set1_ps(-2.0);
+    let vp2 = _mm256_set1_ps(2.0);
+    let vl2 = _mm256_set1_ps(l2);
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        let vc = _mm256_set1_ps(coeff);
+        for k in (0..d8).step_by(8) {
+            let p = a + k;
+            let vh = _mm256_loadu_ps(h.as_ptr().add(p));
+            let vr = _mm256_loadu_ps(r.as_ptr().add(p));
+            let vt = _mm256_loadu_ps(t.as_ptr().add(p));
+            // grad: d = (h + r) − t; gh = gr = c·(−2·d), gt = c·(2·d)
+            let vd = _mm256_sub_ps(_mm256_add_ps(vh, vr), vt);
+            let neg = _mm256_mul_ps(vc, _mm256_mul_ps(vm2, vd));
+            let mut vgh = neg;
+            let mut vgr = neg;
+            let mut vgt = _mm256_mul_ps(vc, _mm256_mul_ps(vp2, vd));
+            if FUSE_L2 {
+                vgh = _mm256_add_ps(vgh, _mm256_mul_ps(vl2, vh));
+                vgr = _mm256_add_ps(vgr, _mm256_mul_ps(vl2, vr));
+                vgt = _mm256_add_ps(vgt, _mm256_mul_ps(vl2, vt));
+            }
+            _mm256_storeu_ps(gh.as_mut_ptr().add(p), vgh);
+            _mm256_storeu_ps(gr.as_mut_ptr().add(p), vgr);
+            _mm256_storeu_ps(gt.as_mut_ptr().add(p), vgt);
+        }
+        for k in a + d8..a + dim {
+            let d = h[k] + r[k] - t[k];
+            let mut xh = coeff * (-2.0 * d);
+            let mut xr = coeff * (-2.0 * d);
+            let mut xt = coeff * (2.0 * d);
+            if FUSE_L2 {
+                xh += l2 * h[k];
+                xr += l2 * r[k];
+                xt += l2 * t[k];
+            }
+            gh[k] = xh;
+            gr[k] = xr;
+            gt[k] = xt;
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn complex_grad_block_body<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    let d = rank;
+    let dim = 2 * d;
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        let b = a + dim;
+        let (hr, hi) = h[a..b].split_at(d);
+        let (rr, ri) = r[a..b].split_at(d);
+        let (tr, ti) = t[a..b].split_at(d);
+        let (ghr, ghi) = gh[a..b].split_at_mut(d);
+        let (grr, gri) = gr[a..b].split_at_mut(d);
+        let (gtr, gti) = gt[a..b].split_at_mut(d);
+        for k in 0..d {
+            let mut xhr = coeff * (rr[k] * tr[k] + ri[k] * ti[k]);
+            let mut xhi = coeff * (rr[k] * ti[k] - ri[k] * tr[k]);
+            let mut xrr = coeff * (hr[k] * tr[k] + hi[k] * ti[k]);
+            let mut xri = coeff * (hr[k] * ti[k] - hi[k] * tr[k]);
+            let mut xtr = coeff * (rr[k] * hr[k] - ri[k] * hi[k]);
+            let mut xti = coeff * (rr[k] * hi[k] + ri[k] * hr[k]);
+            if FUSE_L2 {
+                xhr += l2 * hr[k];
+                xhi += l2 * hi[k];
+                xrr += l2 * rr[k];
+                xri += l2 * ri[k];
+                xtr += l2 * tr[k];
+                xti += l2 * ti[k];
+            }
+            ghr[k] = xhr;
+            ghi[k] = xhi;
+            grr[k] = xrr;
+            gri[k] = xri;
+            gtr[k] = xtr;
+            gti[k] = xti;
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn distmult_grad_block_body<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    let dim = rank;
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        for k in a..a + dim {
+            let mut xh = coeff * r[k] * t[k];
+            let mut xr = coeff * h[k] * t[k];
+            let mut xt = coeff * h[k] * r[k];
+            if FUSE_L2 {
+                xh += l2 * h[k];
+                xr += l2 * r[k];
+                xt += l2 * t[k];
+            }
+            gh[k] = xh;
+            gr[k] = xr;
+            gt[k] = xt;
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn transe_grad_block_body<const FUSE_L2: bool>(
+    rank: usize,
+    h: &[f32],
+    r: &[f32],
+    t: &[f32],
+    coeffs: &[f32],
+    l2: f32,
+    gh: &mut [f32],
+    gr: &mut [f32],
+    gt: &mut [f32],
+) {
+    let dim = rank;
+    for (i, &coeff) in coeffs.iter().enumerate() {
+        let a = i * dim;
+        for k in a..a + dim {
+            let d = h[k] + r[k] - t[k];
+            let mut xh = coeff * (-2.0 * d);
+            let mut xr = coeff * (-2.0 * d);
+            let mut xt = coeff * (2.0 * d);
+            if FUSE_L2 {
+                xh += l2 * h[k];
+                xr += l2 * r[k];
+                xt += l2 * t[k];
+            }
+            gh[k] = xh;
+            gr[k] = xr;
+            gt[k] = xt;
+        }
+    }
+}
+
 /// A knowledge-graph embedding scoring model.
 ///
 /// `storage_dim(d)` says how many floats one embedding row needs for a
@@ -569,6 +1227,29 @@ pub trait KgeModel: Send + Sync {
         )
     }
 
+    /// Whether [`Self::score_group_t`] has a fused implementation — the
+    /// gate for the lane-major training forward path in
+    /// [`Self::score_grad_block`]. Models without one (RotatE, SimplE)
+    /// keep the row-major [`Self::score_block`] sweep.
+    fn has_train_kernel(&self) -> bool {
+        false
+    }
+
+    /// Forward-score one lane-major group of [`BLOCK_T_LANES`] training
+    /// examples: `h_t`/`r_t`/`t_t` hold element `k` of example `j` at
+    /// `k * BLOCK_T_LANES + j` (the gathered rows transposed), and
+    /// `scores` has exactly [`BLOCK_T_LANES`] slots. Each lane accumulates
+    /// its own example's serial sum in [`Self::score`]'s exact operation
+    /// order — only independent chains are interleaved — so group scores
+    /// are bit-identical to the scalar path. The default panics rather
+    /// than silently gathering; check [`Self::has_train_kernel`] first.
+    fn score_group_t(&self, _h_t: &[f32], _r_t: &[f32], _t_t: &[f32], _scores: &mut [f32]) {
+        unimplemented!(
+            "{}: no transposed training kernel; check has_train_kernel()",
+            self.name()
+        )
+    }
+
     /// Fill the gradient arenas with `coeffs[i] · ∂φ/∂(h,r,t)` for every
     /// example in the block — **overwrite** semantics, unlike the
     /// accumulating [`Self::grad`]. Fused implementations write each
@@ -604,6 +1285,35 @@ pub trait KgeModel: Send + Sync {
         }
     }
 
+    /// [`Self::grad_block`] with the per-row L2 term (`g += l2_reg · row`)
+    /// folded into the same pass — one sweep over the gradient arenas
+    /// instead of two. The L2 product is added to the fully formed
+    /// gradient value, which is exactly the operation order of the
+    /// separate `axpy` pass the default performs, so fused overrides are
+    /// bit-identical to it.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_block_l2(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeffs: &[f32],
+        l2_reg: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        self.grad_block(h, r, t, coeffs, gh, gr, gt);
+        let dim = self.storage_dim();
+        for i in 0..coeffs.len() {
+            let a = i * dim;
+            let b = a + dim;
+            axpy(l2_reg, &h[a..b], &mut gh[a..b]);
+            axpy(l2_reg, &r[a..b], &mut gr[a..b]);
+            axpy(l2_reg, &t[a..b], &mut gt[a..b]);
+        }
+    }
+
     /// Fused batched kernel for one block of `(head, rel, tail)` triples:
     /// **gather** the rows into `scratch`'s contiguous arenas, **score**
     /// the whole block, turn each score into an upstream loss coefficient
@@ -632,6 +1342,69 @@ pub trait KgeModel: Send + Sync {
         let dim = self.storage_dim();
         let n = triples.len();
         scratch.reserve(n, dim);
+        if self.has_train_kernel() && !crate::simd::force_scalar() {
+            // Group-at-a-time fused path: each BLOCK_T_LANES-example group
+            // is gathered, transposed into lane-major tiles, scored with
+            // the AVX group kernel, differentiated, regularized and
+            // scattered while its staging rows are still cache-resident —
+            // one sweep over tens of KB instead of five passes streaming
+            // the whole block. Partial trailing groups take the scalar
+            // score. Every step performs the same operations in the same
+            // order as the row-major arm below, so both sides of the
+            // force-scalar override stay bit-identical.
+            const L: usize = BLOCK_T_LANES;
+            for g0 in (0..n).step_by(L) {
+                let len = L.min(n - g0);
+                let glen = len * dim;
+                scratch.h.clear();
+                scratch.r.clear();
+                scratch.t.clear();
+                for &(h, r, t) in &triples[g0..g0 + len] {
+                    scratch.h.extend_from_slice(ent.row(h as usize));
+                    scratch.r.extend_from_slice(rel.row(r as usize));
+                    scratch.t.extend_from_slice(ent.row(t as usize));
+                }
+                if len == L {
+                    transpose_group(&scratch.h, dim, &mut scratch.ht);
+                    transpose_group(&scratch.r, dim, &mut scratch.rt);
+                    transpose_group(&scratch.t, dim, &mut scratch.tt);
+                    self.score_group_t(
+                        &scratch.ht,
+                        &scratch.rt,
+                        &scratch.tt,
+                        &mut scratch.scores[g0..g0 + L],
+                    );
+                } else {
+                    for i in 0..len {
+                        let a = i * dim;
+                        let b = a + dim;
+                        scratch.scores[g0 + i] =
+                            self.score(&scratch.h[a..b], &scratch.r[a..b], &scratch.t[a..b]);
+                    }
+                }
+                for i in 0..len {
+                    scratch.coeffs[g0 + i] = coeff_of(g0 + i, scratch.scores[g0 + i]);
+                }
+                self.grad_block_l2(
+                    &scratch.h,
+                    &scratch.r,
+                    &scratch.t,
+                    &scratch.coeffs[g0..g0 + len],
+                    l2_reg,
+                    &mut scratch.gh[..glen],
+                    &mut scratch.gr[..glen],
+                    &mut scratch.gt[..glen],
+                );
+                for (i, &(h, r, t)) in triples[g0..g0 + len].iter().enumerate() {
+                    let a = i * dim;
+                    let b = a + dim;
+                    axpy(1.0, &scratch.gh[a..b], ent_out.row_mut(h));
+                    axpy(1.0, &scratch.gt[a..b], ent_out.row_mut(t));
+                    axpy(1.0, &scratch.gr[a..b], rel_out.row_mut(r));
+                }
+            }
+            return;
+        }
         for &(h, r, t) in triples {
             scratch.h.extend_from_slice(ent.row(h as usize));
             scratch.r.extend_from_slice(rel.row(r as usize));
@@ -753,7 +1526,8 @@ impl KgeModel for ComplEx {
     }
 
     /// Fused override: one pass over the contiguous arenas, writing every
-    /// gradient element exactly once (no zero-fill, no read-modify-write).
+    /// gradient element exactly once (no zero-fill, no read-modify-write),
+    /// AVX-dispatched over `dim` (elementwise, so trivially bit-exact).
     /// Values match the accumulate-into-zero default bit for bit.
     fn grad_block(
         &self,
@@ -765,26 +1539,33 @@ impl KgeModel for ComplEx {
         gr: &mut [f32],
         gt: &mut [f32],
     ) {
-        let d = self.rank;
-        let dim = 2 * d;
-        for (i, &coeff) in coeffs.iter().enumerate() {
-            let a = i * dim;
-            let b = a + dim;
-            let (hr, hi) = h[a..b].split_at(d);
-            let (rr, ri) = r[a..b].split_at(d);
-            let (tr, ti) = t[a..b].split_at(d);
-            let (ghr, ghi) = gh[a..b].split_at_mut(d);
-            let (grr, gri) = gr[a..b].split_at_mut(d);
-            let (gtr, gti) = gt[a..b].split_at_mut(d);
-            for k in 0..d {
-                ghr[k] = coeff * (rr[k] * tr[k] + ri[k] * ti[k]);
-                ghi[k] = coeff * (rr[k] * ti[k] - ri[k] * tr[k]);
-                grr[k] = coeff * (hr[k] * tr[k] + hi[k] * ti[k]);
-                gri[k] = coeff * (hr[k] * ti[k] - hi[k] * tr[k]);
-                gtr[k] = coeff * (rr[k] * hr[k] - ri[k] * hi[k]);
-                gti[k] = coeff * (rr[k] * hi[k] + ri[k] * hr[k]);
-            }
-        }
+        complex_grad_block::<false>(self.rank, h, r, t, coeffs, 0.0, gh, gr, gt);
+    }
+
+    /// Fused backward + L2 (see [`complex_grad_block_avx`]).
+    fn grad_block_l2(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeffs: &[f32],
+        l2_reg: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        complex_grad_block::<true>(self.rank, h, r, t, coeffs, l2_reg, gh, gr, gt);
+    }
+
+    fn has_train_kernel(&self) -> bool {
+        true
+    }
+
+    /// Lane-major training forward (see [`complex_fwd_t_avx`]): each of
+    /// the 16 lanes accumulates its own example's score in
+    /// [`Self::score`]'s exact per-`k` order.
+    fn score_group_t(&self, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+        complex_fwd_t(self.rank, h_t, r_t, t_t, scores);
     }
 
     /// Fused one-vs-all: query/relation halves are split once, then the
@@ -945,7 +1726,8 @@ impl KgeModel for DistMult {
         (3 * self.rank) as f64
     }
 
-    /// Fused override (see [`ComplEx::grad_block`]): single overwrite pass.
+    /// Fused override (see [`ComplEx::grad_block`]): single AVX-dispatched
+    /// overwrite pass.
     fn grad_block(
         &self,
         h: &[f32],
@@ -956,15 +1738,31 @@ impl KgeModel for DistMult {
         gr: &mut [f32],
         gt: &mut [f32],
     ) {
-        let dim = self.rank;
-        for (i, &coeff) in coeffs.iter().enumerate() {
-            let a = i * dim;
-            for k in a..a + dim {
-                gh[k] = coeff * r[k] * t[k];
-                gr[k] = coeff * h[k] * t[k];
-                gt[k] = coeff * h[k] * r[k];
-            }
-        }
+        distmult_grad_block::<false>(self.rank, h, r, t, coeffs, 0.0, gh, gr, gt);
+    }
+
+    /// Fused backward + L2 (see [`complex_grad_block_avx`]).
+    fn grad_block_l2(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeffs: &[f32],
+        l2_reg: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        distmult_grad_block::<true>(self.rank, h, r, t, coeffs, l2_reg, gh, gr, gt);
+    }
+
+    fn has_train_kernel(&self) -> bool {
+        true
+    }
+
+    /// Lane-major training forward (see [`ComplEx::score_group_t`]).
+    fn score_group_t(&self, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+        distmult_fwd_t(self.rank, h_t, r_t, t_t, scores);
     }
 
     /// Fused one-vs-all (see [`ComplEx::score_one_vs_all`]): the product
@@ -1117,7 +1915,8 @@ impl KgeModel for TransE {
         (4 * self.rank) as f64
     }
 
-    /// Fused override (see [`ComplEx::grad_block`]): single overwrite pass.
+    /// Fused override (see [`ComplEx::grad_block`]): single AVX-dispatched
+    /// overwrite pass.
     fn grad_block(
         &self,
         h: &[f32],
@@ -1128,16 +1927,31 @@ impl KgeModel for TransE {
         gr: &mut [f32],
         gt: &mut [f32],
     ) {
-        let dim = self.rank;
-        for (i, &coeff) in coeffs.iter().enumerate() {
-            let a = i * dim;
-            for k in a..a + dim {
-                let d = h[k] + r[k] - t[k];
-                gh[k] = coeff * (-2.0 * d);
-                gr[k] = coeff * (-2.0 * d);
-                gt[k] = coeff * (2.0 * d);
-            }
-        }
+        transe_grad_block::<false>(self.rank, h, r, t, coeffs, 0.0, gh, gr, gt);
+    }
+
+    /// Fused backward + L2 (see [`complex_grad_block_avx`]).
+    fn grad_block_l2(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        coeffs: &[f32],
+        l2_reg: f32,
+        gh: &mut [f32],
+        gr: &mut [f32],
+        gt: &mut [f32],
+    ) {
+        transe_grad_block::<true>(self.rank, h, r, t, coeffs, l2_reg, gh, gr, gt);
+    }
+
+    fn has_train_kernel(&self) -> bool {
+        true
+    }
+
+    /// Lane-major training forward (see [`ComplEx::score_group_t`]).
+    fn score_group_t(&self, h_t: &[f32], r_t: &[f32], t_t: &[f32], scores: &mut [f32]) {
+        transe_fwd_t(self.rank, h_t, r_t, t_t, scores);
     }
 
     /// Fused one-vs-all (see [`ComplEx::score_one_vs_all`]): the residual

@@ -69,6 +69,14 @@ pub struct BlockScratch {
     pub gr: Vec<f32>,
     /// Gradient arena for tail rows.
     pub gt: Vec<f32>,
+    /// Lane-major head tile for the transposed forward kernel: element `k`
+    /// of lane `j` at `ht[k * BLOCK_T_LANES + j]`, one group of
+    /// [`crate::model::BLOCK_T_LANES`] examples at a time.
+    pub ht: Vec<f32>,
+    /// Lane-major relation tile.
+    pub rt: Vec<f32>,
+    /// Lane-major tail tile.
+    pub tt: Vec<f32>,
 }
 
 impl BlockScratch {
@@ -93,6 +101,12 @@ impl BlockScratch {
         self.gh.resize(len, 0.0);
         self.gr.resize(len, 0.0);
         self.gt.resize(len, 0.0);
+        // One group-sized tile per operand; the transposed forward pass
+        // overwrites them group by group, so no re-zeroing is needed.
+        let tile = crate::model::BLOCK_T_LANES * dim;
+        self.ht.resize(tile, 0.0);
+        self.rt.resize(tile, 0.0);
+        self.tt.resize(tile, 0.0);
     }
 }
 

@@ -1,0 +1,161 @@
+//! Property test: the blocked training kernel (`score_grad_block`, with
+//! its lane-major AVX forward and vectorized backward) is **bit-identical**
+//! to the scalar per-triple path — every per-example score (hence loss)
+//! and every gradient bit, across the three fused models, dims straddling
+//! the AVX register width, block sizes straddling [`BLOCK_T_LANES`], and
+//! both dispatch arms via the force-scalar override.
+//!
+//! Toggling `set_force_scalar` from concurrently running tests is safe
+//! precisely because of the property under test: both arms produce the
+//! same bits, so a mid-run flip can only change which code path executes.
+
+use kge_core::loss::logistic_loss_grad;
+use kge_core::matrix::axpy;
+use kge_core::{BlockScratch, ComplEx, DistMult, EmbeddingTable, KgeModel, SparseGrad, TransE};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model ranks: 15 and 127 leave SIMD tails in the backward `dim` loop
+/// (and, for ComplEx, odd half-row widths); 64 and 128 are the bench
+/// configurations.
+const RANKS: [usize; 4] = [15, 64, 127, 128];
+/// Block sizes straddling the 16-lane group width: sub-group (scalar tail
+/// only), exactly one group, group + tail, and multi-group + tail.
+const BLOCKS: [usize; 6] = [1, 7, 15, 16, 17, 33];
+const N_ENT: usize = 40;
+const N_REL: usize = 8;
+const L2: f32 = 1e-3;
+
+fn models(rank: usize) -> [Box<dyn KgeModel>; 3] {
+    [
+        Box::new(ComplEx::new(rank)),
+        Box::new(DistMult::new(rank)),
+        Box::new(TransE::new(rank)),
+    ]
+}
+
+fn tables(model: &dyn KgeModel, seed: u64) -> (EmbeddingTable, EmbeddingTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ent = EmbeddingTable::xavier(N_ENT, model.storage_dim(), &mut rng);
+    let rel = EmbeddingTable::xavier(N_REL, model.storage_dim(), &mut rng);
+    (ent, rel)
+}
+
+fn triples(n: usize, seed: u64) -> Vec<(u32, u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..N_ENT as u32),
+                rng.gen_range(0..N_REL as u32),
+                rng.gen_range(0..N_ENT as u32),
+            )
+        })
+        .collect()
+}
+
+fn coeff_for(i: usize, score: f32) -> f32 {
+    let y = if i.is_multiple_of(2) { 1.0 } else { -1.0 };
+    logistic_loss_grad(y, score)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+type RunBits = (Vec<u32>, Vec<u32>, Vec<u32>);
+
+/// The pre-blocking semantics, written out triple by triple: score, loss
+/// coefficient, zero-filled accumulating grad, L2 term, scatter in
+/// (head, tail, rel) order.
+fn per_triple_reference(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    block: &[(u32, u32, u32)],
+) -> RunBits {
+    let dim = model.storage_dim();
+    let mut ent_g = SparseGrad::new(dim);
+    let mut rel_g = SparseGrad::new(dim);
+    let mut scores = Vec::with_capacity(block.len());
+    let (mut gh, mut gr, mut gt) = (vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]);
+    for (i, &(h, r, t)) in block.iter().enumerate() {
+        let (hrow, rrow, trow) = (ent.row(h as usize), rel.row(r as usize), ent.row(t as usize));
+        let s = model.score(hrow, rrow, trow);
+        scores.push(s);
+        let coeff = coeff_for(i, s);
+        gh.fill(0.0);
+        gr.fill(0.0);
+        gt.fill(0.0);
+        model.grad(hrow, rrow, trow, coeff, &mut gh, &mut gr, &mut gt);
+        axpy(L2, hrow, &mut gh);
+        axpy(L2, rrow, &mut gr);
+        axpy(L2, trow, &mut gt);
+        axpy(1.0, &gh, ent_g.row_mut(h));
+        axpy(1.0, &gt, ent_g.row_mut(t));
+        axpy(1.0, &gr, rel_g.row_mut(r));
+    }
+    (
+        bits(&scores),
+        bits(&ent_g.to_dense(N_ENT)),
+        bits(&rel_g.to_dense(N_REL)),
+    )
+}
+
+/// One fused `score_grad_block` run under the given dispatch arm.
+fn blocked(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    block: &[(u32, u32, u32)],
+    force_scalar: bool,
+) -> RunBits {
+    kge_core::simd::set_force_scalar(Some(force_scalar));
+    let mut scratch = BlockScratch::new();
+    let mut ent_g = SparseGrad::new(model.storage_dim());
+    let mut rel_g = SparseGrad::new(model.storage_dim());
+    let mut scores = vec![0.0f32; block.len()];
+    let mut coeff = |i: usize, s: f32| {
+        scores[i] = s;
+        coeff_for(i, s)
+    };
+    model.score_grad_block(ent, rel, block, L2, &mut scratch, &mut coeff, &mut ent_g, &mut rel_g);
+    kge_core::simd::set_force_scalar(None);
+    (
+        bits(&scores),
+        bits(&ent_g.to_dense(N_ENT)),
+        bits(&rel_g.to_dense(N_REL)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_kernel_bit_identical_to_scalar_path(
+        seed in any::<u64>(),
+        rank_idx in 0usize..4,
+        block_idx in 0usize..6,
+    ) {
+        let rank = RANKS[rank_idx];
+        let n = BLOCKS[block_idx];
+        for model in models(rank).iter() {
+            let (ent, rel) = tables(model.as_ref(), seed);
+            let block = triples(n, seed);
+            let reference = per_triple_reference(model.as_ref(), &ent, &rel, &block);
+            let scalar_arm = blocked(model.as_ref(), &ent, &rel, &block, true);
+            let simd_arm = blocked(model.as_ref(), &ent, &rel, &block, false);
+            prop_assert_eq!(
+                &reference, &scalar_arm,
+                "forced-scalar fused kernel diverged: {} rank={} n={}",
+                model.name(), rank, n
+            );
+            prop_assert_eq!(
+                &reference, &simd_arm,
+                "dispatched fused kernel diverged: {} rank={} n={}",
+                model.name(), rank, n
+            );
+        }
+    }
+}

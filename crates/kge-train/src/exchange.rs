@@ -175,17 +175,36 @@ pub fn exchange_allgather_into(
     }
     let mut enc = RowEncoder::new(format, dim, &mut bufs.send);
     let mut rows_sent = 0usize;
-    for (row, g) in grad.iter_sorted() {
-        let mut row_rng = StdRng::seed_from_u64(base ^ splitmix64(row as u64 + 1));
-        quantize_row_into(scheme, g, &mut row_rng, &mut bufs.qrow);
-        if record {
-            let store = residuals.as_deref_mut().expect("record implies Some");
-            bufs.qrow.dequantize_into(&mut bufs.dequant);
-            store.record_row_error(row, g, &bufs.dequant);
+    if let QuantScheme::OneBit { rule } = scheme {
+        // Packed fast path: 1-bit rows quantize straight into the wire
+        // format (SIMD scales + movemask sign packing, no intermediate
+        // sign vec or per-row RNG — OneBit draws nothing from its
+        // stream). Bytes, scales and recorded residuals are bit-identical
+        // to the generic loop below.
+        for (row, g) in grad.iter_sorted() {
+            let (pos, neg) = enc
+                .push_one_bit(row, g, rule)
+                .expect("encode of freshly quantized row");
+            if record {
+                let store = residuals.as_deref_mut().expect("record implies Some");
+                kge_compress::one_bit_dequantize_from(g, pos, neg, &mut bufs.dequant);
+                store.record_row_error(row, g, &bufs.dequant);
+            }
+            rows_sent += 1;
         }
-        enc.push(row, &bufs.qrow)
-            .expect("encode of freshly quantized row");
-        rows_sent += 1;
+    } else {
+        for (row, g) in grad.iter_sorted() {
+            let mut row_rng = StdRng::seed_from_u64(base ^ splitmix64(row as u64 + 1));
+            quantize_row_into(scheme, g, &mut row_rng, &mut bufs.qrow);
+            if record {
+                let store = residuals.as_deref_mut().expect("record implies Some");
+                bufs.qrow.dequantize_into(&mut bufs.dequant);
+                store.record_row_error(row, g, &bufs.dequant);
+            }
+            enc.push(row, &bufs.qrow)
+                .expect("encode of freshly quantized row");
+            rows_sent += 1;
+        }
     }
     let bytes_sent = enc.finish();
     comm.allgatherv_bytes_into(&bufs.send, &mut bufs.recv, &mut bufs.counts)?;

@@ -39,3 +39,13 @@ echo "check: benches compile"
 # evaluation must not allocate.
 cargo test -p kge-eval --release --test prop_eval --test zero_alloc_eval
 echo "check: eval property + zero-alloc tests pass"
+
+# Training-kernel and codec bit-identity property tests, run under both
+# dispatch arms: the default (AVX where the host supports it) and with
+# KGE_FORCE_SCALAR=1 pinning every kernel to the scalar fallback. Both
+# arms must produce identical bits, so both must pass identically.
+cargo test -p kge-core --release --test prop_train_kernels
+cargo test -p kge-compress --release --test prop_roundtrip
+KGE_FORCE_SCALAR=1 cargo test -p kge-core --release --test prop_train_kernels
+KGE_FORCE_SCALAR=1 cargo test -p kge-compress --release --test prop_roundtrip
+echo "check: kernel + codec bit-identity property tests pass (both dispatch arms)"
