@@ -10,15 +10,32 @@ pub enum CommMode {
     AllReduce,
     /// Sparse all-gather of non-zero gradient rows (baseline "sparse").
     AllGather,
-    /// §4.1: start with all-reduce; probe all-gather every
-    /// `check_every` epochs and switch permanently if it is faster.
+    /// §4.1: start with all-reduce; probe the other arms every
+    /// `check_every` epochs and switch permanently to the fastest one
+    /// that beats all-reduce. A probe round times the synchronous
+    /// all-gather, then the pipelined variant (staleness window 1) of
+    /// whichever base collective was faster.
     Dynamic { check_every: usize },
+    /// Pipelined sparse all-gather: batch N's encode + collective overlaps
+    /// batch N+1's compute, with applied-gradient lag ≤ `staleness`
+    /// batches. `staleness == 0` is the synchronous all-gather path,
+    /// bit-exactly.
+    Pipelined { staleness: usize },
+    /// Pipelined dense all-reduce — the dense counterpart of
+    /// [`CommMode::Pipelined`]. `staleness == 0` is the synchronous
+    /// all-reduce path, bit-exactly.
+    PipelinedAllReduce { staleness: usize },
 }
 
 impl CommMode {
     /// The paper's DRS setting (k = 10).
     pub fn paper_dynamic() -> Self {
         CommMode::Dynamic { check_every: 10 }
+    }
+
+    /// The pipelined-gather default: overlap one batch deep.
+    pub fn pipelined() -> Self {
+        CommMode::Pipelined { staleness: 1 }
     }
 }
 
@@ -315,6 +332,19 @@ mod tests {
         assert!(s.neg.uses_selection());
         assert_eq!(s.neg.train, 1);
         assert_eq!(s.quant, QuantScheme::paper_one_bit());
+    }
+
+    #[test]
+    fn pipelined_modes_are_valid() {
+        for comm in [
+            CommMode::pipelined(),
+            CommMode::Pipelined { staleness: 0 },
+            CommMode::PipelinedAllReduce { staleness: 2 },
+        ] {
+            let mut s = StrategyConfig::baseline_allreduce(2);
+            s.comm = comm;
+            assert!(TrainConfig::new(16, 100, s).validate().is_ok());
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use kge_compress::{ResidualStore, WireFormat};
 use kge_core::SparseGrad;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simgrid::{Communicator, SimError};
+use simgrid::{Communicator, OverlapStats, SimError};
 
 use crate::splitmix64;
 
@@ -117,9 +117,11 @@ impl Default for GatherBufs {
 
 /// Sparse all-gather of `grad` rows under `scheme`.
 ///
-/// Convenience wrapper over [`exchange_allgather_into`] that allocates the
-/// wire buffers and aggregate per call; hot paths keep a [`GatherBufs`]
-/// and an aggregate [`SparseGrad`] per worker and use the `_into` variant.
+/// Test-only convenience wrapper over [`exchange_allgather_into`] that
+/// allocates the wire buffers and aggregate per call; every non-test call
+/// site keeps a [`GatherBufs`] and an aggregate [`SparseGrad`] per worker
+/// and uses the `_into` variant, which allocates nothing in steady state.
+#[cfg(test)]
 pub fn exchange_allgather(
     comm: &mut Communicator,
     grad: &SparseGrad,
@@ -158,11 +160,30 @@ pub fn exchange_allgather_into(
     grad: &SparseGrad,
     dim: usize,
     scheme: QuantScheme,
-    mut residuals: Option<&mut ResidualStore>,
+    residuals: Option<&mut ResidualStore>,
     rng: &mut StdRng,
     bufs: &mut GatherBufs,
     agg: &mut SparseGrad,
 ) -> Result<ExchangeStats, SimError> {
+    let mut stats = encode_gather_payload(grad, dim, scheme, residuals, rng, bufs);
+    stats.rows_gathered = complete_gather_exchange(comm, dim, bufs, agg)?;
+    Ok(stats)
+}
+
+/// Quantize + encode `grad`'s rows into `bufs.send` — the local half of a
+/// sparse all-gather, with no communication. Returns the stats of the
+/// staged payload (`rows_gathered` still 0). The bytes produced are
+/// exactly what [`exchange_allgather_into`] would put on the wire; the
+/// pipelined path stages them in a [`PipelineSlot`] at launch and runs
+/// the collective later via [`complete_gather_exchange_overlapped`].
+pub fn encode_gather_payload(
+    grad: &SparseGrad,
+    dim: usize,
+    scheme: QuantScheme,
+    mut residuals: Option<&mut ResidualStore>,
+    rng: &mut StdRng,
+    bufs: &mut GatherBufs,
+) -> ExchangeStats {
     let format = wire_format(scheme);
     let base: u64 = if matches!(scheme, QuantScheme::TwoBit) {
         rng.gen()
@@ -207,10 +228,45 @@ pub fn exchange_allgather_into(
         }
     }
     let bytes_sent = enc.finish();
-    comm.allgatherv_bytes_into(&bufs.send, &mut bufs.recv, &mut bufs.counts)?;
+    ExchangeStats {
+        bytes_sent,
+        rows_sent,
+        rows_gathered: 0,
+    }
+}
 
-    // Decode and sum every rank's payload in rank order, so overlapping
-    // rows accumulate deterministically.
+/// Run the collective + decode half of a sparse all-gather over a payload
+/// staged in `bufs.send` by [`encode_gather_payload`]. Returns the total
+/// rows gathered. `agg` receives the rank-averaged aggregate.
+pub fn complete_gather_exchange(
+    comm: &mut Communicator,
+    dim: usize,
+    bufs: &mut GatherBufs,
+    agg: &mut SparseGrad,
+) -> Result<usize, SimError> {
+    comm.allgatherv_bytes_into(&bufs.send, &mut bufs.recv, &mut bufs.counts)?;
+    Ok(decode_gathered(comm.size(), dim, bufs, agg))
+}
+
+/// [`complete_gather_exchange`] priced as an overlapped collective that
+/// was launched at simulated time `anchor_s` (see
+/// [`Communicator::allgatherv_bytes_overlapped_into`]). Payload bytes and
+/// the decoded aggregate are bit-identical to the synchronous completion.
+pub fn complete_gather_exchange_overlapped(
+    comm: &mut Communicator,
+    dim: usize,
+    bufs: &mut GatherBufs,
+    agg: &mut SparseGrad,
+    anchor_s: f64,
+) -> Result<(usize, OverlapStats), SimError> {
+    let overlap =
+        comm.allgatherv_bytes_overlapped_into(&bufs.send, &mut bufs.recv, &mut bufs.counts, anchor_s)?;
+    Ok((decode_gathered(comm.size(), dim, bufs, agg), overlap))
+}
+
+/// Decode and sum every rank's payload in rank order, so overlapping rows
+/// accumulate deterministically; `agg` ends rank-averaged.
+fn decode_gathered(size: usize, dim: usize, bufs: &mut GatherBufs, agg: &mut SparseGrad) -> usize {
     agg.clear();
     let mut rows_gathered = 0usize;
     let mut off = 0usize;
@@ -226,12 +282,71 @@ pub fn exchange_allgather_into(
             r.add_into(agg.row_mut(row));
         }
     }
-    agg.scale(1.0 / comm.size() as f32);
-    Ok(ExchangeStats {
-        bytes_sent,
-        rows_sent,
-        rows_gathered,
-    })
+    agg.scale(1.0 / size as f32);
+    rows_gathered
+}
+
+/// Scatter `grad` into a reusable dense buffer of `len` floats — the
+/// local half of a dense all-reduce, with no communication. The pipelined
+/// path stages this in a [`PipelineSlot`] at launch and completes it
+/// later with [`complete_allreduce_overlapped`].
+pub fn stage_allreduce_payload(
+    grad: &SparseGrad,
+    dense: &mut Vec<f32>,
+    len: usize,
+) -> ExchangeStats {
+    dense.resize(len, 0.0);
+    dense.fill(0.0);
+    grad.scatter_into(dense);
+    ExchangeStats {
+        bytes_sent: len * std::mem::size_of::<f32>(),
+        rows_sent: grad.nnz(),
+        rows_gathered: 0,
+    }
+}
+
+/// All-reduce + rank-average a payload staged by
+/// [`stage_allreduce_payload`], priced as an overlapped collective
+/// launched at simulated time `anchor_s`. Numerics match
+/// [`exchange_allreduce`] bit-exactly.
+pub fn complete_allreduce_overlapped(
+    comm: &mut Communicator,
+    dense: &mut [f32],
+    anchor_s: f64,
+) -> Result<OverlapStats, SimError> {
+    let overlap = comm.allreduce_sum_f32_overlapped(dense, anchor_s)?;
+    let inv = 1.0 / comm.size() as f32;
+    for v in dense.iter_mut() {
+        *v *= inv;
+    }
+    Ok(overlap)
+}
+
+/// One in-flight exchange of the pipelined trainer: the staged wire
+/// payload (encoded gather bytes or scattered dense buffer) for the
+/// entity table and — when relation partitioning is off — the relation
+/// table, plus the launch anchor the overlapped pricing needs. Each slot
+/// owns its buffers, so batch N's payload survives while batch N+1
+/// encodes into the next slot; a ring of `staleness` slots double-buffers
+/// the whole pipeline with zero steady-state allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineSlot {
+    /// Gather-path wire buffers for the entity table.
+    pub ent_gather: GatherBufs,
+    /// Gather-path wire buffers for the relation table.
+    pub rel_gather: GatherBufs,
+    /// Dense all-reduce payload for the entity table.
+    pub ent_dense: Vec<f32>,
+    /// Dense all-reduce payload for the relation table.
+    pub rel_dense: Vec<f32>,
+    /// Simulated time at which this exchange was launched.
+    pub anchor_s: f64,
+    /// Batch index the staged gradients belong to (diagnostics).
+    pub batch: usize,
+    /// Stats of the staged entity payload (completed at drain time).
+    pub ent_stats: ExchangeStats,
+    /// Stats of the staged relation payload.
+    pub rel_stats: ExchangeStats,
 }
 
 /// Wire format implied by a quantization scheme.
@@ -418,6 +533,93 @@ mod tests {
                 assert_eq!(fresh, reused, "aggregates must be bit-identical");
                 assert_eq!(fresh_bytes, reused_bytes, "wire bytes must match");
             }
+        }
+    }
+
+    #[test]
+    fn staged_encode_plus_overlapped_complete_matches_fused_path() {
+        let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let mut results = Vec::new();
+            let mut slot = PipelineSlot::default();
+            let mut agg = SparseGrad::new(4);
+            let mut bufs = GatherBufs::new();
+            let mut agg_ref = SparseGrad::new(4);
+            for scheme in [
+                QuantScheme::None,
+                QuantScheme::paper_one_bit(),
+                QuantScheme::TwoBit,
+            ] {
+                let mut g = local_grad(ctx.rank(), 4);
+                g.ensure_sorted();
+                let mut rng_a = StdRng::seed_from_u64(9);
+                let mut rng_b = StdRng::seed_from_u64(9);
+                let ref_stats = exchange_allgather_into(
+                    ctx.comm_mut(),
+                    &g,
+                    4,
+                    scheme,
+                    None,
+                    &mut rng_a,
+                    &mut bufs,
+                    &mut agg_ref,
+                )
+                .unwrap();
+                // Staged path: encode at "launch", complete later as an
+                // overlapped collective.
+                slot.anchor_s = ctx.comm().clock().now_s();
+                let mut stats =
+                    encode_gather_payload(&g, 4, scheme, None, &mut rng_b, &mut slot.ent_gather);
+                let (gathered, overlap) = complete_gather_exchange_overlapped(
+                    ctx.comm_mut(),
+                    4,
+                    &mut slot.ent_gather,
+                    &mut agg,
+                    slot.anchor_s,
+                )
+                .unwrap();
+                stats.rows_gathered = gathered;
+                assert!(overlap.hidden_s >= 0.0 && overlap.visible_s >= 0.0);
+                results.push((
+                    agg_ref.to_dense(16),
+                    agg.to_dense(16),
+                    ref_stats.bytes_sent,
+                    stats.bytes_sent,
+                    ref_stats.rows_gathered,
+                    stats.rows_gathered,
+                ));
+            }
+            results
+        });
+        for per_rank in out {
+            for (a, b, ab, bb, ag, bg) in per_rank {
+                assert_eq!(a, b, "aggregates must be bit-identical");
+                assert_eq!(ab, bb, "wire bytes must match");
+                assert_eq!(ag, bg, "gathered row counts must match");
+            }
+        }
+    }
+
+    #[test]
+    fn staged_allreduce_matches_synchronous_path() {
+        let cluster = Cluster::new(4, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let g = local_grad(ctx.rank(), 2);
+            let mut dense = vec![0.0f32; 16 * 2];
+            let ref_stats = exchange_allreduce(ctx.comm_mut(), &g, &mut dense).unwrap();
+
+            let mut staged = Vec::new();
+            let anchor = ctx.comm().clock().now_s();
+            let stats = stage_allreduce_payload(&g, &mut staged, 16 * 2);
+            let overlap =
+                complete_allreduce_overlapped(ctx.comm_mut(), &mut staged, anchor).unwrap();
+            assert_eq!(stats.bytes_sent, ref_stats.bytes_sent);
+            assert_eq!(stats.rows_sent, ref_stats.rows_sent);
+            assert_eq!(overlap.window_s, 0.0, "no compute between launch/complete");
+            (dense, staged)
+        });
+        for (dense, staged) in out {
+            assert_eq!(dense, staged, "staged all-reduce must be bit-identical");
         }
     }
 

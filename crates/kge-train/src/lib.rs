@@ -50,7 +50,7 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 pub use config::{
     CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig, TrainConfig, UpdateStyle,
 };
-pub use exchange::{AggGrad, GatherBufs};
+pub use exchange::{AggGrad, ExchangeStats, GatherBufs, PipelineSlot};
 pub use lr::{LrDecision, PlateauSchedule};
 pub use ps::train_ps;
 pub use report::{EpochTrace, TrainOutcome, TrainReport};

@@ -384,6 +384,7 @@ fn run_ps_node(
             trace,
             allreduce_epochs: 0,
             allgather_epochs: 0,
+            pipelined_epochs: 0,
             // The PS path has no crash-recovery policy (fault tolerance
             // lives in the collective trainer); wire totals are summed by
             // train_ps across all ranks.

@@ -51,9 +51,13 @@ pub struct TrainReport {
     pub breakdown: TimeBreakdown,
     /// Per-epoch measurements.
     pub trace: Vec<EpochTrace>,
-    /// Epochs run with each collective.
+    /// Epochs run with each collective (pipelined epochs count toward
+    /// their base collective here).
     pub allreduce_epochs: usize,
     pub allgather_epochs: usize,
+    /// Of those, epochs whose exchange was pipelined behind compute.
+    #[serde(default)]
+    pub pipelined_epochs: usize,
     /// Nodes still alive at the end of the run (== `nodes` unless a
     /// fault plan crashed ranks mid-training).
     #[serde(default)]
@@ -143,6 +147,7 @@ mod tests {
             ],
             allreduce_epochs: 1,
             allgather_epochs: 1,
+            pipelined_epochs: 0,
             surviving_nodes: 4,
             recoveries: 0,
             crashed_ranks: vec![],
@@ -166,6 +171,7 @@ mod tests {
             trace: vec![],
             allreduce_epochs: 0,
             allgather_epochs: 0,
+            pipelined_epochs: 0,
             surviving_nodes: 1,
             recoveries: 0,
             crashed_ranks: vec![],

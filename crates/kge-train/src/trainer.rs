@@ -16,7 +16,11 @@
 
 use crate::comm_select::{CommChoice, DynamicCommSelector};
 use crate::config::{CommMode, TrainConfig, UpdateStyle};
-use crate::exchange::{exchange_allgather_into, exchange_allreduce, GatherBufs};
+use crate::exchange::{
+    complete_allreduce_overlapped, complete_gather_exchange_overlapped, encode_gather_payload,
+    exchange_allgather_into, exchange_allreduce, stage_allreduce_payload, GatherBufs,
+    PipelineSlot,
+};
 use crate::lr::PlateauSchedule;
 use crate::neg::{sample_negatives_into, CorruptionBias, NegScratch};
 use crate::report::{EpochTrace, TrainOutcome, TrainReport};
@@ -226,10 +230,22 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
         asm_counts: Vec::new(),
     };
 
+    // Slot ring for the pipelined exchange, sized once to the largest
+    // staleness window any epoch of this run can use, so the steady-state
+    // loop never allocates slots. Each slot owns its wire buffers.
+    let max_window = match strategy.comm {
+        CommMode::Pipelined { staleness } | CommMode::PipelinedAllReduce { staleness } => staleness,
+        CommMode::Dynamic { .. } => 1,
+        _ => 0,
+    };
+    let mut pipeline: Vec<PipelineSlot> =
+        (0..max_window).map(|_| PipelineSlot::default()).collect();
+
     let mut trace: Vec<EpochTrace> = Vec::new();
     let mut converged = false;
     let mut allreduce_epochs = 0usize;
     let mut allgather_epochs = 0usize;
+    let mut pipelined_epochs = 0usize;
     let mut recoveries = 0usize;
     let mut crashed_ranks: Vec<usize> = Vec::new();
     let mut survived = true;
@@ -244,14 +260,40 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
         let bytes_at_start = ctx.comm().traffic().total_sent();
         shuffler.shuffle(&mut shard, epoch as u64);
 
-        let choice = match strategy.comm {
-            CommMode::AllReduce => CommChoice::AllReduce,
-            CommMode::AllGather => CommChoice::AllGather,
-            CommMode::Dynamic { .. } => selector.as_ref().expect("dynamic selector").choice(),
+        // The epoch's collective and its staleness window. `window == 0`
+        // is the synchronous path (bit-identical to the pre-pipelining
+        // trainer); a pipelined choice with staleness 0 degrades to its
+        // synchronous base, so `Pipelined { staleness: 0 }` reproduces
+        // `AllGather` exactly. Dynamic probes pipelined arms at window 1.
+        let (choice, window) = match strategy.comm {
+            CommMode::AllReduce => (CommChoice::AllReduce, 0),
+            CommMode::AllGather => (CommChoice::AllGather, 0),
+            CommMode::Pipelined { staleness } => {
+                if staleness == 0 {
+                    (CommChoice::AllGather, 0)
+                } else {
+                    (CommChoice::PipelinedAllGather, staleness)
+                }
+            }
+            CommMode::PipelinedAllReduce { staleness } => {
+                if staleness == 0 {
+                    (CommChoice::AllReduce, 0)
+                } else {
+                    (CommChoice::PipelinedAllReduce, staleness)
+                }
+            }
+            CommMode::Dynamic { .. } => {
+                let c = selector.as_ref().expect("dynamic selector").choice();
+                (c, if c.is_pipelined() { 1 } else { 0 })
+            }
         };
-        match choice {
+        match choice.base() {
             CommChoice::AllReduce => allreduce_epochs += 1,
             CommChoice::AllGather => allgather_epochs += 1,
+            _ => unreachable!("base() is synchronous"),
+        }
+        if choice.is_pipelined() {
+            pipelined_epochs += 1;
         }
 
         let mut epoch_loss = 0.0f64;
@@ -281,6 +323,135 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             };
         }
 
+        // Complete the in-flight exchange held in `pipeline[$idx]`: run the
+        // overlapped collective priced from the slot's launch anchor,
+        // decode/average, and apply the (stale) optimizer step. Used from
+        // inside the batch loop (window full) and from the epoch-end drain;
+        // `$lbl` names the loop a `RankCrashed` error aborts.
+        macro_rules! complete_slot {
+            ($idx:expr, $lbl:lifetime) => {{
+                let idx: usize = $idx;
+                match choice.base() {
+                    CommChoice::AllReduce => {
+                        {
+                            let slot = &mut pipeline[idx];
+                            try_exchange!(
+                                complete_allreduce_overlapped(
+                                    ctx.comm_mut(),
+                                    &mut slot.ent_dense,
+                                    slot.anchor_s,
+                                ),
+                                "pipelined entity allreduce",
+                                $lbl
+                            );
+                        }
+                        if !strategy.relation_partition {
+                            let slot = &mut pipeline[idx];
+                            try_exchange!(
+                                complete_allreduce_overlapped(
+                                    ctx.comm_mut(),
+                                    &mut slot.rel_dense,
+                                    slot.anchor_s,
+                                ),
+                                "pipelined relation allreduce",
+                                $lbl
+                            );
+                        }
+                        apply_update(
+                            ctx,
+                            ent_opt.as_mut(),
+                            strategy.update_style,
+                            choice,
+                            &mut ent,
+                            AggRef::Dense {
+                                buf: &pipeline[idx].ent_dense,
+                                sparse_scratch: &mut scratch.ent_agg,
+                            },
+                            lr_scale,
+                        );
+                        if !strategy.relation_partition {
+                            apply_update(
+                                ctx,
+                                rel_opt.as_mut(),
+                                strategy.update_style,
+                                choice,
+                                &mut rel,
+                                AggRef::Dense {
+                                    buf: &pipeline[idx].rel_dense,
+                                    sparse_scratch: &mut scratch.rel_agg,
+                                },
+                                lr_scale,
+                            );
+                        }
+                    }
+                    CommChoice::AllGather => {
+                        let gathered = {
+                            let slot = &mut pipeline[idx];
+                            let (gathered, _overlap) = try_exchange!(
+                                complete_gather_exchange_overlapped(
+                                    ctx.comm_mut(),
+                                    dim,
+                                    &mut slot.ent_gather,
+                                    &mut scratch.ent_agg,
+                                    slot.anchor_s,
+                                ),
+                                "pipelined entity allgather",
+                                $lbl
+                            );
+                            gathered
+                        };
+                        // Decode + local sum cost (same charge as the
+                        // synchronous gather path; `gathered` is a shared
+                        // quantity, so clocks stay rank-identical).
+                        ctx.comm_mut()
+                            .clock_mut()
+                            .charge_flops((gathered * dim) as f64);
+                        if !strategy.relation_partition {
+                            let slot = &mut pipeline[idx];
+                            let _ = try_exchange!(
+                                complete_gather_exchange_overlapped(
+                                    ctx.comm_mut(),
+                                    dim,
+                                    &mut slot.rel_gather,
+                                    &mut scratch.rel_agg,
+                                    slot.anchor_s,
+                                ),
+                                "pipelined relation allgather",
+                                $lbl
+                            );
+                        }
+                        apply_update(
+                            ctx,
+                            ent_opt.as_mut(),
+                            strategy.update_style,
+                            choice,
+                            &mut ent,
+                            AggRef::Sparse {
+                                grad: &mut scratch.ent_agg,
+                                dense_scratch: &mut scratch.dense_ent,
+                            },
+                            lr_scale,
+                        );
+                        if !strategy.relation_partition {
+                            apply_update(
+                                ctx,
+                                rel_opt.as_mut(),
+                                strategy.update_style,
+                                choice,
+                                &mut rel,
+                                AggRef::Sparse {
+                                    grad: &mut scratch.rel_agg,
+                                    dense_scratch: &mut scratch.dense_rel,
+                                },
+                                lr_scale,
+                            );
+                        }
+                    }
+                    _ => unreachable!("base() is synchronous"),
+                }
+            }};
+        }
+
         'batches: for b in 0..batches_per_epoch {
             let (loss, n_examples) = scratch.batch.batch_gradients_into(
                 model, &ent, &rel, &shard, b, config, &filter, bias.as_ref(), rank, epoch,
@@ -300,6 +471,125 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             ctx.comm_mut().clock_mut().charge_flops(fwd_bwd + pool_extra);
 
             nonzero_rows_sum += scratch.batch.ent_grad.rows_above_norm(ZERO_ROW_EPS);
+
+            if window > 0 {
+                // --- Pipelined exchange: complete the slot this batch is
+                // about to reuse (it holds batch `b − window`), then launch
+                // batch `b`'s exchange so its collective rides behind the
+                // compute of the next `window` batches. ---------------------
+                let slot_idx = b % window;
+                if b >= window {
+                    complete_slot!(slot_idx, 'batches);
+                }
+
+                // Stage RNG streams are keyed on (seed, rank, epoch, batch,
+                // stage), so every stochastic draw of the launch (row
+                // selection, quantization dithers) is independent of thread
+                // count and of when the overlapped collective completes.
+                let mut ent_stage_rng =
+                    StdRng::seed_from_u64(stage_seed(config.seed, rank, epoch, b, STAGE_ENT));
+                let mut rel_stage_rng =
+                    StdRng::seed_from_u64(stage_seed(config.seed, rank, epoch, b, STAGE_REL));
+
+                // Anchor before the encode: quantize + encode run on the
+                // comm thread of a real pipelined exchange, so their cost
+                // (charged to this clock below) is part of the window the
+                // collective's price may hide behind.
+                pipeline[slot_idx].anchor_s = ctx.comm().clock().now_s();
+                pipeline[slot_idx].batch = b;
+
+                if strategy.error_feedback && !matches!(strategy.quant, QuantScheme::None) {
+                    ent_residual.add_into(&mut scratch.batch.ent_grad);
+                }
+                let sel =
+                    select_rows(strategy.row_select, &mut scratch.batch.ent_grad, &mut ent_stage_rng);
+                rows_before_rs += sel.rows_before;
+                rows_after_rs += sel.rows_after;
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops((sel.rows_before * dim * 2) as f64);
+
+                match choice.base() {
+                    CommChoice::AllReduce => {
+                        let slot = &mut pipeline[slot_idx];
+                        slot.ent_stats = stage_allreduce_payload(
+                            &scratch.batch.ent_grad,
+                            &mut slot.ent_dense,
+                            dataset.n_entities * dim,
+                        );
+                        rows_sent_sum += slot.ent_stats.rows_sent;
+                        if !strategy.relation_partition {
+                            slot.rel_stats = stage_allreduce_payload(
+                                &scratch.batch.rel_grad,
+                                &mut slot.rel_dense,
+                                dataset.n_relations * dim,
+                            );
+                        }
+                    }
+                    CommChoice::AllGather => {
+                        // Quantization costs ~2 flops per element.
+                        ctx.comm_mut()
+                            .clock_mut()
+                            .charge_flops((scratch.batch.ent_grad.nnz() * dim * 2) as f64);
+                        let residuals = if strategy.error_feedback
+                            && !matches!(strategy.quant, QuantScheme::None)
+                        {
+                            Some(&mut ent_residual)
+                        } else {
+                            None
+                        };
+                        scratch.batch.ent_grad.ensure_sorted();
+                        let slot = &mut pipeline[slot_idx];
+                        slot.ent_stats = encode_gather_payload(
+                            &scratch.batch.ent_grad,
+                            dim,
+                            strategy.quant,
+                            residuals,
+                            &mut ent_stage_rng,
+                            &mut slot.ent_gather,
+                        );
+                        rows_sent_sum += slot.ent_stats.rows_sent;
+                        if !strategy.relation_partition {
+                            let residuals = if strategy.error_feedback
+                                && !matches!(strategy.quant, QuantScheme::None)
+                            {
+                                Some(&mut rel_residual)
+                            } else {
+                                None
+                            };
+                            scratch.batch.rel_grad.ensure_sorted();
+                            slot.rel_stats = encode_gather_payload(
+                                &scratch.batch.rel_grad,
+                                dim,
+                                strategy.quant,
+                                residuals,
+                                &mut rel_stage_rng,
+                                &mut slot.rel_gather,
+                            );
+                        }
+                    }
+                    _ => unreachable!("base() is synchronous"),
+                }
+
+                // Under RP relation rows never travel; apply them
+                // synchronously — the staleness window covers exchanged
+                // gradients only.
+                if strategy.relation_partition {
+                    apply_update(
+                        ctx,
+                        rel_opt.as_mut(),
+                        strategy.update_style,
+                        choice,
+                        &mut rel,
+                        AggRef::Sparse {
+                            grad: &mut scratch.batch.rel_grad,
+                            dense_scratch: &mut scratch.dense_rel,
+                        },
+                        lr_scale,
+                    );
+                }
+                continue 'batches;
+            }
 
             // --- Entity gradient pipeline. ---------------------------
             if strategy.error_feedback && !matches!(strategy.quant, QuantScheme::None) {
@@ -365,6 +655,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                         .charge_flops((stats.rows_gathered * dim) as f64);
                     false
                 }
+                _ => unreachable!("pipelined choices imply window > 0"),
             };
 
             // --- Relation gradient pipeline. --------------------------
@@ -413,6 +704,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                         );
                         false
                     }
+                    _ => unreachable!("pipelined choices imply window > 0"),
                 }
             };
 
@@ -464,6 +756,18 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             );
         }
 
+        // --- Pipeline drain: complete every still-in-flight exchange in
+        // launch (FIFO) order, so staleness never crosses an epoch
+        // boundary and the validation signal sees every batch applied.
+        // After a crash the in-flight slots are discarded instead — their
+        // updates were never applied, so dropping them *is* the rollback
+        // of the partial window. ----------------------------------------
+        if window > 0 && !crashed_this_epoch {
+            'drain: for b in batches_per_epoch.saturating_sub(window)..batches_per_epoch {
+                complete_slot!(b % window, 'drain);
+            }
+        }
+
         // --- Relation assembly under RP (once per epoch, so validation
         // and the final model see every relation's owner copy). ----------
         if !crashed_this_epoch && strategy.relation_partition && p > 1 {
@@ -488,9 +792,13 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             // The aborted epoch yields no trace entry or validation
             // signal; un-count its collective choice so the tallies keep
             // matching the trace length.
-            match choice {
+            match choice.base() {
                 CommChoice::AllReduce => allreduce_epochs -= 1,
                 CommChoice::AllGather => allgather_epochs -= 1,
+                _ => unreachable!("base() is synchronous"),
+            }
+            if choice.is_pipelined() {
+                pipelined_epochs -= 1;
             }
             crashed_ranks.extend(ctx.comm().failed_ranks());
             if !config.recover_from_crashes {
@@ -628,6 +936,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             trace,
             allreduce_epochs,
             allgather_epochs,
+            pipelined_epochs,
             surviving_nodes: p,
             recoveries,
             crashed_ranks,
@@ -696,6 +1005,26 @@ fn chunk_seed(seed: u64, rank: usize, epoch: usize, batch_idx: usize, chunk_idx:
         batch_idx as u64,
         chunk_idx as u64,
     ] {
+        h = crate::splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Stage ids for [`stage_seed`]: the entity and relation exchange stages
+/// of one batch's pipelined launch.
+const STAGE_ENT: u64 = 0;
+const STAGE_REL: u64 = 1;
+
+/// RNG seed for one pipelined exchange stage, derived like [`chunk_seed`]
+/// but from a tagged chain — it starts at `splitmix64(seed ^ TAG)` instead
+/// of `seed` — so stage streams can never collide with a gradient chunk's
+/// stream. Keying on `(seed, rank, epoch, batch, stage)` makes every
+/// stochastic draw of a launch (row selection, quantization dithers)
+/// independent of thread count and of interleaving with completions.
+fn stage_seed(seed: u64, rank: usize, epoch: usize, batch: usize, stage: u64) -> u64 {
+    const TAG: u64 = 0x5049_5045_4C49_4E45; // ASCII "PIPELINE"
+    let mut h = crate::splitmix64(seed ^ TAG);
+    for w in [rank as u64, epoch as u64, batch as u64, stage] {
         h = crate::splitmix64(h ^ w);
     }
     h
@@ -983,7 +1312,7 @@ fn apply_update(
 ) {
     let dim = table.dim();
     let dense_style = match style {
-        UpdateStyle::Auto => matches!(choice, CommChoice::AllReduce),
+        UpdateStyle::Auto => matches!(choice.base(), CommChoice::AllReduce),
         UpdateStyle::Dense => true,
         UpdateStyle::Lazy => false,
     };

@@ -4,7 +4,7 @@
 //! buckets, and is bit-reproducible from the fault plan's seed.
 
 use kge_data::synth::{generate, SynthConfig};
-use kge_train::config::{StrategyConfig, TrainConfig};
+use kge_train::config::{CommMode, StrategyConfig, TrainConfig};
 use kge_train::{train, TrainOutcome};
 use simgrid::{Cluster, ClusterSpec, FaultPlan};
 
@@ -96,6 +96,62 @@ fn faulted_run_is_bit_reproducible() {
         b.report.sim_total_seconds.to_bits()
     );
     assert_eq!(a.report.crashed_ranks, b.report.crashed_ranks);
+    assert_eq!(a.report.epochs, b.report.epochs);
+}
+
+/// Same crash scenario, but with the exchange pipelined two batches deep:
+/// the crash lands with launches in flight, so the survivors must drain
+/// the pipeline (discarding the aborted epoch's partial window), shrink
+/// to three ranks, and keep producing bit-reproducible results.
+#[test]
+fn crash_with_pipelined_exchange_in_flight_drains_and_recovers() {
+    let mut c = config();
+    c.strategy.comm = CommMode::Pipelined { staleness: 2 };
+
+    let fault_free = run(None, &c);
+    let total = fault_free.report.sim_total_seconds;
+    assert!(total > 0.0);
+    assert_eq!(
+        fault_free.report.pipelined_epochs, fault_free.report.epochs,
+        "every fault-free epoch should run pipelined"
+    );
+
+    let a = run(Some(crash_plan(total)), &c);
+    let r = &a.report;
+
+    // The crash happened mid-pipeline and the world shrank once.
+    assert_eq!(r.surviving_nodes, 3, "world should shrink to 3");
+    assert_eq!(r.recoveries, 1);
+    assert_eq!(r.crashed_ranks, vec![2]);
+    assert!(r.breakdown.fault_s > 0.0, "{:?}", r.breakdown);
+
+    // The aborted epoch (and its partial window) is rolled back; every
+    // surviving epoch ran — and is counted — as pipelined all-gather.
+    assert!(r.epochs > 0 && r.epochs < c.max_epochs);
+    assert_eq!(r.epochs, r.trace.len());
+    assert_eq!(r.allgather_epochs, r.epochs);
+    assert_eq!(r.allreduce_epochs, 0);
+    assert_eq!(r.pipelined_epochs, r.epochs);
+
+    // Finite model on the rebalanced partition, and the in-flight
+    // traffic of the dead rank still balances globally.
+    for t in &r.trace {
+        assert!(t.train_loss.is_finite(), "epoch {}", t.epoch);
+    }
+    assert!(a.entities.as_slice().iter().all(|v| v.is_finite()));
+    assert!(a.relations.as_slice().iter().all(|v| v.is_finite()));
+    assert!(r.wire_bytes_sent > 0);
+    assert_eq!(r.wire_bytes_sent, r.wire_bytes_recv);
+
+    // Draining is deterministic: the same plan replays bit-exactly.
+    let b = run(Some(crash_plan(total)), &c);
+    assert_eq!(a.entities.as_slice(), b.entities.as_slice());
+    assert_eq!(a.relations.as_slice(), b.relations.as_slice());
+    assert_eq!(a.report.breakdown, b.report.breakdown);
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits()
+    );
     assert_eq!(a.report.epochs, b.report.epochs);
 }
 

@@ -1,0 +1,159 @@
+//! Determinism guarantees of the pipelined gradient exchange.
+//!
+//! Two properties, both bit-level:
+//!
+//! 1. **Staleness 0 collapses to the synchronous path.** A pipelined mode
+//!    with an empty window must reproduce its synchronous base collective
+//!    exactly — per-epoch losses, final model rows, and wire bytes — for
+//!    every model × quantization combination, at any thread count.
+//! 2. **A non-empty window is thread-count independent.** With staleness
+//!    ≥ 1 the interleaving of launches and completions is fixed by batch
+//!    index, and every stochastic stage draw comes from an RNG keyed on
+//!    `(seed, rank, epoch, batch, stage)` — so 1-thread and 4-thread
+//!    worker pools produce identical bits.
+//!
+//! `scripts/check.sh` re-runs this binary under `KGE_FORCE_SCALAR=1`, so
+//! both SIMD dispatch arms are covered.
+
+use kge_compress::quant::QuantScheme;
+use kge_data::synth::{generate, SynthConfig};
+use kge_train::config::{CommMode, ModelKind, StrategyConfig, TrainConfig};
+use kge_train::{train, TrainOutcome};
+use simgrid::{Cluster, ClusterSpec};
+use std::sync::Mutex;
+
+/// Tests in one binary run concurrently; every test that flips the
+/// process-wide `RAYON_NUM_THREADS` serializes through this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn dataset() -> kge_data::Dataset {
+    generate(&SynthConfig {
+        name: "pipeline".into(),
+        n_entities: 120,
+        n_relations: 8,
+        n_triples: 1500,
+        relation_zipf: 1.0,
+        entity_zipf: 0.8,
+        noise_frac: 0.05,
+        valid_frac: 0.08,
+        test_frac: 0.08,
+        seed: 41,
+    })
+}
+
+fn run(comm: CommMode, model: ModelKind, quant: QuantScheme, threads: usize) -> TrainOutcome {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let ds = dataset();
+    let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+    let mut strategy = StrategyConfig::baseline_allgather(2);
+    strategy.comm = comm;
+    strategy.quant = quant;
+    let mut c = TrainConfig::new(4, 64, strategy);
+    c.model = model;
+    c.plateau_tolerance = 3;
+    c.max_lr_drops = 1;
+    c.max_epochs = 4;
+    c.valid_samples = 64;
+    c.base_lr = 5e-3;
+    let out = train(&ds, &cluster, &c);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+/// Bitwise comparison of everything the staleness-0 equivalence promises:
+/// losses, model rows, and wire traffic.
+fn assert_bit_identical(a: &TrainOutcome, b: &TrainOutcome, tag: &str) {
+    assert_eq!(a.entities.as_slice(), b.entities.as_slice(), "{tag}: entity rows");
+    assert_eq!(a.relations.as_slice(), b.relations.as_slice(), "{tag}: relation rows");
+    assert_eq!(a.report.epochs, b.report.epochs, "{tag}: epochs");
+    for (x, y) in a.report.trace.iter().zip(&b.report.trace) {
+        assert_eq!(
+            x.train_loss.to_bits(),
+            y.train_loss.to_bits(),
+            "{tag}: loss at epoch {}",
+            x.epoch
+        );
+        assert_eq!(x.bytes_sent, y.bytes_sent, "{tag}: bytes at epoch {}", x.epoch);
+        assert_eq!(
+            x.sim_seconds.to_bits(),
+            y.sim_seconds.to_bits(),
+            "{tag}: sim time at epoch {}",
+            x.epoch
+        );
+    }
+    assert_eq!(a.report.wire_bytes_sent, b.report.wire_bytes_sent, "{tag}: wire sent");
+    assert_eq!(a.report.wire_bytes_recv, b.report.wire_bytes_recv, "{tag}: wire recv");
+}
+
+#[test]
+fn staleness_zero_reproduces_synchronous_allgather_bit_exactly() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for model in [ModelKind::ComplEx, ModelKind::DistMult, ModelKind::TransE] {
+        for quant in [QuantScheme::None, QuantScheme::paper_one_bit()] {
+            let sync = run(CommMode::AllGather, model, quant, 1);
+            assert_eq!(sync.report.pipelined_epochs, 0);
+            for threads in [1usize, 4] {
+                let stale0 = run(CommMode::Pipelined { staleness: 0 }, model, quant, threads);
+                // An empty window never runs the pipelined machinery.
+                assert_eq!(stale0.report.pipelined_epochs, 0);
+                assert_bit_identical(
+                    &sync,
+                    &stale0,
+                    &format!("{model:?}/{quant:?}/{threads}t"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn staleness_zero_reproduces_synchronous_allreduce_bit_exactly() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    // Quantization only touches the gather wire path; one scheme suffices.
+    for model in [ModelKind::ComplEx, ModelKind::DistMult, ModelKind::TransE] {
+        let sync = run(CommMode::AllReduce, model, QuantScheme::None, 1);
+        for threads in [1usize, 4] {
+            let stale0 = run(
+                CommMode::PipelinedAllReduce { staleness: 0 },
+                model,
+                QuantScheme::None,
+                threads,
+            );
+            assert_eq!(stale0.report.pipelined_epochs, 0);
+            assert_bit_identical(&sync, &stale0, &format!("{model:?}/allreduce/{threads}t"));
+        }
+    }
+}
+
+#[test]
+fn pipelined_window_is_bit_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    // TwoBit's dithered encoding draws from the stage RNG on every row —
+    // the sharpest probe of stage-keyed determinism.
+    for (comm, quant) in [
+        (CommMode::Pipelined { staleness: 1 }, QuantScheme::None),
+        (CommMode::Pipelined { staleness: 1 }, QuantScheme::paper_one_bit()),
+        (CommMode::Pipelined { staleness: 2 }, QuantScheme::TwoBit),
+        (CommMode::PipelinedAllReduce { staleness: 1 }, QuantScheme::None),
+    ] {
+        let a = run(comm, ModelKind::ComplEx, quant, 1);
+        let b = run(comm, ModelKind::ComplEx, quant, 4);
+        // Every epoch actually ran pipelined.
+        assert_eq!(a.report.pipelined_epochs, a.report.epochs, "{comm:?}");
+        assert_bit_identical(&a, &b, &format!("{comm:?}/{quant:?}"));
+        assert_eq!(
+            a.report.sim_total_seconds.to_bits(),
+            b.report.sim_total_seconds.to_bits(),
+            "{comm:?}: simulated time must not depend on host thread count"
+        );
+    }
+}
+
+#[test]
+fn pipelined_run_is_deterministic_across_invocations() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let comm = CommMode::pipelined();
+    let a = run(comm, ModelKind::ComplEx, QuantScheme::paper_one_bit(), 2);
+    let b = run(comm, ModelKind::ComplEx, QuantScheme::paper_one_bit(), 2);
+    assert_bit_identical(&a, &b, "repeat");
+}

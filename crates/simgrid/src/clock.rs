@@ -23,6 +23,18 @@ pub struct TimeBreakdown {
     /// or collective attempts lost to injected faults.
     #[serde(default)]
     pub retry_s: f64,
+    /// Informational: width of the compute windows that pipelined
+    /// (overlapped) collectives had available to hide behind. Not part of
+    /// [`TimeBreakdown::total_s`] — the window itself is already counted
+    /// as `compute_s` of the work that filled it.
+    #[serde(default)]
+    pub overlap_s: f64,
+    /// Informational: seconds of collective price that were hidden behind
+    /// compute by pipelined exchanges and therefore never advanced the
+    /// clock. Not part of [`TimeBreakdown::total_s`]; the *visible*
+    /// remainder of an overlapped collective still lands in `comm_s`.
+    #[serde(default)]
+    pub hidden_comm_s: f64,
 }
 
 impl TimeBreakdown {
@@ -148,6 +160,25 @@ impl SimClock {
         self.breakdown.comm_s += s;
     }
 
+    /// Record collective price that was hidden behind already-charged
+    /// compute by an overlapped (pipelined) exchange. Pure bookkeeping:
+    /// `now_s` does not move — the hidden seconds elapsed *inside* compute
+    /// time that is already on the clock.
+    #[inline]
+    pub fn charge_hidden_comm_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.breakdown.hidden_comm_s += s;
+    }
+
+    /// Record the width of an overlap window (compute elapsed between an
+    /// overlapped collective's launch and its completion). Pure
+    /// bookkeeping: `now_s` does not move.
+    #[inline]
+    pub fn record_overlap_window_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.breakdown.overlap_s += s;
+    }
+
     /// Reset to t=0 with an empty breakdown (e.g. between epochs when the
     /// caller keeps per-epoch accounts).
     pub fn reset(&mut self) {
@@ -255,6 +286,21 @@ mod tests {
         assert_eq!(b.retry_s, 0.5);
         assert!((b.total_s() - 0.75).abs() < 1e-12);
         assert!((c.now_s() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_buckets_never_advance_the_clock() {
+        let mut c = clock();
+        c.charge_comm_seconds(0.5);
+        c.charge_hidden_comm_seconds(0.25);
+        c.record_overlap_window_seconds(0.4);
+        let b = c.breakdown();
+        assert_eq!(b.hidden_comm_s, 0.25);
+        assert_eq!(b.overlap_s, 0.4);
+        // Informational buckets: total_s and now_s only see the visible
+        // comm charge.
+        assert_eq!(c.now_s(), 0.5);
+        assert_eq!(b.total_s(), 0.5);
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub(crate) struct CommWorld {
     byte_slots: Vec<Mutex<Vec<u8>>>,
     f64_slots: Vec<Mutex<f64>>,
     clock_slots: Vec<Mutex<f64>>,
+    /// Launch-time deposits for overlapped collectives: the simulated time
+    /// at which each rank *started* the exchange it is now completing.
+    /// `max(clock) − max(anchor)` is the shared overlap window every rank
+    /// uses to hide collective price, so clocks stay aligned.
+    anchor_slots: Vec<Mutex<f64>>,
     result_f32: Mutex<Vec<f32>>,
     error: Mutex<Option<SimError>>,
     post: std::sync::Arc<PostOffice>,
@@ -60,6 +65,7 @@ impl CommWorld {
             byte_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             f64_slots: (0..size).map(|_| Mutex::new(0.0)).collect(),
             clock_slots: (0..size).map(|_| Mutex::new(0.0)).collect(),
+            anchor_slots: (0..size).map(|_| Mutex::new(0.0)).collect(),
             result_f32: Mutex::new(Vec::new()),
             error: Mutex::new(None),
             post: PostOffice::new(size),
@@ -69,6 +75,22 @@ impl CommWorld {
             next_world: Mutex::new(None),
         })
     }
+}
+
+/// Timing split of one *overlapped* collective: how much of its α-β price
+/// was hidden behind the compute window between launch and completion, and
+/// how much remained visible on the clock. Identical on every rank (both
+/// the window and the price are computed from shared deposits).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Seconds of collective price hidden behind compute (never advanced
+    /// the clock; accounted in `hidden_comm_s`).
+    pub hidden_s: f64,
+    /// Seconds of collective price that remained visible (charged to
+    /// `comm_s` as usual).
+    pub visible_s: f64,
+    /// Width of the shared overlap window, `max(arrival) − max(anchor)`.
+    pub window_s: f64,
 }
 
 /// One rank's handle onto the cluster's collective-communication layer.
@@ -185,10 +207,32 @@ impl Communicator {
     /// element-wise sum of all contributions. Deterministic (fixed-order
     /// reduction). Errors if buffer lengths differ across ranks.
     pub fn allreduce_sum_f32(&mut self, buf: &mut [f32]) -> Result<(), SimError> {
+        self.allreduce_sum_f32_inner(buf, None).map(|_| ())
+    }
+
+    /// [`Communicator::allreduce_sum_f32`] priced as a *pipelined*
+    /// collective: the caller launched the exchange at simulated time
+    /// `anchor_s` and has since charged compute; the shared window
+    /// `max(arrival) − max(anchor)` hides up to that much of the α-β
+    /// price (see [`OverlapStats`]). Numerics are identical to the
+    /// synchronous call — only the timing split differs.
+    pub fn allreduce_sum_f32_overlapped(
+        &mut self,
+        buf: &mut [f32],
+        anchor_s: f64,
+    ) -> Result<OverlapStats, SimError> {
+        self.allreduce_sum_f32_inner(buf, Some(anchor_s))
+    }
+
+    fn allreduce_sum_f32_inner(
+        &mut self,
+        buf: &mut [f32],
+        anchor: Option<f64>,
+    ) -> Result<OverlapStats, SimError> {
         let bytes = std::mem::size_of_val(buf);
         if self.size() == 1 {
             self.traffic.record(Collective::AllReduce, bytes, bytes);
-            return Ok(());
+            return Ok(OverlapStats::default());
         }
         // Deposit.
         {
@@ -196,7 +240,7 @@ impl Communicator {
             slot.clear();
             slot.extend_from_slice(buf);
         }
-        self.sync_clocks_uniform(Collective::AllReduce, bytes);
+        let stats = self.sync_clocks_uniform_inner(Collective::AllReduce, bytes, anchor);
         if let Err(e) = self.apply_faults(Collective::AllReduce, "allreduce_sum_f32") {
             self.world.barrier.wait(); // symmetric error: release staging
             return Err(e);
@@ -241,7 +285,7 @@ impl Communicator {
         let wire = bytes * (self.size() - 1);
         self.traffic.record_wire(Collective::AllReduce, wire, wire);
         self.world.barrier.wait(); // staging reusable
-        Ok(())
+        Ok(stats)
     }
 
     /// Variable-size all-gather of `f32` payloads. Returns the
@@ -325,6 +369,32 @@ impl Communicator {
         recv: &mut Vec<u8>,
         counts: &mut Vec<usize>,
     ) -> Result<(), SimError> {
+        self.allgatherv_bytes_into_inner(data, recv, counts, None)
+            .map(|_| ())
+    }
+
+    /// [`Communicator::allgatherv_bytes_into`] priced as a *pipelined*
+    /// collective launched at simulated time `anchor_s`: the shared window
+    /// `max(arrival) − max(anchor)` hides up to that much of the α-β price
+    /// (see [`OverlapStats`]). Payload movement and determinism are
+    /// identical to the synchronous call — only the timing split differs.
+    pub fn allgatherv_bytes_overlapped_into(
+        &mut self,
+        data: &[u8],
+        recv: &mut Vec<u8>,
+        counts: &mut Vec<usize>,
+        anchor_s: f64,
+    ) -> Result<OverlapStats, SimError> {
+        self.allgatherv_bytes_into_inner(data, recv, counts, Some(anchor_s))
+    }
+
+    fn allgatherv_bytes_into_inner(
+        &mut self,
+        data: &[u8],
+        recv: &mut Vec<u8>,
+        counts: &mut Vec<usize>,
+        anchor: Option<f64>,
+    ) -> Result<OverlapStats, SimError> {
         recv.clear();
         counts.clear();
         if self.size() == 1 {
@@ -332,19 +402,22 @@ impl Communicator {
                 .record(Collective::AllGatherV, data.len(), data.len());
             recv.extend_from_slice(data);
             counts.push(data.len());
-            return Ok(());
+            return Ok(OverlapStats::default());
         }
         {
             let mut slot = self.world.byte_slots[self.rank].lock();
             slot.clear();
             slot.extend_from_slice(data);
         }
+        if let Some(a) = anchor {
+            *self.world.anchor_slots[self.rank].lock() = a;
+        }
         *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
         self.world.barrier.wait();
         for r in 0..self.size() {
             counts.push(self.world.byte_slots[r].lock().len());
         }
-        self.align_and_charge(Collective::AllGatherV, counts);
+        let stats = self.align_and_charge_inner(Collective::AllGatherV, counts, anchor.is_some());
         if let Err(e) = self.apply_faults(Collective::AllGatherV, "allgatherv_bytes") {
             self.world.barrier.wait();
             return Err(e);
@@ -361,7 +434,7 @@ impl Communicator {
             total - data.len(),
         );
         self.world.barrier.wait();
-        Ok(())
+        Ok(stats)
     }
 
     /// Broadcast `buf` from `root` to every rank.
@@ -721,48 +794,115 @@ impl Communicator {
     /// the same `bytes`, using the communicator's reused count scratch
     /// instead of building a fresh `vec![bytes; size]` per call.
     fn sync_clocks_uniform(&mut self, op: Collective, bytes: usize) {
+        self.sync_clocks_uniform_inner(op, bytes, None);
+    }
+
+    fn sync_clocks_uniform_inner(
+        &mut self,
+        op: Collective,
+        bytes: usize,
+        anchor: Option<f64>,
+    ) -> OverlapStats {
         let size = self.size();
         let mut scratch = std::mem::take(&mut self.bytes_scratch);
         scratch.clear();
         scratch.resize(size, bytes);
-        self.sync_clocks(op, &scratch);
+        let stats = self.sync_clocks_inner(op, &scratch, anchor);
         self.bytes_scratch = scratch;
+        stats
     }
 
     /// Deposit clock, barrier, align to latest arrival, charge the cost of
     /// `op` moving `per_rank_bytes`.
     fn sync_clocks(&mut self, op: Collective, per_rank_bytes: &[usize]) {
+        self.sync_clocks_inner(op, per_rank_bytes, None);
+    }
+
+    /// [`Communicator::sync_clocks`], optionally depositing an overlap
+    /// anchor (launch time) alongside the arrival clock.
+    fn sync_clocks_inner(
+        &mut self,
+        op: Collective,
+        per_rank_bytes: &[usize],
+        anchor: Option<f64>,
+    ) -> OverlapStats {
+        if let Some(a) = anchor {
+            *self.world.anchor_slots[self.rank].lock() = a;
+        }
         *self.world.clock_slots[self.rank].lock() = self.clock.now_s();
         self.world.barrier.wait();
-        self.align_and_charge(op, per_rank_bytes);
+        self.align_and_charge_inner(op, per_rank_bytes, anchor.is_some())
     }
 
     /// Assumes clock deposits are already visible (a barrier has been
     /// crossed since every rank wrote its slot).
     fn align_and_charge(&mut self, op: Collective, per_rank_bytes: &[usize]) {
+        self.align_and_charge_inner(op, per_rank_bytes, false);
+    }
+
+    /// Core clock alignment + pricing. With `overlapped == false` this is
+    /// bit-identical to the historical synchronous behaviour (the whole
+    /// price lands in `comm_s`). With `overlapped == true`, every rank has
+    /// also deposited a launch anchor; the shared window
+    /// `max(arrival) − max(anchor)` hides up to `window` seconds of the
+    /// price (bookkept in `hidden_comm_s`), and only the remainder
+    /// advances the clock. Window and price are computed from shared
+    /// deposits, so all ranks leave at the same simulated time — the
+    /// invariant every synchronous collective relies on.
+    fn align_and_charge_inner(
+        &mut self,
+        op: Collective,
+        per_rank_bytes: &[usize],
+        overlapped: bool,
+    ) -> OverlapStats {
         let mut t_max = f64::NEG_INFINITY;
         for r in 0..self.size() {
             t_max = t_max.max(*self.world.clock_slots[r].lock());
         }
+        let window = if overlapped {
+            let mut anchor_max = f64::NEG_INFINITY;
+            for r in 0..self.size() {
+                anchor_max = anchor_max.max(*self.world.anchor_slots[r].lock());
+            }
+            // Each rank's arrival is at or past its own anchor, so the
+            // window is non-negative; the guard is belt-and-braces.
+            (t_max - anchor_max).max(0.0)
+        } else {
+            0.0
+        };
         self.clock.charge_idle_until(t_max);
         let price = self.cost.price(op, per_rank_bytes);
+        let hidden = price.min(window);
+        let visible = price - hidden;
+        if overlapped {
+            self.clock.charge_hidden_comm_seconds(hidden);
+            self.clock.record_overlap_window_seconds(window);
+        }
+        let stats = OverlapStats {
+            hidden_s: hidden,
+            visible_s: visible,
+            window_s: window,
+        };
         let plan = Arc::clone(&self.world.plan);
         if plan.is_inert() {
-            self.clock.charge_comm_seconds(price);
-            return;
+            self.clock.charge_comm_seconds(visible);
+            return stats;
         }
         // Clocks are aligned (everyone sits at t_max), so the link factors
         // — and therefore the surcharge — are identical on every rank.
         let (lat_mult, bw_div) = plan.link_factors(self.clock.now_s());
         if lat_mult > 1.0 || bw_div > 1.0 {
             let degraded = self.cost.degraded(lat_mult, bw_div).price(op, per_rank_bytes);
-            self.clock.charge_comm_seconds(price);
+            self.clock.charge_comm_seconds(visible);
+            // The degradation surplus is never hidden: the overlap budget
+            // was sized for the healthy price.
             if degraded > price {
                 self.clock.charge_fault_seconds(degraded - price);
             }
         } else {
-            self.clock.charge_comm_seconds(price);
+            self.clock.charge_comm_seconds(visible);
         }
+        stats
     }
 
     /// Fault hooks shared by the data collectives, run right after clock
@@ -1064,6 +1204,81 @@ mod tests {
         assert_eq!(rep.bytes_sent(Collective::AllReduce), 400);
         // allgather receives both ranks' 400-byte payloads.
         assert_eq!(rep.bytes_recv(Collective::AllGatherV), 800);
+    }
+
+    #[test]
+    fn overlapped_allreduce_hides_price_behind_compute_window() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let comm = ctx.comm_mut();
+            let anchor = comm.clock().now_s();
+            comm.clock_mut().charge_compute_seconds(1.0); // ≫ the price
+            let mut v = vec![1.0f32; 1 << 16];
+            let stats = comm.allreduce_sum_f32_overlapped(&mut v, anchor).unwrap();
+            (stats, comm.clock().now_s(), comm.clock().breakdown(), v[0])
+        });
+        let price = CostModel::new(ClusterSpec::cray_xc40()).allreduce(2, 4 << 16);
+        assert!(price > 0.0 && price < 1.0);
+        for (stats, now, b, x) in &out {
+            assert_eq!(*x, 2.0, "numerics unchanged by overlap pricing");
+            assert!((stats.window_s - 1.0).abs() < 1e-9);
+            assert!((stats.hidden_s - price).abs() < 1e-12, "fully hidden");
+            assert_eq!(stats.visible_s, 0.0);
+            assert!((now - 1.0).abs() < 1e-9, "clock never saw the price");
+            assert!((b.hidden_comm_s - price).abs() < 1e-12);
+            assert!((b.overlap_s - 1.0).abs() < 1e-9);
+            assert_eq!(b.comm_s, 0.0);
+        }
+        assert_eq!(out[0].1.to_bits(), out[1].1.to_bits(), "clocks aligned");
+    }
+
+    #[test]
+    fn overlapped_with_empty_window_matches_synchronous_timing() {
+        let spec = ClusterSpec::cray_xc40;
+        let plain = Cluster::new(3, spec()).run(|ctx| {
+            let mut v = vec![0.5f32; 4096];
+            ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap();
+            (ctx.comm().clock().now_s(), v)
+        });
+        let overlapped = Cluster::new(3, spec()).run(|ctx| {
+            let mut v = vec![0.5f32; 4096];
+            let anchor = ctx.comm().clock().now_s();
+            let stats = ctx
+                .comm_mut()
+                .allreduce_sum_f32_overlapped(&mut v, anchor)
+                .unwrap();
+            assert_eq!(stats.window_s, 0.0);
+            assert_eq!(stats.hidden_s, 0.0);
+            (ctx.comm().clock().now_s(), v)
+        });
+        for ((tp, vp), (to, vo)) in plain.iter().zip(overlapped.iter()) {
+            assert_eq!(tp.to_bits(), to.to_bits(), "zero window ⇒ same price");
+            assert_eq!(vp, vo);
+        }
+    }
+
+    #[test]
+    fn overlapped_allgatherv_partial_window_charges_remainder() {
+        let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+        let out = cluster.run(|ctx| {
+            let comm = ctx.comm_mut();
+            let anchor = comm.clock().now_s();
+            let window = 1.0e-5; // smaller than the price below
+            comm.clock_mut().charge_compute_seconds(window);
+            let payload = vec![ctx.rank() as u8; 1 << 20];
+            let (mut recv, mut counts) = (Vec::new(), Vec::new());
+            let stats = ctx
+                .comm_mut()
+                .allgatherv_bytes_overlapped_into(&payload, &mut recv, &mut counts, anchor)
+                .unwrap();
+            (stats, ctx.comm().clock().now_s(), recv.len())
+        });
+        for (stats, _now, total) in &out {
+            assert_eq!(*total, 2 << 20);
+            assert!(stats.visible_s > 0.0, "window smaller than price");
+            assert!((stats.hidden_s - stats.window_s).abs() < 1e-15);
+        }
+        assert_eq!(out[0].1.to_bits(), out[1].1.to_bits(), "clocks aligned");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod spec;
 pub mod traffic;
 
 pub use clock::{SimClock, TimeBreakdown};
-pub use comm::Communicator;
+pub use comm::{Communicator, OverlapStats};
 pub use cost::{Collective, CostModel};
 pub use error::SimError;
 pub use fault::{FaultPlan, LinkDegradation, RankCrash, RetryPolicy, StragglerWindow};

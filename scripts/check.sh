@@ -49,3 +49,11 @@ cargo test -p kge-compress --release --test prop_roundtrip
 KGE_FORCE_SCALAR=1 cargo test -p kge-core --release --test prop_train_kernels
 KGE_FORCE_SCALAR=1 cargo test -p kge-compress --release --test prop_roundtrip
 echo "check: kernel + codec bit-identity property tests pass (both dispatch arms)"
+
+# Pipelined-exchange determinism: staleness 0 must reproduce the
+# synchronous collectives bit-exactly and staleness >= 1 must be
+# thread-count independent — under both dispatch arms — and the
+# pipelined steady state must stay allocation-free.
+cargo test -p kge-train --release --test pipeline_determinism --test zero_alloc_pipeline
+KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test pipeline_determinism
+echo "check: pipelined exchange determinism + zero-alloc tests pass (both dispatch arms)"
