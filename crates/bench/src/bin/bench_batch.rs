@@ -84,6 +84,24 @@ fn fault_pair_run(plan: Option<FaultPlan>) -> TrainOutcome {
     train(&ds, &cluster, &config)
 }
 
+/// The quick-scale fault-free run with periodic checkpointing enabled,
+/// for the checkpoint-overhead profile.
+fn checkpointed_run(dir: &std::path::Path) -> TrainOutcome {
+    let s = BenchScale::quick();
+    let (ds, batch) = fb15k_bench(&s);
+    let mut config = TrainConfig::new(8, batch, StrategyConfig::baseline_allreduce(2));
+    config.max_epochs = 8;
+    config.plateau_tolerance = 3;
+    config.max_lr_drops = 1;
+    config.valid_samples = 128;
+    config.seed = s.seed;
+    config.base_lr = 5e-3;
+    config.checkpoint_every = 2;
+    config.checkpoint_dir = Some(dir.to_path_buf());
+    let cluster = Cluster::new(FAULT_NODES, ClusterSpec::cray_xc40());
+    train(&ds, &cluster, &config)
+}
+
 /// Straggler window early on, then a hard crash of rank 2 mid-run.
 fn fault_plan(fault_free_total_s: f64) -> FaultPlan {
     FaultPlan::seeded(77)
@@ -108,6 +126,7 @@ fn run_profile(out: &TrainOutcome) -> serde_json::Value {
         "idle_s": r.breakdown.idle_s,
         "fault_s": r.breakdown.fault_s,
         "retry_s": r.breakdown.retry_s,
+        "checkpoint_s": r.breakdown.checkpoint_s,
         "recoveries": r.recoveries,
         "surviving_nodes": r.surviving_nodes,
         "crashed_ranks": r.crashed_ranks.clone(),
@@ -418,6 +437,24 @@ fn main() {
         fault_reproducible,
     );
 
+    // Checkpoint overhead: the same fault-free quick-scale run with a
+    // checkpoint every 2 epochs. The modeled write cost lands in the
+    // clock's `checkpoint_s` bucket; its fraction of total simulated time
+    // is the operational price of crash insurance at this cadence.
+    let ckpt_dir = std::env::temp_dir().join(format!("kge-bench-ckpt-{}", std::process::id()));
+    let ckpt = checkpointed_run(&ckpt_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let ckpt_fraction = ckpt.report.breakdown.checkpoint_s / ckpt.report.sim_total_seconds;
+    let ckpt_overhead = ckpt.report.sim_total_seconds / total;
+    eprintln!(
+        "  checkpoint_every=2: {} checkpoints, {:.4} sim-s in checkpoint_s \
+         ({:.2}% of total, {:.3}x the uncheckpointed run)",
+        ckpt.report.checkpoints_written,
+        ckpt.report.breakdown.checkpoint_s,
+        100.0 * ckpt_fraction,
+        ckpt_overhead,
+    );
+
     // Synchronous vs pipelined gradient exchange on two regimes.
     //
     // Communication-bound: dense all-reduce on the stock Cray, where the
@@ -543,6 +580,15 @@ fn main() {
             "sim_time_overhead": fault_overhead,
             "faulted_run_bit_reproducible": fault_reproducible,
         }),
+        "checkpointing": serde_json::json!({
+            "nodes": FAULT_NODES,
+            "checkpoint_every": 2,
+            "checkpoints_written": ckpt.report.checkpoints_written,
+            "checkpoint_s": ckpt.report.breakdown.checkpoint_s,
+            "checkpoint_s_fraction": ckpt_fraction,
+            "sim_time_overhead_vs_uncheckpointed": ckpt_overhead,
+            "profile": run_profile(&ckpt),
+        }),
         "pipelined_exchange": serde_json::json!({
             "nodes": FAULT_NODES,
             "staleness": 1,
@@ -594,6 +640,16 @@ fn main() {
     assert_eq!(
         faulted.report.recoveries, 1,
         "expected exactly one recovery in the faulted profile"
+    );
+    assert!(
+        ckpt.report.checkpoints_written > 0 && ckpt.report.breakdown.checkpoint_s > 0.0,
+        "checkpointed profile recorded no checkpoint work"
+    );
+    assert!(
+        ckpt_fraction < 0.2,
+        "checkpoint_s is {:.1}% of simulated time — the cadence-2 insurance \
+         premium should stay well under 20%",
+        100.0 * ckpt_fraction
     );
     // ISSUE acceptance: on the communication-bound configuration the
     // pipeline must hide enough of the collective to cut simulated time

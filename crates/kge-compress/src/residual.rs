@@ -97,6 +97,35 @@ impl ResidualStore {
     pub fn clear(&mut self) {
         self.rows.clear();
     }
+
+    /// Fill `ids` (cleared first, capacity kept) with every stored row id
+    /// in ascending order. Checkpointing iterates the store through this so
+    /// the serialized bytes are independent of hash-map iteration order.
+    pub fn sorted_ids_into(&self, ids: &mut Vec<u32>) {
+        ids.clear();
+        ids.extend(self.rows.keys().copied());
+        ids.sort_unstable();
+    }
+
+    /// The stored residual for `row`, if any.
+    pub fn get_row(&self, row: u32) -> Option<&[f32]> {
+        self.rows.get(&row).map(|v| v.as_slice())
+    }
+
+    /// Overwrite (or insert) the residual for `row`. Checkpoint restore
+    /// rebuilds a store with this.
+    pub fn set_row(&mut self, row: u32, values: &[f32]) {
+        match self.rows.entry(row) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let v = e.get_mut();
+                v.clear();
+                v.extend_from_slice(values);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(values.to_vec());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +191,32 @@ mod tests {
         store.record_error(&g, |_, _| false);
         store.record_error(&g, |_, _| false);
         assert_eq!(store.rows.get(&7).unwrap(), &vec![0.4, 0.0]);
+    }
+
+    #[test]
+    fn export_and_set_row_roundtrip() {
+        let mut store = ResidualStore::new();
+        store.record_error(
+            &grad_with(&[(9, [1.0, -2.0]), (3, [0.5, 0.25]), (40, [0.0, 7.0])]),
+            |_, _| false,
+        );
+        let mut ids = Vec::new();
+        store.sorted_ids_into(&mut ids);
+        assert_eq!(ids, vec![3, 9, 40]);
+
+        let mut rebuilt = ResidualStore::new();
+        for &id in &ids {
+            rebuilt.set_row(id, store.get_row(id).unwrap());
+        }
+        let mut ids2 = Vec::new();
+        rebuilt.sorted_ids_into(&mut ids2);
+        assert_eq!(ids, ids2);
+        for &id in &ids {
+            assert_eq!(store.get_row(id), rebuilt.get_row(id));
+        }
+        // set_row overwrites rather than accumulates.
+        rebuilt.set_row(3, &[9.0, 9.0]);
+        assert_eq!(rebuilt.get_row(3).unwrap(), &[9.0, 9.0]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use model::{
     ComplEx, DistMult, KgeModel, ReplaceDir, RotatE, SimplE, TransE, BLOCK_T_LANES, OVA_T_LANES,
 };
 pub use optim::{
-    Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, RowOptimizer, Sgd,
+    Adagrad, AdagradOptimizer, AdagradState, Adam, AdamOptimizer, AdamState, OptimStateView,
+    RowOptimizer, Sgd,
 };
 pub use scratch::{BlockScratch, ScratchPool};

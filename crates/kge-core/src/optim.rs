@@ -276,6 +276,24 @@ impl Adagrad {
 }
 
 
+/// Borrowed view of an optimizer's mutable state, used by checkpointing to
+/// read the moments out of (and load them back into) a live optimizer
+/// without exposing the state fields themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimStateView<'a> {
+    Adam {
+        m: &'a [f32],
+        v: &'a [f32],
+        t: u64,
+        row_t: &'a [u32],
+    },
+    Adagrad {
+        accum: &'a [f32],
+    },
+    /// The optimizer carries no state between steps (plain SGD).
+    Stateless,
+}
+
 /// Object-safe optimizer interface the trainer drives: one instance per
 /// embedding table, bundling hyper-parameters and state.
 pub trait RowOptimizer: Send {
@@ -287,6 +305,19 @@ pub trait RowOptimizer: Send {
     fn dense_step_flops(&self) -> f64;
     /// Simulated flops of a lazy step over `nnz` rows.
     fn lazy_step_flops(&self, nnz: usize) -> f64;
+    /// Borrow the optimizer's state for serialization.
+    fn state_view(&self) -> OptimStateView<'_> {
+        OptimStateView::Stateless
+    }
+    /// Overwrite the optimizer's state from a deserialized view. Fails
+    /// (without mutating anything) when the view's variant or shapes do
+    /// not match this optimizer.
+    fn load_state(&mut self, state: OptimStateView<'_>) -> Result<(), String> {
+        match state {
+            OptimStateView::Stateless => Ok(()),
+            other => Err(format!("cannot load {other:?} into a stateless optimizer")),
+        }
+    }
 }
 
 /// [`Adam`] + its state as a [`RowOptimizer`].
@@ -319,6 +350,43 @@ impl RowOptimizer for AdamOptimizer {
 
     fn lazy_step_flops(&self, nnz: usize) -> f64 {
         self.state.lazy_step_flops(nnz)
+    }
+
+    fn state_view(&self) -> OptimStateView<'_> {
+        OptimStateView::Adam {
+            m: &self.state.m,
+            v: &self.state.v,
+            t: self.state.t,
+            row_t: &self.state.row_t,
+        }
+    }
+
+    fn load_state(&mut self, state: OptimStateView<'_>) -> Result<(), String> {
+        match state {
+            OptimStateView::Adam { m, v, t, row_t } => {
+                if m.len() != self.state.m.len()
+                    || v.len() != self.state.v.len()
+                    || row_t.len() != self.state.row_t.len()
+                {
+                    return Err(format!(
+                        "adam state shape mismatch: have {}x{} moments / {} rows, \
+                         got {} / {} / {}",
+                        self.state.row_t.len(),
+                        self.state.dim,
+                        self.state.row_t.len(),
+                        m.len(),
+                        v.len(),
+                        row_t.len()
+                    ));
+                }
+                self.state.m.copy_from_slice(m);
+                self.state.v.copy_from_slice(v);
+                self.state.t = t;
+                self.state.row_t.copy_from_slice(row_t);
+                Ok(())
+            }
+            other => Err(format!("cannot load {other:?} into an Adam optimizer")),
+        }
     }
 }
 
@@ -356,6 +424,29 @@ impl RowOptimizer for AdagradOptimizer {
 
     fn lazy_step_flops(&self, nnz: usize) -> f64 {
         self.state.lazy_step_flops(nnz)
+    }
+
+    fn state_view(&self) -> OptimStateView<'_> {
+        OptimStateView::Adagrad {
+            accum: &self.state.accum,
+        }
+    }
+
+    fn load_state(&mut self, state: OptimStateView<'_>) -> Result<(), String> {
+        match state {
+            OptimStateView::Adagrad { accum } => {
+                if accum.len() != self.state.accum.len() {
+                    return Err(format!(
+                        "adagrad state shape mismatch: have {} values, got {}",
+                        self.state.accum.len(),
+                        accum.len()
+                    ));
+                }
+                self.state.accum.copy_from_slice(accum);
+                Ok(())
+            }
+            other => Err(format!("cannot load {other:?} into an Adagrad optimizer")),
+        }
     }
 }
 
@@ -574,6 +665,41 @@ mod tests {
         for threads in [2usize, 4, 8] {
             assert_eq!(seq, run(threads), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn state_view_roundtrips_through_load() {
+        // Step two optimizers differently, copy the first one's state into
+        // the second, and check the next step is bit-identical.
+        let mut g = SparseGrad::new(2);
+        g.row_mut(1).copy_from_slice(&[0.4, -0.9]);
+        for (mut a, mut b) in [
+            (
+                Box::new(AdamOptimizer::new(Adam::default(), 2, 2)) as Box<dyn RowOptimizer>,
+                Box::new(AdamOptimizer::new(Adam::default(), 2, 2)) as Box<dyn RowOptimizer>,
+            ),
+            (
+                Box::new(AdagradOptimizer::new(Adagrad::default(), 2, 2)),
+                Box::new(AdagradOptimizer::new(Adagrad::default(), 2, 2)),
+            ),
+        ] {
+            let mut ta = EmbeddingTable::zeros(2, 2);
+            for _ in 0..3 {
+                a.step_lazy(&mut ta, &g, 1.0);
+            }
+            b.load_state(a.state_view()).unwrap();
+            let mut tb = ta.clone();
+            a.step_lazy(&mut ta, &g, 1.0);
+            b.step_lazy(&mut tb, &g, 1.0);
+            assert_eq!(ta.as_slice(), tb.as_slice());
+            assert_eq!(a.state_view(), b.state_view());
+        }
+        // Mismatched shapes and variants are rejected, not applied.
+        let mut adam = AdamOptimizer::new(Adam::default(), 2, 2);
+        let small = AdamOptimizer::new(Adam::default(), 1, 2);
+        assert!(adam.load_state(small.state_view()).is_err());
+        let ada = AdagradOptimizer::new(Adagrad::default(), 2, 2);
+        assert!(adam.load_state(ada.state_view()).is_err());
     }
 
     #[test]

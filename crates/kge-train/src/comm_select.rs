@@ -73,6 +73,20 @@ enum State {
     Committed(CommChoice),
 }
 
+/// Serializable image of a [`DynamicCommSelector`], produced by
+/// [`DynamicCommSelector::snapshot`]. `state` is a small tag (0 = reduce,
+/// 1 = probing gather, 2 = probing pipelined, 3 = committed); `arm` is
+/// meaningful for tags 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorSnapshot {
+    pub state: u8,
+    pub arm: CommChoice,
+    pub check_every: u64,
+    pub epoch: u64,
+    pub last_allreduce_time: Option<f64>,
+    pub gather_time: f64,
+}
+
 /// The DRS state machine.
 #[derive(Debug, Clone)]
 pub struct DynamicCommSelector {
@@ -118,6 +132,47 @@ impl DynamicCommSelector {
         self.state = State::Reduce;
         self.last_allreduce_time = None;
         self.gather_time = f64::INFINITY;
+    }
+
+    /// Capture the selector's complete state for checkpointing / rank
+    /// rejoin. Restoring the snapshot on another selector makes its future
+    /// decisions identical to this one's.
+    pub fn snapshot(&self) -> SelectorSnapshot {
+        let (state, arm) = match self.state {
+            State::Reduce => (0, CommChoice::AllReduce),
+            State::ProbingGather => (1, CommChoice::AllReduce),
+            State::ProbingPipelined { arm } => (2, arm),
+            State::Committed(c) => (3, c),
+        };
+        SelectorSnapshot {
+            state,
+            arm,
+            check_every: self.check_every as u64,
+            epoch: self.epoch as u64,
+            last_allreduce_time: self.last_allreduce_time,
+            gather_time: self.gather_time,
+        }
+    }
+
+    /// Rebuild a selector from a [`DynamicCommSelector::snapshot`].
+    pub fn restore(snap: &SelectorSnapshot) -> Result<Self, String> {
+        let state = match snap.state {
+            0 => State::Reduce,
+            1 => State::ProbingGather,
+            2 => State::ProbingPipelined { arm: snap.arm },
+            3 => State::Committed(snap.arm),
+            other => return Err(format!("unknown selector state tag {other}")),
+        };
+        if snap.check_every == 0 {
+            return Err("selector snapshot has check_every == 0".into());
+        }
+        Ok(DynamicCommSelector {
+            state,
+            check_every: snap.check_every as usize,
+            epoch: snap.epoch as usize,
+            last_allreduce_time: snap.last_allreduce_time,
+            gather_time: snap.gather_time,
+        })
     }
 
     /// Report the epoch that just finished and its (simulated) duration.
@@ -278,6 +333,36 @@ mod tests {
         run_probe_round(&mut s, 3.0, 3.5); // all slower → revert
         assert_eq!(s.choice(), CommChoice::AllReduce);
         assert!(s.still_dynamic());
+    }
+
+    #[test]
+    fn snapshot_restore_mid_probe_decides_identically() {
+        // Snapshot in every reachable state and check the restored selector
+        // tracks the original decision-for-decision.
+        let timings = [1.0, 0.9, 0.5, 0.7, 1.3, 0.2];
+        let mut s = DynamicCommSelector::new(2);
+        for &t in &timings {
+            let mut r = DynamicCommSelector::restore(&s.snapshot()).unwrap();
+            let mut orig = s.clone();
+            assert_eq!(r.choice(), orig.choice());
+            assert_eq!(r.still_dynamic(), orig.still_dynamic());
+            for &t2 in &timings {
+                r.observe_epoch(t2);
+                orig.observe_epoch(t2);
+                assert_eq!(r.choice(), orig.choice());
+                assert_eq!(r.still_dynamic(), orig.still_dynamic());
+            }
+            s.observe_epoch(t);
+        }
+        assert!(DynamicCommSelector::restore(&SelectorSnapshot {
+            state: 9,
+            arm: CommChoice::AllReduce,
+            check_every: 2,
+            epoch: 0,
+            last_allreduce_time: None,
+            gather_time: f64::INFINITY,
+        })
+        .is_err());
     }
 
     #[test]

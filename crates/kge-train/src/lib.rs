@@ -24,6 +24,7 @@
 //! entity/relation gradients through collectives whose bytes are real and
 //! whose time is charged to the simulated clock.
 
+pub mod checkpoint;
 pub mod comm_select;
 pub mod config;
 pub mod exchange;
@@ -33,6 +34,9 @@ pub mod ps;
 pub mod report;
 pub mod trainer;
 
+pub use checkpoint::{
+    checkpoint_path, Checkpoint, CheckpointError, CheckpointView, OptimSnapshot, Tallies,
+};
 pub use comm_select::{CommChoice, DynamicCommSelector};
 
 /// SplitMix64 finalizer — the seed-derivation mixer used to give each

@@ -14,6 +14,23 @@ pub enum LrDecision {
     Converged,
 }
 
+/// Serializable image of a [`PlateauSchedule`]'s full state, produced by
+/// [`PlateauSchedule::snapshot`] and consumed by [`PlateauSchedule::restore`].
+/// Counters are widened to `u64` so the checkpoint byte format is
+/// pointer-width independent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlateauSnapshot {
+    pub node_scale: f32,
+    pub decay_scale: f32,
+    pub decay: f32,
+    pub tolerance: u64,
+    pub max_drops: u64,
+    pub drops: u64,
+    pub best: f64,
+    pub since_best: u64,
+    pub converged: bool,
+}
+
 /// Reduce-on-plateau schedule.
 ///
 /// The effective learning rate is `base_lr × node_scale × decay_scale`
@@ -71,6 +88,37 @@ impl PlateauSchedule {
     /// Best validation metric observed.
     pub fn best_metric(&self) -> f64 {
         self.best
+    }
+
+    /// Capture the schedule's complete state for checkpointing.
+    pub fn snapshot(&self) -> PlateauSnapshot {
+        PlateauSnapshot {
+            node_scale: self.node_scale,
+            decay_scale: self.decay_scale,
+            decay: self.decay,
+            tolerance: self.tolerance as u64,
+            max_drops: self.max_drops as u64,
+            drops: self.drops as u64,
+            best: self.best,
+            since_best: self.since_best as u64,
+            converged: self.converged,
+        }
+    }
+
+    /// Rebuild a schedule from a [`PlateauSchedule::snapshot`]; the restored
+    /// schedule continues exactly where the captured one stopped.
+    pub fn restore(snap: &PlateauSnapshot) -> Self {
+        PlateauSchedule {
+            node_scale: snap.node_scale,
+            decay_scale: snap.decay_scale,
+            decay: snap.decay,
+            tolerance: snap.tolerance as usize,
+            max_drops: snap.max_drops as usize,
+            drops: snap.drops as usize,
+            best: snap.best,
+            since_best: snap.since_best as usize,
+            converged: snap.converged,
+        }
     }
 
     /// Feed this epoch's validation metric (higher = better).
@@ -151,6 +199,21 @@ mod tests {
         assert!((s.lr_scale() - 1.0).abs() < 1e-6);
         assert_eq!(s.drops(), 2);
         assert_eq!(s.best_metric(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut s = PlateauSchedule::new(3, 4.0, 0.5, 2, 2);
+        for m in [0.1, 0.5, 0.4, 0.4, 0.45] {
+            s.observe(m);
+        }
+        let mut r = PlateauSchedule::restore(&s.snapshot());
+        assert_eq!(r.lr_scale().to_bits(), s.lr_scale().to_bits());
+        for m in [0.44, 0.44, 0.43, 0.43, 0.42] {
+            assert_eq!(r.observe(m), s.observe(m));
+            assert_eq!(r.lr_scale().to_bits(), s.lr_scale().to_bits());
+            assert_eq!(r.converged(), s.converged());
+        }
     }
 
     #[test]

@@ -390,6 +390,8 @@ fn run_ps_node(
             // train_ps across all ranks.
             surviving_nodes: p,
             recoveries: 0,
+            rejoins: 0,
+            checkpoints_written: 0,
             crashed_ranks: Vec::new(),
             wire_bytes_sent: 0,
             wire_bytes_recv: 0,

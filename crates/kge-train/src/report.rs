@@ -65,6 +65,13 @@ pub struct TrainReport {
     /// Communicator shrink + re-partition cycles performed.
     #[serde(default)]
     pub recoveries: usize,
+    /// Crashed-then-recovered ranks re-admitted at an epoch boundary
+    /// (elastic re-grow cycles).
+    #[serde(default)]
+    pub rejoins: usize,
+    /// Periodic checkpoints written by rank 0 over the run.
+    #[serde(default)]
+    pub checkpoints_written: usize,
     /// Original rank ids that crashed, in crash order.
     #[serde(default)]
     pub crashed_ranks: Vec<usize>,
@@ -150,6 +157,8 @@ mod tests {
             pipelined_epochs: 0,
             surviving_nodes: 4,
             recoveries: 0,
+            rejoins: 0,
+            checkpoints_written: 0,
             crashed_ranks: vec![],
             wire_bytes_sent: 4000,
             wire_bytes_recv: 4000,
@@ -174,6 +183,8 @@ mod tests {
             pipelined_epochs: 0,
             surviving_nodes: 1,
             recoveries: 0,
+            rejoins: 0,
+            checkpoints_written: 0,
             crashed_ranks: vec![],
             wire_bytes_sent: 0,
             wire_bytes_recv: 0,

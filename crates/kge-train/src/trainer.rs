@@ -14,6 +14,7 @@
 //! `TT`/epoch times are those simulated clocks — the real wall time of
 //! the host machine never enters the results.
 
+use crate::checkpoint::{self, CheckpointView, Tallies};
 use crate::comm_select::{CommChoice, DynamicCommSelector};
 use crate::config::{CommMode, TrainConfig, UpdateStyle};
 use crate::exchange::{
@@ -47,6 +48,15 @@ const ZERO_ROW_EPS: f32 = 1e-7;
 /// f32 summation order of the chunk-ordered merge are identical no matter
 /// how many workers execute the chunks.
 const GRAD_CHUNK: usize = 256;
+
+/// Fixed initiation latency charged per checkpoint. The write itself is
+/// asynchronous (drained by the burst buffer behind later compute); what
+/// training pays synchronously is starting the transfer plus streaming
+/// the serialized image out of the node.
+const CKPT_LATENCY_S: f64 = 1e-3;
+
+/// Modeled bandwidth of the checkpoint device (burst-buffer class).
+const CKPT_BW_BYTES_S: f64 = 2e9;
 
 /// Train on `dataset` with `config` across `cluster`. Returns the lead
 /// survivor's report and final (assembled) model. With a fault plan that
@@ -162,13 +172,18 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
     let strategy = config.strategy;
 
     // --- Data distribution (identical computation on every node). -------
-    let (mut shard, mut owned_rels, mut batches_per_epoch) = distribute(
+    // `base_shard` keeps the distribution order; each epoch copies it into
+    // `shard` and shuffles, so an epoch's data order is a pure function of
+    // `(distribution, epoch)` — never of shuffle history. Checkpoint
+    // resume and rank rejoin depend on this: neither replays past epochs.
+    let (mut base_shard, mut owned_rels, mut batches_per_epoch) = distribute(
         dataset,
         strategy.relation_partition,
         rank,
         p,
         config.batch_size,
     );
+    let mut shard = base_shard.clone();
 
     let filter = FilterIndex::build(dataset);
     // Per-epoch ranking eval (opt-in): the grouped filter and workspace are
@@ -243,14 +258,158 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
 
     let mut trace: Vec<EpochTrace> = Vec::new();
     let mut converged = false;
-    let mut allreduce_epochs = 0usize;
-    let mut allgather_epochs = 0usize;
-    let mut pipelined_epochs = 0usize;
-    let mut recoveries = 0usize;
-    let mut crashed_ranks: Vec<usize> = Vec::new();
+    let mut tallies = Tallies::default();
     let mut survived = true;
 
-    for epoch in 0..config.max_epochs {
+    // Pooled checkpoint buffers: the encoded image, the residual-id
+    // scratch, and the exported traffic table are reused across every
+    // checkpoint (and across rejoin state transfers), so steady-state
+    // checkpointing stops allocating once warm.
+    let mut ckpt_buf: Vec<u8> = Vec::new();
+    let mut ckpt_ids: Vec<u32> = Vec::new();
+    let mut ckpt_traffic: Vec<(Collective, [u64; 6])> = Vec::new();
+
+    // --- Resume: adopt a checkpointed rank state wholesale. -------------
+    // Every piece of state that influences a future draw, update, or clock
+    // charge is restored, which is what makes the resumed run bit-identical
+    // to the uninterrupted one (tests/resume_determinism.rs).
+    let mut epoch = 0usize;
+    if let Some(dir) = config.resume_from.as_ref() {
+        let path = checkpoint::checkpoint_path(dir, rank);
+        let ck = checkpoint::read_file(&path)
+            .unwrap_or_else(|e| panic!("resume rank {rank} from {}: {e}", path.display()));
+        assert_eq!(ck.world_size, p, "checkpoint world size mismatch");
+        assert_eq!(ck.rank, rank, "checkpoint rank mismatch");
+        assert_eq!(ck.seed, config.seed, "checkpoint seed mismatch");
+        assert_eq!(
+            (ck.dim, ck.n_entities, ck.n_relations),
+            (dim, dataset.n_entities, dataset.n_relations),
+            "checkpoint model shape mismatch"
+        );
+        ent.as_mut_slice().copy_from_slice(ck.ent.as_slice());
+        rel.as_mut_slice().copy_from_slice(ck.rel.as_slice());
+        ent_opt
+            .load_state(ck.ent_opt.as_view())
+            .unwrap_or_else(|e| panic!("resume rank {rank}: entity optimizer: {e}"));
+        rel_opt
+            .load_state(ck.rel_opt.as_view())
+            .unwrap_or_else(|e| panic!("resume rank {rank}: relation optimizer: {e}"));
+        ent_residual.clear();
+        for (row, values) in &ck.ent_residual {
+            ent_residual.set_row(*row, values);
+        }
+        rel_residual.clear();
+        for (row, values) in &ck.rel_residual {
+            rel_residual.set_row(*row, values);
+        }
+        rng = StdRng::from_state(ck.rng_state);
+        schedule = PlateauSchedule::restore(&ck.schedule);
+        if let Some(snap) = &ck.selector {
+            selector = Some(
+                DynamicCommSelector::restore(snap)
+                    .unwrap_or_else(|e| panic!("resume rank {rank}: comm selector: {e}")),
+            );
+        }
+        tallies = ck.tallies.clone();
+        trace = ck.trace.clone();
+        ctx.comm_mut().clock_mut().restore(ck.clock_now_s, ck.breakdown);
+        ctx.comm_mut().traffic_mut().import(&ck.traffic);
+        ctx.comm_mut().restore_sequences(ck.coll_seq, &ck.p2p_seq);
+        epoch = ck.next_epoch;
+    }
+
+    // Set by a rank that was re-admitted mid-loop: it re-enters the epoch
+    // the survivors are about to run, whose grow step already happened.
+    let mut skip_grow = false;
+
+    while epoch < config.max_epochs {
+        // --- Elastic re-grow: re-admit recovered ranks at the epoch
+        // boundary. Free (no collective) unless the fault plan schedules
+        // recoveries. The decision is a pure function of the aligned clock
+        // and the plan, so every survivor takes the same branch.
+        if config.recover_from_crashes && !skip_grow {
+            let rejoined_now = ctx.comm_mut().try_grow();
+            if !rejoined_now.is_empty() {
+                rank = ctx.rank();
+                p = ctx.size();
+                let (s, o, b) = distribute(
+                    dataset,
+                    strategy.relation_partition,
+                    rank,
+                    p,
+                    config.batch_size,
+                );
+                base_shard = s;
+                shard.clone_from(&base_shard);
+                owned_rels = o;
+                batches_per_epoch = b;
+                // Same re-partitioning price as the shrink path.
+                ctx.comm_mut()
+                    .clock_mut()
+                    .charge_flops((dataset.train.len() * 8) as f64);
+                // DRS timings were measured at the old world size; every
+                // rank (the rejoiner included, below) re-probes fresh.
+                if let Some(sel) = selector.as_mut() {
+                    sel.reset();
+                }
+                tallies.rejoins += rejoined_now.len();
+                // The grow leader (lowest surviving original id) ships the
+                // authoritative replica state to each rejoiner; its stale
+                // copy died with the crash. The payload is a checkpoint
+                // image — same codec, pooled buffers.
+                let leader_orig = ctx
+                    .comm()
+                    .orig_ranks()
+                    .iter()
+                    .copied()
+                    .find(|r| !rejoined_now.contains(r))
+                    .expect("at least one survivor leads the grow");
+                let leader = ctx
+                    .comm()
+                    .orig_ranks()
+                    .iter()
+                    .position(|&r| r == leader_orig)
+                    .expect("leader present in grown world");
+                if rank == leader {
+                    for &orig in &rejoined_now {
+                        let dst = ctx
+                            .comm()
+                            .orig_ranks()
+                            .iter()
+                            .position(|&r| r == orig)
+                            .expect("rejoiner present in grown world");
+                        encode_rank_state(
+                            &mut ckpt_buf,
+                            &mut ckpt_ids,
+                            &mut ckpt_traffic,
+                            ctx,
+                            config,
+                            epoch,
+                            p,
+                            rank,
+                            &ent,
+                            &rel,
+                            ent_opt.as_ref(),
+                            rel_opt.as_ref(),
+                            &ent_residual,
+                            &rel_residual,
+                            &rng,
+                            &schedule,
+                            selector.as_ref(),
+                            &tallies,
+                            &trace,
+                        );
+                        let buf = std::mem::take(&mut ckpt_buf);
+                        ctx.comm_mut()
+                            .send_bytes(dst, &buf)
+                            .unwrap_or_else(|e| panic!("rejoin state send: {e}"));
+                        ckpt_buf = buf;
+                    }
+                }
+            }
+        }
+        skip_grow = false;
+
         // Epoch barrier: aligns every clock so that the per-epoch times —
         // which the dynamic comm selector compares — are identical on all
         // nodes (every post-collective charge below derives from shared
@@ -258,6 +417,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
         ctx.comm_mut().barrier();
         let epoch_start = ctx.comm().clock().now_s();
         let bytes_at_start = ctx.comm().traffic().total_sent();
+        shard.copy_from_slice(&base_shard);
         shuffler.shuffle(&mut shard, epoch as u64);
 
         // The epoch's collective and its staleness window. `window == 0`
@@ -288,12 +448,12 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             }
         };
         match choice.base() {
-            CommChoice::AllReduce => allreduce_epochs += 1,
-            CommChoice::AllGather => allgather_epochs += 1,
+            CommChoice::AllReduce => tallies.allreduce_epochs += 1,
+            CommChoice::AllGather => tallies.allgather_epochs += 1,
             _ => unreachable!("base() is synchronous"),
         }
         if choice.is_pipelined() {
-            pipelined_epochs += 1;
+            tallies.pipelined_epochs += 1;
         }
 
         let mut epoch_loss = 0.0f64;
@@ -793,14 +953,14 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             // signal; un-count its collective choice so the tallies keep
             // matching the trace length.
             match choice.base() {
-                CommChoice::AllReduce => allreduce_epochs -= 1,
-                CommChoice::AllGather => allgather_epochs -= 1,
+                CommChoice::AllReduce => tallies.allreduce_epochs -= 1,
+                CommChoice::AllGather => tallies.allgather_epochs -= 1,
                 _ => unreachable!("base() is synchronous"),
             }
             if choice.is_pipelined() {
-                pipelined_epochs -= 1;
+                tallies.pipelined_epochs -= 1;
             }
-            crashed_ranks.extend(ctx.comm().failed_ranks());
+            tallies.crashed_ranks.extend(ctx.comm().failed_ranks());
             if !config.recover_from_crashes {
                 break;
             }
@@ -811,7 +971,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                     // original world-size scaling (deliberate — see
                     // DESIGN.md); DRS forgets its timings and re-probes
                     // at the new size.
-                    recoveries += 1;
+                    tallies.recoveries += 1;
                     rank = ctx.rank();
                     p = ctx.size();
                     let (s, o, b) = distribute(
@@ -821,7 +981,8 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                         p,
                         config.batch_size,
                     );
-                    shard = s;
+                    base_shard = s;
+                    shard.clone_from(&base_shard);
                     owned_rels = o;
                     batches_per_epoch = b;
                     // Re-partitioning cost: a sort-like pass over the full
@@ -832,14 +993,74 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                     if let Some(sel) = selector.as_mut() {
                         sel.reset();
                     }
+                    epoch += 1;
                     continue;
                 }
                 Ok(false) => {
-                    // This is the crashed rank: it leaves the job here.
-                    // Its replica is stale; train() only uses its wire
-                    // traffic totals.
-                    survived = false;
-                    break;
+                    // This is the crashed rank. It parks in the rejoin
+                    // lobby: if the fault plan schedules its recovery, the
+                    // survivors re-admit it at an epoch boundary;
+                    // otherwise they close the lobby when the run ends and
+                    // it leaves the job (its replica is stale; train()
+                    // only uses its wire traffic totals).
+                    match ctx.comm_mut().await_rejoin() {
+                        Some(leader) => {
+                            rank = ctx.rank();
+                            p = ctx.size();
+                            let (s, o, b) = distribute(
+                                dataset,
+                                strategy.relation_partition,
+                                rank,
+                                p,
+                                config.batch_size,
+                            );
+                            base_shard = s;
+                            shard.clone_from(&base_shard);
+                            owned_rels = o;
+                            batches_per_epoch = b;
+                            // Adopt the authoritative replica state from
+                            // the grow leader. Local stream state (RNG,
+                            // clock, traffic, fault cursors) stays this
+                            // rank's own; residuals reset — the error
+                            // feedback died with the crash.
+                            let msg = ctx
+                                .comm_mut()
+                                .recv_bytes_from(leader)
+                                .unwrap_or_else(|e| panic!("rejoin state recv: {e}"));
+                            let ck = checkpoint::decode(&msg.payload)
+                                .unwrap_or_else(|e| panic!("rejoin state decode: {e}"));
+                            ent.as_mut_slice().copy_from_slice(ck.ent.as_slice());
+                            rel.as_mut_slice().copy_from_slice(ck.rel.as_slice());
+                            ent_opt
+                                .load_state(ck.ent_opt.as_view())
+                                .unwrap_or_else(|e| panic!("rejoin: entity optimizer: {e}"));
+                            rel_opt
+                                .load_state(ck.rel_opt.as_view())
+                                .unwrap_or_else(|e| panic!("rejoin: relation optimizer: {e}"));
+                            ent_residual.clear();
+                            rel_residual.clear();
+                            schedule = PlateauSchedule::restore(&ck.schedule);
+                            // Mirror the survivors' post-grow DRS reset.
+                            selector = match strategy.comm {
+                                CommMode::Dynamic { check_every } => {
+                                    Some(DynamicCommSelector::new(check_every))
+                                }
+                                _ => None,
+                            };
+                            tallies = ck.tallies.clone();
+                            trace = ck.trace.clone();
+                            // Re-enter at the epoch the survivors are
+                            // about to run; their grow step this epoch
+                            // already happened.
+                            epoch = ck.next_epoch;
+                            skip_grow = true;
+                            continue;
+                        }
+                        None => {
+                            survived = false;
+                            break;
+                        }
+                    }
                 }
                 Err(e) => panic!("communicator shrink: {e}"),
             }
@@ -873,7 +1094,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
         // rank reaches this point with the same epoch counter.
         let ranking = match eval_state.as_mut() {
             Some((grouped, ws))
-                if (epoch + 1) % config.eval_every == 0 && !dataset.valid.is_empty() =>
+                if (epoch + 1).is_multiple_of(config.eval_every) && !dataset.valid.is_empty() =>
             {
                 Some(evaluate_ranking_distributed(
                     ctx.comm_mut(),
@@ -916,10 +1137,66 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             ranking,
         });
 
-        if matches!(schedule.observe(acc), crate::lr::LrDecision::Converged) {
+        let decision = schedule.observe(acc);
+
+        // --- Periodic checkpoint. ---------------------------------------
+        // Written after the schedule has observed this epoch, so a resume
+        // continues from exactly the state the uninterrupted run carries
+        // into the next epoch. The modeled write cost is charged to the
+        // clock's `checkpoint_s` bucket *before* the clock is captured:
+        // the image embeds the post-charge clock, which is the clock the
+        // uninterrupted run continues with.
+        if config.checkpoint_every > 0 && (epoch + 1).is_multiple_of(config.checkpoint_every) {
+            let dir = config
+                .checkpoint_dir
+                .as_ref()
+                .expect("validated: checkpoint_every requires checkpoint_dir");
+            tallies.checkpoints_written += 1;
+            // Cost model: latency + model + optimizer bytes over the
+            // checkpoint device bandwidth. A deterministic function of
+            // table shapes only, so every rank charges the same amount
+            // and clocks stay aligned.
+            let state_bytes = 2 * (ent.nbytes() + rel.nbytes());
+            ctx.comm_mut()
+                .clock_mut()
+                .charge_checkpoint_seconds(CKPT_LATENCY_S + state_bytes as f64 / CKPT_BW_BYTES_S);
+            encode_rank_state(
+                &mut ckpt_buf,
+                &mut ckpt_ids,
+                &mut ckpt_traffic,
+                ctx,
+                config,
+                epoch + 1,
+                p,
+                rank,
+                &ent,
+                &rel,
+                ent_opt.as_ref(),
+                rel_opt.as_ref(),
+                &ent_residual,
+                &rel_residual,
+                &rng,
+                &schedule,
+                selector.as_ref(),
+                &tallies,
+                &trace,
+            );
+            let path = checkpoint::checkpoint_path(dir, rank);
+            checkpoint::write_file(&path, &ckpt_buf)
+                .unwrap_or_else(|e| panic!("checkpoint write {}: {e}", path.display()));
+        }
+
+        if matches!(decision, crate::lr::LrDecision::Converged) {
             converged = true;
             break;
         }
+        epoch += 1;
+    }
+
+    // Wake any rank still parked on a recovery the run never reached.
+    // Idempotent; a no-op for runs without fault plans.
+    if survived {
+        ctx.comm().close_lobby();
     }
 
     let breakdown = ctx.comm().clock().breakdown();
@@ -934,12 +1211,14 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             sim_total_seconds: ctx.comm().clock().now_s(),
             breakdown,
             trace,
-            allreduce_epochs,
-            allgather_epochs,
-            pipelined_epochs,
+            allreduce_epochs: tallies.allreduce_epochs,
+            allgather_epochs: tallies.allgather_epochs,
+            pipelined_epochs: tallies.pipelined_epochs,
             surviving_nodes: p,
-            recoveries,
-            crashed_ranks,
+            recoveries: tallies.recoveries,
+            rejoins: tallies.rejoins,
+            checkpoints_written: tallies.checkpoints_written,
+            crashed_ranks: tallies.crashed_ranks,
             // Filled in by train(), which sums over every rank.
             wire_bytes_sent: 0,
             wire_bytes_recv: 0,
@@ -991,6 +1270,58 @@ impl ChunkScratch {
             rel: SparseGrad::new(dim),
         }
     }
+}
+
+/// Serialize this rank's full training state into `buf` using the pooled
+/// scratch vectors — no allocations in steady state once the pools have
+/// grown to their high-water marks. `next_epoch` is the first epoch the
+/// restored run executes.
+#[allow(clippy::too_many_arguments)]
+fn encode_rank_state(
+    buf: &mut Vec<u8>,
+    ids: &mut Vec<u32>,
+    traffic_scratch: &mut Vec<(Collective, [u64; 6])>,
+    ctx: &NodeCtx,
+    config: &TrainConfig,
+    next_epoch: usize,
+    world_size: usize,
+    rank: usize,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    ent_opt: &dyn RowOptimizer,
+    rel_opt: &dyn RowOptimizer,
+    ent_residual: &ResidualStore,
+    rel_residual: &ResidualStore,
+    rng: &StdRng,
+    schedule: &PlateauSchedule,
+    selector: Option<&DynamicCommSelector>,
+    tallies: &Tallies,
+    trace: &[EpochTrace],
+) {
+    ctx.comm().traffic().export_into(traffic_scratch);
+    let view = CheckpointView {
+        world_size,
+        rank,
+        next_epoch,
+        seed: config.seed,
+        ent,
+        rel,
+        ent_opt: ent_opt.state_view(),
+        rel_opt: rel_opt.state_view(),
+        ent_residual,
+        rel_residual,
+        rng_state: rng.state(),
+        schedule: schedule.snapshot(),
+        selector: selector.map(|s| s.snapshot()),
+        tallies,
+        trace,
+        clock_now_s: ctx.comm().clock().now_s(),
+        breakdown: ctx.comm().clock().breakdown(),
+        traffic: &*traffic_scratch,
+        coll_seq: ctx.comm().coll_seq(),
+        p2p_seq: ctx.comm().p2p_seq(),
+    };
+    checkpoint::encode_into(&view, ids, buf);
 }
 
 /// RNG seed for one gradient chunk, derived from its structural

@@ -155,6 +155,59 @@ fn crash_with_pipelined_exchange_in_flight_drains_and_recovers() {
     assert_eq!(a.report.epochs, b.report.epochs);
 }
 
+/// The full elastic cycle: rank 2 crashes (shrink 4 → 3), recovers, and
+/// rejoins at the next epoch boundary (re-grow 3 → 4). The rejoiner
+/// receives the leader's checkpoint image over the simulated wire, so the
+/// re-expanded world trains on as one replica — finite, conserved, and
+/// bit-reproducible from the single plan seed.
+#[test]
+fn crashed_rank_rejoins_and_training_reexpands() {
+    let fault_free = run(None, &config());
+    let total = fault_free.report.sim_total_seconds;
+    assert!(total > 0.0);
+
+    let plan = || FaultPlan::seeded(99).with_crash_and_rejoin(2, 0.4 * total, 0.5 * total);
+    let a = run(Some(plan()), &config());
+    let r = &a.report;
+
+    // Shrink then re-grow: one recovery, one rejoin, back to full size.
+    assert_eq!(r.nodes, 4);
+    assert_eq!(r.recoveries, 1);
+    assert_eq!(r.rejoins, 1, "recovered rank must re-enter the world");
+    assert_eq!(r.surviving_nodes, 4, "world should re-expand to 4");
+    assert_eq!(r.crashed_ranks, vec![2]);
+    assert!(r.breakdown.fault_s > 0.0, "{:?}", r.breakdown);
+
+    // Only the aborted epoch is lost; everything after the rejoin ran at
+    // full width on the rebalanced 4-way partition.
+    assert!(r.epochs > 0 && r.epochs < config().max_epochs);
+    assert_eq!(r.epochs, r.trace.len());
+    assert_eq!(r.allreduce_epochs + r.allgather_epochs, r.epochs);
+    for t in &r.trace {
+        assert!(t.train_loss.is_finite(), "epoch {}", t.epoch);
+    }
+    assert!(a.entities.as_slice().iter().all(|v| v.is_finite()));
+    assert!(a.relations.as_slice().iter().all(|v| v.is_finite()));
+
+    // Wire conservation spans the whole cycle: pre-crash traffic of the
+    // dead rank, the shrunken epochs, the checkpoint-image transfer that
+    // re-seeds the rejoiner, and the re-expanded epochs.
+    assert!(r.wire_bytes_sent > 0);
+    assert_eq!(r.wire_bytes_sent, r.wire_bytes_recv);
+
+    // The entire elastic cycle replays bit-exactly from the plan seed.
+    let b = run(Some(plan()), &config());
+    assert_eq!(a.entities.as_slice(), b.entities.as_slice());
+    assert_eq!(a.relations.as_slice(), b.relations.as_slice());
+    assert_eq!(a.report.breakdown, b.report.breakdown);
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits()
+    );
+    assert_eq!(a.report.epochs, b.report.epochs);
+    assert_eq!(a.report.rejoins, b.report.rejoins);
+}
+
 #[test]
 fn crash_without_recovery_stops_training_at_the_crash() {
     let baseline = run(None, &config());

@@ -1,0 +1,207 @@
+//! Golden-checkpoint compatibility.
+//!
+//! A fixture checkpoint encoded at format version 1 is committed under
+//! `tests/fixtures/`. Decoding it must keep working bit-for-bit — or, if
+//! the format version is ever bumped, fail with the explicit
+//! `UnsupportedVersion` error — so any change to the on-disk layout shows
+//! up in review as either a fixture regeneration or a version bump, never
+//! as a silent reinterpretation of old bytes.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```text
+//! KGE_BLESS_GOLDEN=1 cargo test -p kge-train --test golden_checkpoint
+//! ```
+
+use kge_compress::ResidualStore;
+use kge_core::{EmbeddingTable, OptimStateView};
+use kge_train::checkpoint::{self, CheckpointError, CheckpointView, Tallies, VERSION};
+use kge_train::comm_select::{CommChoice, SelectorSnapshot};
+use kge_train::lr::PlateauSnapshot;
+use kge_train::report::EpochTrace;
+use simgrid::{Collective, TimeBreakdown};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("golden-v{VERSION}.kgc"))
+}
+
+/// Deterministic table fill — no RNG, so the fixture bytes depend only on
+/// the checkpoint format, not on any generator implementation.
+fn table(rows: usize, dim: usize, salt: f32) -> EmbeddingTable {
+    let mut t = EmbeddingTable::zeros(rows, dim);
+    for (i, x) in t.as_mut_slice().iter_mut().enumerate() {
+        *x = (i as f32 * 0.03125 - 1.0) * salt;
+    }
+    t
+}
+
+/// The canonical golden state. Every field uses a distinct value so a
+/// section mix-up cannot cancel out.
+fn golden_bytes() -> Vec<u8> {
+    let ent = table(9, 15, 1.0);
+    let rel = table(4, 15, -0.5);
+    let m: Vec<f32> = (0..9 * 15).map(|i| i as f32 * 0.25).collect();
+    let v: Vec<f32> = (0..9 * 15).map(|i| i as f32 * 0.125 + 1.0).collect();
+    let row_t: Vec<u32> = (0..9).map(|i| i * 3).collect();
+    let accum: Vec<f32> = (0..4 * 15).map(|i| i as f32 * 0.5).collect();
+    let mut ent_residual = ResidualStore::new();
+    ent_residual.set_row(7, &[0.75; 15]);
+    ent_residual.set_row(2, &[-0.25; 15]);
+    let rel_residual = ResidualStore::new();
+    let tallies = Tallies {
+        allreduce_epochs: 10,
+        allgather_epochs: 4,
+        pipelined_epochs: 2,
+        recoveries: 1,
+        rejoins: 1,
+        checkpoints_written: 3,
+        crashed_ranks: vec![1],
+    };
+    let trace = vec![EpochTrace {
+        epoch: 13,
+        sim_seconds: 21.5,
+        comm: CommChoice::PipelinedAllGather,
+        valid_acc: 0.625,
+        train_loss: 0.375,
+        lr_scale: 2.0,
+        mean_nonzero_rows: 55.0,
+        mean_rows_sent: 44.0,
+        rs_sparsity: 0.25,
+        bytes_sent: 123_456,
+        ranking: None,
+    }];
+    let traffic = vec![
+        (Collective::AllReduce, [11, 1000, 2000, 800, 900, 3]),
+        (Collective::PointToPoint, [2, 64, 64, 64, 64, 0]),
+    ];
+    let p2p_seq = vec![5, 0, 2, 0];
+    let view = CheckpointView {
+        world_size: 4,
+        rank: 2,
+        next_epoch: 14,
+        seed: 0xC0FFEE,
+        ent: &ent,
+        rel: &rel,
+        ent_opt: OptimStateView::Adam {
+            m: &m,
+            v: &v,
+            t: 77,
+            row_t: &row_t,
+        },
+        rel_opt: OptimStateView::Adagrad { accum: &accum },
+        ent_residual: &ent_residual,
+        rel_residual: &rel_residual,
+        rng_state: 0x1234_5678_9ABC_DEF0,
+        schedule: PlateauSnapshot {
+            node_scale: 4.0,
+            decay_scale: 0.1,
+            decay: 0.1,
+            tolerance: 15,
+            max_drops: 2,
+            drops: 1,
+            best: 0.6875,
+            since_best: 4,
+            converged: false,
+        },
+        selector: Some(SelectorSnapshot {
+            state: 3,
+            arm: CommChoice::PipelinedAllGather,
+            check_every: 10,
+            epoch: 13,
+            last_allreduce_time: Some(1.75),
+            gather_time: 1.25,
+        }),
+        tallies: &tallies,
+        trace: &trace,
+        clock_now_s: 321.25,
+        breakdown: TimeBreakdown {
+            compute_s: 250.0,
+            comm_s: 50.0,
+            idle_s: 10.0,
+            fault_s: 5.0,
+            retry_s: 2.0,
+            checkpoint_s: 3.0,
+            overlap_s: 1.0,
+            hidden_comm_s: 0.25,
+        },
+        traffic: &traffic,
+        coll_seq: 99,
+        p2p_seq: &p2p_seq,
+    };
+    let mut out = Vec::new();
+    let mut ids = Vec::new();
+    checkpoint::encode_into(&view, &mut ids, &mut out);
+    out
+}
+
+#[test]
+fn golden_fixture_stays_loadable() {
+    let path = fixture_path();
+    if std::env::var_os("KGE_BLESS_GOLDEN").is_some() {
+        checkpoint::write_file(&path, &golden_bytes()).expect("bless fixture");
+    }
+    let ck = match checkpoint::read_file(&path) {
+        Ok(ck) => ck,
+        // A deliberate version bump is the one acceptable failure, and it
+        // must be *this* error — anything else means the new code
+        // misreads old bytes.
+        Err(CheckpointError::UnsupportedVersion { found, supported }) => {
+            assert_ne!(found, supported, "same version must decode");
+            return;
+        }
+        Err(e) => panic!(
+            "golden fixture {} failed to load with {e}; regenerate with \
+             KGE_BLESS_GOLDEN=1 only if the format changed intentionally",
+            path.display()
+        ),
+    };
+    assert_eq!(ck.world_size, 4);
+    assert_eq!(ck.rank, 2);
+    assert_eq!(ck.next_epoch, 14);
+    assert_eq!((ck.dim, ck.n_entities, ck.n_relations), (15, 9, 4));
+    assert_eq!(ck.seed, 0xC0FFEE);
+    assert_eq!(ck.rng_state, 0x1234_5678_9ABC_DEF0);
+    assert_eq!(ck.ent.as_slice(), table(9, 15, 1.0).as_slice());
+    assert_eq!(ck.rel.as_slice(), table(4, 15, -0.5).as_slice());
+    match &ck.ent_opt {
+        kge_train::OptimSnapshot::Adam { t, row_t, .. } => {
+            assert_eq!(*t, 77);
+            assert_eq!(row_t[8], 24);
+        }
+        other => panic!("golden ent optimizer decoded as {other:?}"),
+    }
+    assert_eq!(ck.ent_residual.len(), 2);
+    assert_eq!(ck.ent_residual[0].0, 2, "sorted by row id");
+    assert_eq!(ck.tallies.rejoins, 1);
+    assert_eq!(ck.trace[0].epoch, 13);
+    assert_eq!(ck.clock_now_s, 321.25);
+    assert_eq!(ck.breakdown.checkpoint_s, 3.0);
+    assert_eq!(ck.coll_seq, 99);
+    assert_eq!(ck.p2p_seq, vec![5, 0, 2, 0]);
+    assert_eq!(ck.selector.expect("selector present").state, 3);
+}
+
+/// The in-memory encoder must still produce the committed bytes exactly:
+/// byte-level drift (even decode-compatible drift) invalidates existing
+/// checksums and replication, so it has to be a conscious choice.
+#[test]
+fn golden_fixture_bytes_are_stable() {
+    let path = fixture_path();
+    if std::env::var_os("KGE_BLESS_GOLDEN").is_some() {
+        checkpoint::write_file(&path, &golden_bytes()).expect("bless fixture");
+    }
+    let on_disk = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} missing ({e}); generate with KGE_BLESS_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk,
+        golden_bytes(),
+        "encoder output drifted from the committed v{VERSION} fixture"
+    );
+}

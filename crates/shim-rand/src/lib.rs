@@ -173,6 +173,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's raw 64-bit counter state, for checkpointing.
+        /// [`StdRng::from_state`] rebuilds a generator that continues the
+        /// stream exactly where this one left off.
+        #[inline]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator from a captured [`StdRng::state`] value.
+        #[inline]
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

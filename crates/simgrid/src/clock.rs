@@ -23,6 +23,11 @@ pub struct TimeBreakdown {
     /// or collective attempts lost to injected faults.
     #[serde(default)]
     pub retry_s: f64,
+    /// Seconds spent serializing checkpoint snapshots (the synchronous
+    /// part of periodic checkpointing; the disk drain itself is
+    /// asynchronous and hidden behind subsequent compute).
+    #[serde(default)]
+    pub checkpoint_s: f64,
     /// Informational: width of the compute windows that pipelined
     /// (overlapped) collectives had available to hide behind. Not part of
     /// [`TimeBreakdown::total_s`] — the window itself is already counted
@@ -40,7 +45,7 @@ pub struct TimeBreakdown {
 impl TimeBreakdown {
     /// Total simulated seconds.
     pub fn total_s(&self) -> f64 {
-        self.compute_s + self.comm_s + self.idle_s + self.fault_s + self.retry_s
+        self.compute_s + self.comm_s + self.idle_s + self.fault_s + self.retry_s + self.checkpoint_s
     }
 }
 
@@ -179,6 +184,23 @@ impl SimClock {
         self.breakdown.overlap_s += s;
     }
 
+    /// Charge the synchronous cost of serializing a checkpoint snapshot.
+    #[inline]
+    pub fn charge_checkpoint_seconds(&mut self, s: f64) {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        self.now_s += s;
+        self.breakdown.checkpoint_s += s;
+    }
+
+    /// Restore the clock to a checkpointed position: `now_s` and the full
+    /// breakdown are overwritten so a resumed run continues with the exact
+    /// simulated-time state the interrupted run had. The hardware/fault
+    /// wiring (`node_flops`, plan, rank) is untouched.
+    pub fn restore(&mut self, now_s: f64, breakdown: TimeBreakdown) {
+        self.now_s = now_s;
+        self.breakdown = breakdown;
+    }
+
     /// Reset to t=0 with an empty breakdown (e.g. between epochs when the
     /// caller keeps per-epoch accounts).
     pub fn reset(&mut self) {
@@ -301,6 +323,25 @@ mod tests {
         // comm charge.
         assert_eq!(c.now_s(), 0.5);
         assert_eq!(b.total_s(), 0.5);
+    }
+
+    #[test]
+    fn checkpoint_charges_count_toward_total_and_restore_roundtrips() {
+        let mut c = clock();
+        c.charge_flops(2.0e9);
+        c.charge_checkpoint_seconds(0.5);
+        let b = c.breakdown();
+        assert_eq!(b.checkpoint_s, 0.5);
+        assert!((b.total_s() - c.now_s()).abs() < 1e-9);
+
+        let mut fresh = clock();
+        fresh.restore(c.now_s(), b);
+        assert_eq!(fresh.now_s().to_bits(), c.now_s().to_bits());
+        assert_eq!(fresh.breakdown(), b);
+        // The restored clock keeps charging from the restored position.
+        fresh.charge_comm_seconds(0.25);
+        c.charge_comm_seconds(0.25);
+        assert_eq!(fresh.now_s().to_bits(), c.now_s().to_bits());
     }
 
     #[test]

@@ -21,8 +21,41 @@ use crate::cost::{Collective, CostModel};
 use crate::error::SimError;
 use crate::spec::ClusterSpec;
 use crate::traffic::TrafficStats;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
+
+/// Rendezvous through which crashed-then-recovered ranks re-enter the
+/// world. One lobby is created with a cluster's initial world and carried
+/// by `Arc` through every shrink and grow, so a rank parked before several
+/// generations of membership change can still be found by the current
+/// survivors' [`Communicator::try_grow`].
+pub(crate) struct RejoinLobby {
+    state: Mutex<LobbyState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct LobbyState {
+    /// Posted by the grow leader: original rank → (grown world, new rank,
+    /// leader's rank in the grown world). The leader rank names the
+    /// survivor a rejoiner should ask for replica state.
+    assignments: HashMap<usize, (Arc<CommWorld>, usize, usize)>,
+    /// Original ids already re-admitted once; a crash entry's recovery is
+    /// consumed by its first rejoin.
+    rejoined: Vec<usize>,
+    /// Set when the program finishes; parked ranks stop waiting.
+    closed: bool,
+}
+
+impl RejoinLobby {
+    fn new() -> Arc<Self> {
+        Arc::new(RejoinLobby {
+            state: Mutex::new(LobbyState::default()),
+            cv: Condvar::new(),
+        })
+    }
+}
 
 /// Shared state for one cluster's communicator.
 pub(crate) struct CommWorld {
@@ -50,12 +83,25 @@ pub(crate) struct CommWorld {
     /// [`Communicator::shrink`].
     failed: Mutex<Vec<usize>>,
     /// Replacement world staged by the lowest surviving rank during a
-    /// shrink, picked up by the other survivors.
+    /// shrink or grow, picked up by the other survivors.
     next_world: Mutex<Option<Arc<CommWorld>>>,
+    /// Rejoin rendezvous shared across every world generation.
+    lobby: Arc<RejoinLobby>,
 }
 
 impl CommWorld {
     pub(crate) fn new(size: usize, plan: Arc<FaultPlan>, orig_ranks: Vec<usize>) -> Arc<Self> {
+        Self::with_lobby(size, plan, orig_ranks, RejoinLobby::new())
+    }
+
+    /// Build a successor world (after a shrink or grow) that keeps the
+    /// cluster's original rejoin lobby, so parked ranks stay reachable.
+    fn with_lobby(
+        size: usize,
+        plan: Arc<FaultPlan>,
+        orig_ranks: Vec<usize>,
+        lobby: Arc<RejoinLobby>,
+    ) -> Arc<Self> {
         assert!(size >= 1, "communicator needs at least one rank");
         assert_eq!(orig_ranks.len(), size);
         Arc::new(CommWorld {
@@ -73,6 +119,7 @@ impl CommWorld {
             orig_ranks,
             failed: Mutex::new(Vec::new()),
             next_world: Mutex::new(None),
+            lobby,
         })
     }
 }
@@ -936,12 +983,14 @@ impl Communicator {
         self.coll_seq += 1;
 
         // Crash detection first: a dead rank cannot retry its way back.
+        // `is_down` (not `crash_time`) bounds the detection window, so a
+        // rank that recovered and rejoined is not re-detected by its old
+        // crash entry; with no recoveries scheduled the two are identical.
         let mut crashed: Vec<usize> = Vec::new();
         for r in 0..self.size() {
-            if let Some(t) = plan.crash_time(self.world.orig_ranks[r]) {
-                if *self.world.clock_slots[r].lock() >= t {
-                    crashed.push(r);
-                }
+            let arrival = *self.world.clock_slots[r].lock();
+            if plan.is_down(self.world.orig_ranks[r], arrival) {
+                crashed.push(r);
             }
         }
         if !crashed.is_empty() {
@@ -995,7 +1044,12 @@ impl Communicator {
         let i_survive = !failed.contains(&self.rank);
         if i_survive && self.rank == survivors[0] {
             let orig: Vec<usize> = survivors.iter().map(|&r| self.world.orig_ranks[r]).collect();
-            let new_world = CommWorld::new(survivors.len(), Arc::clone(&self.world.plan), orig);
+            let new_world = CommWorld::with_lobby(
+                survivors.len(),
+                Arc::clone(&self.world.plan),
+                orig,
+                Arc::clone(&self.world.lobby),
+            );
             *self.world.next_world.lock() = Some(new_world);
         }
         self.world.barrier.wait(); // staged world visible to all survivors
@@ -1014,6 +1068,170 @@ impl Communicator {
             .expect("survivor present in survivor list");
         self.world = new_world;
         Ok(true)
+    }
+
+    /// Re-admit crashed ranks whose scheduled recovery time has passed.
+    /// Collective over the current (survivor) world — every rank must call
+    /// it at the same program point, typically an epoch boundary. Returns
+    /// the original ids of the ranks that rejoined (empty when none were
+    /// due). Afterwards the communicator addresses the grown world and
+    /// `rank()` may have changed (ranks are dense in original-id order).
+    ///
+    /// The decision is a pure function of the fault plan, the aligned
+    /// simulated clock, and the set of already-consumed recoveries, so all
+    /// survivors agree without exchanging data. Each rejoining rank must
+    /// be parked in [`Communicator::await_rejoin`]; the post-grow barrier
+    /// blocks until it has adopted its assignment, and pulls its stale
+    /// clock forward to the survivors' aligned time.
+    ///
+    /// With no recoveries in the plan this is free: no barrier, no clock
+    /// movement, no state change.
+    pub fn try_grow(&mut self) -> Vec<usize> {
+        let plan = Arc::clone(&self.world.plan);
+        if !plan.has_recoveries() {
+            return Vec::new();
+        }
+        // Align clocks so every survivor evaluates recovery deadlines
+        // against the same simulated instant.
+        self.barrier();
+        let now = self.clock.now_s();
+        // Snapshot the consumed-recovery set. The barrier *after* the read
+        // fences it against the leader's mutation below: without it, a
+        // fast leader could push this round's candidates into `rejoined`
+        // before a slow survivor reads the set, and that survivor would
+        // compute an empty candidate list and desert the staging barrier.
+        let rejoined: Vec<usize> = self.world.lobby.state.lock().rejoined.clone();
+        self.world.barrier.wait(); // every survivor has snapshotted
+        let mut candidates: Vec<usize> = plan
+            .crashes
+            .iter()
+            .filter(|c| c.recover_at_s.is_some_and(|t| t <= now))
+            .map(|c| c.rank)
+            .filter(|r| !rejoined.contains(r) && !self.world.orig_ranks.contains(r))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Identical inputs on every survivor, so this return is symmetric.
+        if candidates.is_empty() {
+            return candidates;
+        }
+        let mut new_orig = self.world.orig_ranks.clone();
+        new_orig.extend_from_slice(&candidates);
+        new_orig.sort_unstable();
+        let my_rank = new_orig
+            .iter()
+            .position(|&r| r == self.orig)
+            .expect("survivor keeps its original id");
+        if self.rank == 0 {
+            let world = CommWorld::with_lobby(
+                new_orig.len(),
+                Arc::clone(&plan),
+                new_orig.clone(),
+                Arc::clone(&self.world.lobby),
+            );
+            {
+                let mut st = self.world.lobby.state.lock();
+                for &c in &candidates {
+                    let r = new_orig
+                        .iter()
+                        .position(|&x| x == c)
+                        .expect("candidate present in grown world");
+                    st.assignments.insert(c, (Arc::clone(&world), r, my_rank));
+                    st.rejoined.push(c);
+                }
+            }
+            self.world.lobby.cv.notify_all();
+            *self.world.next_world.lock() = Some(world);
+        }
+        self.world.barrier.wait(); // staged world visible to all survivors
+        let world = self
+            .world
+            .next_world
+            .lock()
+            .clone()
+            .expect("leader stages the grown world");
+        self.rank = my_rank;
+        self.world = world;
+        // First collective of the grown world; the rejoiners' counterpart
+        // lives in `await_rejoin`, and the alignment inside pulls their
+        // stale clocks up to the survivors'.
+        self.barrier();
+        candidates
+    }
+
+    /// Park a crashed rank until the survivors re-admit it via
+    /// [`Communicator::try_grow`] or the run ends. Call only after
+    /// [`Communicator::shrink`] returned `Ok(false)` and the fault plan
+    /// schedules a recovery for this rank. Returns `Some(leader)` when the
+    /// rank rejoined — the communicator now addresses the grown world, and
+    /// `leader` is the rank of the grow leader, the survivor to ask for
+    /// current replica state — and `None` when the lobby closed first: the
+    /// run finished without it.
+    pub fn await_rejoin(&mut self) -> Option<usize> {
+        let lobby = Arc::clone(&self.world.lobby);
+        let mut st = lobby.state.lock();
+        loop {
+            if let Some((world, rank, leader)) = st.assignments.remove(&self.orig) {
+                drop(st);
+                self.world = world;
+                self.rank = rank;
+                // Counterpart of the survivors' post-grow barrier.
+                self.barrier();
+                return Some(leader);
+            }
+            if st.closed {
+                return None;
+            }
+            lobby.cv.wait(&mut st);
+        }
+    }
+
+    /// Close the rejoin lobby: ranks parked in
+    /// [`Communicator::await_rejoin`] wake up and return `false`.
+    /// Idempotent; every survivor calls it once its program is done, so a
+    /// scheduled recovery the run never reached cannot leave a parked
+    /// thread hanging.
+    pub fn close_lobby(&self) {
+        let mut st = self.world.lobby.state.lock();
+        st.closed = true;
+        st.assignments.clear();
+        self.world.lobby.cv.notify_all();
+    }
+
+    /// Original ids of every rank in the current world, in rank order.
+    #[inline]
+    pub fn orig_ranks(&self) -> &[usize] {
+        &self.world.orig_ranks
+    }
+
+    /// Number of fault-checked collectives so far (the cursor into the
+    /// plan's induced-fault stream). Checkpointed so a resumed run replays
+    /// the same fault decisions.
+    #[inline]
+    pub fn coll_seq(&self) -> u64 {
+        self.coll_seq
+    }
+
+    /// Per-destination p2p send counters (indexed by original rank), the
+    /// cursor into the plan's p2p drop streams.
+    #[inline]
+    pub fn p2p_seq(&self) -> &[u64] {
+        &self.p2p_seq
+    }
+
+    /// Restore the fault-stream cursors captured by a checkpoint. Slices
+    /// shorter than the current world's counter vector leave the tail
+    /// untouched; longer ones are truncated.
+    pub fn restore_sequences(&mut self, coll_seq: u64, p2p_seq: &[u64]) {
+        self.coll_seq = coll_seq;
+        let n = self.p2p_seq.len().min(p2p_seq.len());
+        self.p2p_seq[..n].copy_from_slice(&p2p_seq[..n]);
+    }
+
+    /// Mutable traffic counters, for restoring checkpointed totals.
+    #[inline]
+    pub fn traffic_mut(&mut self) -> &mut TrafficStats {
+        &mut self.traffic
     }
 }
 

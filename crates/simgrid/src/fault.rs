@@ -109,16 +109,22 @@ pub struct LinkDegradation {
     pub bandwidth_div: f64,
 }
 
-/// A hard, permanent rank failure at a point in simulated time. Detected
-/// at the first data collective where the crashed rank's deposited clock
-/// has passed `at_s`; all participants then see
-/// [`crate::SimError::RankCrashed`].
+/// A hard rank failure at a point in simulated time. Detected at the
+/// first data collective where the crashed rank's deposited clock has
+/// passed `at_s`; all participants then see
+/// [`crate::SimError::RankCrashed`]. If `recover_at_s` is set the node
+/// comes back up at that simulated time and may rejoin the world at the
+/// next epoch boundary the survivors reach after it (the elastic re-grow
+/// path); `None` means the failure is permanent.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RankCrash {
     /// Original (pre-shrink) rank id.
     pub rank: usize,
     /// Simulated time of death.
     pub at_s: f64,
+    /// Simulated time the node is healthy again, if it ever is.
+    #[serde(default)]
+    pub recover_at_s: Option<f64>,
 }
 
 /// Timeout + bounded-retry semantics for lost messages and failure
@@ -239,6 +245,7 @@ impl FaultPlan {
             plan.crashes.push(RankCrash {
                 rank: victim,
                 at_s: s.next_range(0.25, 0.75) * horizon_s,
+                recover_at_s: None,
             });
         }
         plan
@@ -258,9 +265,26 @@ impl FaultPlan {
         self
     }
 
-    /// Builder: crash `rank` at `at_s` simulated seconds.
+    /// Builder: crash `rank` at `at_s` simulated seconds, permanently.
     pub fn with_crash(mut self, rank: usize, at_s: f64) -> Self {
-        self.crashes.push(RankCrash { rank, at_s });
+        self.crashes.push(RankCrash {
+            rank,
+            at_s,
+            recover_at_s: None,
+        });
+        self
+    }
+
+    /// Builder: crash `rank` at `at_s` and bring the node back up at
+    /// `recover_at_s`, making it eligible to rejoin the world at the next
+    /// epoch boundary after recovery.
+    pub fn with_crash_and_rejoin(mut self, rank: usize, at_s: f64, recover_at_s: f64) -> Self {
+        assert!(recover_at_s >= at_s, "recovery must not precede the crash");
+        self.crashes.push(RankCrash {
+            rank,
+            at_s,
+            recover_at_s: Some(recover_at_s),
+        });
         self
     }
 
@@ -327,6 +351,33 @@ impl FaultPlan {
             .filter(|c| c.rank == rank)
             .map(|c| c.at_s)
             .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Whether `rank` (original id) is down at simulated time `t`: some
+    /// crash has happened (`at_s <= t`) and the node has not yet recovered
+    /// (no `recover_at_s`, or `t < recover_at_s`). Crash *detection* uses
+    /// this rather than [`FaultPlan::crash_time`] so a rank that rejoined
+    /// after recovery is not re-detected as dead by its old crash entry.
+    pub fn is_down(&self, rank: usize, t: f64) -> bool {
+        self.crashes.iter().any(|c| {
+            c.rank == rank && c.at_s <= t && c.recover_at_s.is_none_or(|r| t < r)
+        })
+    }
+
+    /// Simulated time at which `rank` comes back up after its earliest
+    /// crash, if a recovery is scheduled.
+    pub fn recovery_time(&self, rank: usize) -> Option<f64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .filter_map(|c| c.recover_at_s)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Whether any scheduled crash has a recovery — the gate for the
+    /// trainer's epoch-boundary rejoin checks (zero overhead otherwise).
+    pub fn has_recoveries(&self) -> bool {
+        self.crashes.iter().any(|c| c.recover_at_s.is_some())
     }
 
     /// Number of consecutive lost transmission attempts for the `seq`-th
@@ -415,6 +466,24 @@ mod tests {
         let plan = FaultPlan::seeded(3).with_crash(2, 5.0).with_crash(2, 3.0);
         assert_eq!(plan.crash_time(2), Some(3.0));
         assert_eq!(plan.crash_time(0), None);
+    }
+
+    #[test]
+    fn recovery_windows_bound_is_down() {
+        let plan = FaultPlan::seeded(4).with_crash_and_rejoin(1, 2.0, 5.0);
+        assert!(!plan.is_down(1, 1.9), "healthy before the crash");
+        assert!(plan.is_down(1, 2.0), "down from at_s");
+        assert!(plan.is_down(1, 4.9), "still down before recovery");
+        assert!(!plan.is_down(1, 5.0), "healthy again at recover_at_s");
+        assert!(!plan.is_down(0, 3.0), "other ranks unaffected");
+        assert_eq!(plan.recovery_time(1), Some(5.0));
+        assert_eq!(plan.recovery_time(0), None);
+        assert!(plan.has_recoveries());
+
+        let permanent = FaultPlan::seeded(5).with_crash(1, 2.0);
+        assert!(permanent.is_down(1, 1e9), "no recovery → down forever");
+        assert!(!permanent.has_recoveries());
+        assert_eq!(permanent.recovery_time(1), None);
     }
 
     #[test]

@@ -66,6 +66,45 @@ impl TrafficStats {
     pub fn reset(&mut self) {
         self.entries.clear();
     }
+
+    /// Export every counter as `(op, [ops, bytes_sent, bytes_recv,
+    /// wire_sent, wire_recv, retries])` in `Collective` order, appending to
+    /// `out` (cleared first). Checkpointing serializes this flat form.
+    pub fn export_into(&self, out: &mut Vec<(Collective, [u64; 6])>) {
+        out.clear();
+        for (&op, c) in &self.entries {
+            out.push((
+                op,
+                [
+                    c.ops,
+                    c.bytes_sent,
+                    c.bytes_recv,
+                    c.wire_sent,
+                    c.wire_recv,
+                    c.retries,
+                ],
+            ));
+        }
+    }
+
+    /// Overwrite all counters from an [`TrafficStats::export_into`] image;
+    /// a resumed rank continues accumulating from the restored totals.
+    pub fn import(&mut self, entries: &[(Collective, [u64; 6])]) {
+        self.entries.clear();
+        for &(op, [ops, bytes_sent, bytes_recv, wire_sent, wire_recv, retries]) in entries {
+            self.entries.insert(
+                op,
+                Counter {
+                    ops,
+                    bytes_sent,
+                    bytes_recv,
+                    wire_sent,
+                    wire_recv,
+                    retries,
+                },
+            );
+        }
+    }
 }
 
 /// Immutable snapshot of [`TrafficStats`].
@@ -162,6 +201,42 @@ mod tests {
         t.record(Collective::Barrier, 0, 0);
         t.reset();
         assert_eq!(t.report().ops(Collective::Barrier), 0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_every_counter() {
+        let mut t = TrafficStats::default();
+        t.record(Collective::AllReduce, 100, 200);
+        t.record_wire(Collective::AllReduce, 75, 80);
+        t.record_retries(Collective::AllReduce, 3);
+        t.record(Collective::AllGatherV, 10, 40);
+        t.record_wire(Collective::PointToPoint, 5, 0);
+
+        let mut image = Vec::new();
+        t.export_into(&mut image);
+        let mut u = TrafficStats::default();
+        u.record(Collective::Broadcast, 9, 9); // overwritten by import
+        u.import(&image);
+
+        let (a, b) = (t.report(), u.report());
+        for op in [
+            Collective::AllReduce,
+            Collective::AllGatherV,
+            Collective::Broadcast,
+            Collective::Barrier,
+            Collective::Gather,
+            Collective::PointToPoint,
+        ] {
+            assert_eq!(a.ops(op), b.ops(op));
+            assert_eq!(a.bytes_sent(op), b.bytes_sent(op));
+            assert_eq!(a.bytes_recv(op), b.bytes_recv(op));
+            assert_eq!(a.wire_sent(op), b.wire_sent(op));
+            assert_eq!(a.wire_recv(op), b.wire_recv(op));
+            assert_eq!(a.retries(op), b.retries(op));
+        }
+        // Importing restores totals that keep accumulating.
+        u.record(Collective::AllReduce, 1, 1);
+        assert_eq!(u.report().ops(Collective::AllReduce), 2);
     }
 
     #[test]

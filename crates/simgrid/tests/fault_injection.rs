@@ -135,6 +135,86 @@ fn crash_is_detected_and_world_shrinks() {
     }
 }
 
+/// The elastic cycle at the communicator level: a crash shrinks 4 → 3,
+/// the recovered rank parks in the lobby, and the survivors' next
+/// `try_grow` re-admits it, restoring the 4-rank world with aligned
+/// clocks — reproducibly.
+#[test]
+fn crashed_rank_rejoins_and_world_regrows() {
+    let run = || {
+        // Crash at t=0; healthy again at t=0.05, which is before the
+        // survivors' first epoch boundary (detection alone charges the
+        // 0.1 s failure-detection timeout).
+        let plan = FaultPlan::seeded(9).with_crash_and_rejoin(2, 0.0, 0.05);
+        Cluster::new(4, ClusterSpec::cray_xc40())
+            .with_fault_plan(plan)
+            .run(|ctx| {
+                let mut v = vec![ctx.rank() as f32 + 1.0; 64];
+                let err = ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap_err();
+                assert!(
+                    matches!(err, SimError::RankCrashed { rank: 2 }),
+                    "unexpected error: {err}"
+                );
+                if !ctx.comm_mut().shrink().unwrap() {
+                    // The crashed rank parks until the survivors re-admit
+                    // it; the assignment names the grow leader (rank 0).
+                    assert_eq!(ctx.comm_mut().await_rejoin(), Some(0));
+                } else {
+                    // Survivors run a 3-rank step, then reach the epoch
+                    // boundary and re-grow.
+                    let mut w = vec![1.0f32; 16];
+                    ctx.comm_mut().allreduce_sum_f32(&mut w).unwrap();
+                    assert_eq!(w[0], 3.0);
+                    let rejoined = ctx.comm_mut().try_grow();
+                    assert_eq!(rejoined, vec![2]);
+                }
+                // Grown world: all four original ranks, dense in orig order.
+                assert_eq!(ctx.comm().size(), 4);
+                assert_eq!(ctx.comm().rank(), ctx.comm().orig_rank());
+                assert_eq!(ctx.comm().orig_ranks(), &[0, 1, 2, 3]);
+                let mut z = vec![ctx.comm().orig_rank() as f32; 8];
+                ctx.comm_mut().allreduce_sum_f32(&mut z).unwrap();
+                assert_eq!(z[0], 6.0);
+                ctx.comm().close_lobby();
+                ctx.comm().clock().now_s()
+            })
+    };
+    let a = run();
+    // Synchronous finish: the grown world leaves the last collective with
+    // aligned clocks, the rejoiner included.
+    for t in &a {
+        assert_eq!(t.to_bits(), a[0].to_bits(), "clocks diverged: {a:?}");
+    }
+    // And the whole elastic cycle is bit-reproducible.
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// A scheduled recovery the run never reaches must not hang the cluster:
+/// closing the lobby wakes the parked rank, which exits without rejoining.
+#[test]
+fn lobby_close_releases_never_readmitted_rank() {
+    let plan = FaultPlan::seeded(13).with_crash_and_rejoin(1, 0.0, 1.0e6);
+    let out = Cluster::new(2, ClusterSpec::cray_xc40())
+        .with_fault_plan(plan)
+        .run(|ctx| {
+            let mut v = vec![1.0f32; 8];
+            let _ = ctx.comm_mut().allreduce_sum_f32(&mut v).unwrap_err();
+            if !ctx.comm_mut().shrink().unwrap() {
+                return ctx.comm_mut().await_rejoin().is_some();
+            }
+            // Survivor: the recovery deadline is far in the future, so the
+            // epoch-boundary grow finds nothing, and the program ends.
+            assert!(ctx.comm_mut().try_grow().is_empty());
+            ctx.comm().close_lobby();
+            true
+        });
+    assert!(out[0], "survivor finishes normally");
+    assert!(!out[1], "parked rank released without rejoin");
+}
+
 #[test]
 fn crash_detection_charges_fault_timeout() {
     let plan = FaultPlan::seeded(3)

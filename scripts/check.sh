@@ -57,3 +57,16 @@ echo "check: kernel + codec bit-identity property tests pass (both dispatch arms
 cargo test -p kge-train --release --test pipeline_determinism --test zero_alloc_pipeline
 KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test pipeline_determinism
 echo "check: pipelined exchange determinism + zero-alloc tests pass (both dispatch arms)"
+
+# Checkpoint/restore: the codec roundtrip + corruption property tests,
+# the committed golden fixture, the pooled-buffer zero-alloc guard, and
+# the resume-equivalence matrix (checkpoint-at-k + resume must be
+# bit-identical to the uninterrupted run) — the matrix under both
+# dispatch arms, since a resumed run must replay the *same* arm's bits.
+cargo test -p kge-train --release \
+  --test prop_checkpoint_roundtrip \
+  --test golden_checkpoint \
+  --test zero_alloc_checkpoint \
+  --test resume_determinism
+KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test resume_determinism
+echo "check: checkpoint codec + resume equivalence pass (both dispatch arms)"
