@@ -19,11 +19,13 @@
 //!   accumulate the quantization error locally and add it back before the
 //!   next compression.
 
+pub mod arena;
 pub mod codec;
 pub mod quant;
 pub mod residual;
 pub mod row_select;
 
+pub use arena::{ArenaKind, RowArena};
 pub use codec::{decode_rows, encode_rows, RowDecoder, RowEncoder, RowPayload, RowRef, WireFormat};
 pub use quant::{one_bit_dequantize_from, QuantScheme, QuantizedRow, ScaleRule};
 pub use residual::ResidualStore;

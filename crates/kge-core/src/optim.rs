@@ -121,6 +121,36 @@ impl Adam {
         });
     }
 
+    /// The lazy update for a single row: bump its step counter, decay the
+    /// moments, apply the bias-corrected step. `lr` is the already-scaled
+    /// learning rate (`self.lr * lr_scale`). This is the exact loop body
+    /// of [`Adam::step_lazy`], exposed so row stores that keep parameters
+    /// outside an [`EmbeddingTable`] (the sharded store's owner arena and
+    /// hot cache) apply bit-identical math.
+    #[inline]
+    pub fn step_row_lazy(
+        &self,
+        rt: &mut u32,
+        m: &mut [f32],
+        v: &mut [f32],
+        p: &mut [f32],
+        g: &[f32],
+        lr: f32,
+    ) {
+        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        *rt += 1;
+        let bc1 = 1.0 - beta1.powi(*rt as i32);
+        let bc2 = 1.0 - beta2.powi(*rt as i32);
+        for k in 0..p.len() {
+            let gv = g[k];
+            m[k] = beta1 * m[k] + (1.0 - beta1) * gv;
+            v[k] = beta2 * v[k] + (1.0 - beta2) * gv * gv;
+            let mhat = m[k] / bc1;
+            let vhat = v[k] / bc2;
+            p[k] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
     /// Lazy step: update only the rows present in `grad`, with per-row bias
     /// correction. Rows never touched keep their stale moments untouched
     /// (TensorFlow `sparse_apply_adam` semantics).
@@ -134,7 +164,7 @@ impl Adam {
         assert_eq!(grad.dim(), table.dim());
         let dim = table.dim();
         let lr = self.lr * lr_scale;
-        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
+        let this = *self;
         // Rows are iterated in insertion order straight off the slab — no
         // per-step collect. Row updates are disjoint and self-contained, so
         // iteration order does not affect the result bits.
@@ -152,20 +182,10 @@ impl Adam {
             let r = row as usize;
             unsafe {
                 let rt = &mut *t.0.add(r);
-                *rt += 1;
-                let bc1 = 1.0 - beta1.powi(*rt as i32);
-                let bc2 = 1.0 - beta2.powi(*rt as i32);
                 let ms = std::slice::from_raw_parts_mut(m.0.add(r * dim), dim);
                 let vs = std::slice::from_raw_parts_mut(v.0.add(r * dim), dim);
                 let ps = std::slice::from_raw_parts_mut(p.0.add(r * dim), dim);
-                for k in 0..dim {
-                    let gv = g[k];
-                    ms[k] = beta1 * ms[k] + (1.0 - beta1) * gv;
-                    vs[k] = beta2 * vs[k] + (1.0 - beta2) * gv * gv;
-                    let mhat = ms[k] / bc1;
-                    let vhat = vs[k] / bc2;
-                    ps[k] -= lr * mhat / (vhat.sqrt() + eps);
-                }
+                this.step_row_lazy(rt, ms, vs, ps, g, lr);
             }
         });
     }

@@ -16,8 +16,10 @@
 //!
 //! [`PartitionStats`] quantifies balance and relation-disjointness.
 
+pub mod ownership;
 pub mod stats;
 
+pub use ownership::{entity_owners, hot_set, relation_owners, HotSetStats};
 pub use stats::PartitionStats;
 
 use kge_data::batch::uniform_shards;

@@ -1,0 +1,198 @@
+//! Degree-aware row ownership derived from a triple [`Partition`].
+//!
+//! The sharded embedding store (and the parameter-server lane) place each
+//! entity row on exactly one rank. Deriving the owner from the triple
+//! partition — the shard where the entity appears most — makes the
+//! majority of a rank's row touches local, which is ParaGraphE's locality
+//! argument applied to storage: pulls cross the wire only for the
+//! minority of endpoints that straddle shards.
+//!
+//! Ownership must be a pure function of the partition so every rank
+//! computes the identical map without communication: ties break toward
+//! the lower shard id, and entities absent from the train split fall back
+//! to `id % p`.
+
+use crate::Partition;
+
+/// Owner rank per entity id: the shard where the entity occurs most as a
+/// triple endpoint (head or tail). Ties break to the lower shard id;
+/// entities that never occur go to `id % p` so cold ids still spread
+/// evenly. Deterministic given the partition.
+pub fn entity_owners(part: &Partition, n_entities: usize) -> Vec<u32> {
+    let p = part.shards.len().max(1);
+    owners_by_majority(n_entities, p, |count| {
+        for (s, shard) in part.shards.iter().enumerate() {
+            for t in shard {
+                count(t.head as usize, s);
+                count(t.tail as usize, s);
+            }
+        }
+    })
+}
+
+/// Owner rank per relation id, by the same majority rule. With a
+/// relation-disjoint partition every relation occurs on exactly one
+/// shard, so this reduces to "the shard that holds the relation".
+pub fn relation_owners(part: &Partition, n_relations: usize) -> Vec<u32> {
+    let p = part.shards.len().max(1);
+    owners_by_majority(n_relations, p, |count| {
+        for (s, shard) in part.shards.iter().enumerate() {
+            for t in shard {
+                count(t.rel as usize, s);
+            }
+        }
+    })
+}
+
+fn owners_by_majority(
+    n_ids: usize,
+    p: usize,
+    visit: impl FnOnce(&mut dyn FnMut(usize, usize)),
+) -> Vec<u32> {
+    // Dense id × shard occurrence counts; transient, freed on return.
+    let mut counts = vec![0u32; n_ids * p];
+    visit(&mut |id, shard| counts[id * p + shard] += 1);
+    (0..n_ids)
+        .map(|id| {
+            let row = &counts[id * p..(id + 1) * p];
+            let (mut best, mut best_c) = (id % p, 0u32);
+            for (s, &c) in row.iter().enumerate() {
+                // Strict > keeps the lowest shard id on ties.
+                if c > best_c {
+                    best = s;
+                    best_c = c;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+/// The `k` highest-degree entity ids (ties break to the lower id),
+/// returned sorted ascending — the eligibility set for the hot cache.
+/// Deterministic given the degree array.
+pub fn hot_set(degrees: &[usize], k: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..degrees.len() as u32).collect();
+    // Sort by (degree desc, id asc); stable outcome via the id tiebreak.
+    ids.sort_unstable_by(|&a, &b| {
+        degrees[b as usize]
+            .cmp(&degrees[a as usize])
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k.min(degrees.len()));
+    ids.sort_unstable();
+    ids
+}
+
+/// How much of the training touch mass a hot set captures — the sizing
+/// signal for the cache capacity knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSetStats {
+    /// Entities in the hot set.
+    pub rows: usize,
+    /// Fraction of endpoint touches (2 per train triple) that land on a
+    /// hot-set entity — an upper bound on the cache hit rate.
+    pub coverage: f64,
+    /// Smallest degree inside the hot set (0 when the set is empty).
+    pub min_degree: usize,
+}
+
+impl HotSetStats {
+    /// Measure `hot` (entity ids) against the per-entity degree array.
+    pub fn measure(degrees: &[usize], hot: &[u32]) -> Self {
+        let total: usize = degrees.iter().sum();
+        let covered: usize = hot.iter().map(|&e| degrees[e as usize]).sum();
+        let min_degree = hot.iter().map(|&e| degrees[e as usize]).min().unwrap_or(0);
+        HotSetStats {
+            rows: hot.len(),
+            coverage: if total == 0 {
+                0.0
+            } else {
+                covered as f64 / total as f64
+            },
+            min_degree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_partition;
+    use kge_data::Triple;
+
+    fn part_2way() -> Partition {
+        // Shard 0: entities {0,1,2}; shard 1: {2,3} with entity 2 once.
+        // Entity 2 appears twice on shard 0, once on shard 1.
+        Partition {
+            shards: vec![
+                vec![Triple::new(0, 0, 1), Triple::new(2, 0, 2)],
+                vec![Triple::new(2, 1, 3)],
+            ],
+            relation_disjoint: true,
+        }
+    }
+
+    #[test]
+    fn entity_owner_is_majority_shard() {
+        let owners = entity_owners(&part_2way(), 6);
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[1], 0);
+        assert_eq!(owners[2], 0); // 2 touches on shard 0 vs 1 on shard 1
+        assert_eq!(owners[3], 1);
+        // Untouched entities fall back to id % p.
+        assert_eq!(owners[4], 0);
+        assert_eq!(owners[5], 1);
+    }
+
+    #[test]
+    fn relation_owner_matches_disjoint_partition() {
+        let owners = relation_owners(&part_2way(), 3);
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[1], 1);
+        assert_eq!(owners[2], 0); // absent: 2 % 2
+    }
+
+    #[test]
+    fn ties_break_to_lower_shard() {
+        let part = Partition {
+            shards: vec![vec![Triple::new(0, 0, 1)], vec![Triple::new(1, 0, 0)]],
+            relation_disjoint: false,
+        };
+        // Entities 0 and 1 each touch both shards once.
+        let owners = entity_owners(&part, 2);
+        assert_eq!(owners, vec![0, 0]);
+    }
+
+    #[test]
+    fn owners_cover_every_rank_on_balanced_input() {
+        let triples: Vec<Triple> = (0..40u32).map(|i| Triple::new(i, 0, i + 40)).collect();
+        let part = uniform_partition(&triples, 4);
+        let owners = entity_owners(&part, 80);
+        for r in 0..4u32 {
+            assert!(owners.contains(&r), "rank {r} owns nothing");
+        }
+        assert!(owners.iter().all(|&o| (o as usize) < 4));
+    }
+
+    #[test]
+    fn hot_set_picks_top_degrees_deterministically() {
+        let degrees = vec![5usize, 1, 9, 5, 0, 9];
+        let hot = hot_set(&degrees, 3);
+        // Degree 9 ids 2 and 5, then the degree-5 tie breaks to id 0.
+        assert_eq!(hot, vec![0, 2, 5]);
+        let stats = HotSetStats::measure(&degrees, &hot);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.min_degree, 5);
+        assert!((stats.coverage - 23.0 / 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_set_handles_oversized_k_and_empty() {
+        assert_eq!(hot_set(&[3, 1], 10), vec![0, 1]);
+        assert!(hot_set(&[], 4).is_empty());
+        let s = HotSetStats::measure(&[0, 0], &[]);
+        assert_eq!(s.coverage, 0.0);
+        assert_eq!(s.min_degree, 0);
+    }
+}

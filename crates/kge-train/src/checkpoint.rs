@@ -288,6 +288,8 @@ fn collective_tag(c: Collective) -> u8 {
         Collective::Barrier => 3,
         Collective::Gather => 4,
         Collective::PointToPoint => 5,
+        Collective::ShardPull => 6,
+        Collective::ShardPush => 7,
     }
 }
 
@@ -299,6 +301,8 @@ fn collective_from_tag(t: u8) -> Result<Collective, CheckpointError> {
         3 => Collective::Barrier,
         4 => Collective::Gather,
         5 => Collective::PointToPoint,
+        6 => Collective::ShardPull,
+        7 => Collective::ShardPush,
         other => {
             return Err(CheckpointError::BadValue {
                 what: "collective",

@@ -208,6 +208,24 @@ impl OptimizerKind {
     }
 }
 
+/// Partitioned entity storage (the "sharded store"): each entity row is
+/// resident only on its owner rank, batches pull the rows they touch over
+/// point-to-point links, and row-sparse gradients are routed back to
+/// owners for the lazy Adam step. A capacity-bounded cache of high-degree
+/// rows is replicated on every rank so the hottest rows are synced once
+/// per admission instead of pulled once per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedConfig {
+    /// Hot-cache capacity in entity rows (0 disables the cache; every
+    /// touched row is then pulled from its owner each batch).
+    pub hot_cache_rows: usize,
+    /// Store cold (owner-arena) rows 8-bit quantized instead of f32.
+    /// Deterministic but lossy: the trajectory diverges from the
+    /// full-replica trainer while staying identical run-to-run.
+    #[serde(default)]
+    pub cold_int8: bool,
+}
+
 /// Full training configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -273,6 +291,11 @@ pub struct TrainConfig {
     /// uninterrupted run (see `tests/resume_determinism.rs`).
     #[serde(default)]
     pub resume_from: Option<std::path::PathBuf>,
+    /// Train with partitioned entity storage instead of full replicas.
+    /// Sharded mode supports the plain all-gather strategy arm only; see
+    /// [`TrainConfig::validate`] for the exact compatibility rules.
+    #[serde(default)]
+    pub sharded: Option<ShardedConfig>,
 }
 
 impl TrainConfig {
@@ -299,6 +322,7 @@ impl TrainConfig {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume_from: None,
+            sharded: None,
         }
     }
 
@@ -326,6 +350,46 @@ impl TrainConfig {
         }
         if self.checkpoint_every > 0 && self.checkpoint_dir.is_none() {
             return Err("checkpoint_every requires checkpoint_dir".into());
+        }
+        if self.sharded.is_some() {
+            // The sharded store implements exactly the plain all-gather /
+            // lazy-Adam arm; everything that reads the full entity table
+            // (selection-based negatives, dense updates, validation,
+            // ranking eval, checkpointing) or reshapes the wire payload
+            // (row selection, quantization, RP) is out of scope in v1.
+            if self.strategy.comm != CommMode::AllGather {
+                return Err("sharded mode requires CommMode::AllGather".into());
+            }
+            if self.strategy.row_select != RowSelector::None {
+                return Err("sharded mode does not support row selection".into());
+            }
+            if self.strategy.quant != QuantScheme::None {
+                return Err("sharded mode does not support wire quantization".into());
+            }
+            if self.strategy.error_feedback {
+                return Err("sharded mode does not support error feedback".into());
+            }
+            if self.strategy.relation_partition {
+                return Err("sharded mode does not support relation partition".into());
+            }
+            if self.strategy.neg.uses_selection() {
+                return Err("sharded mode does not support negative selection".into());
+            }
+            if self.strategy.update_style == UpdateStyle::Dense {
+                return Err("sharded mode requires lazy updates".into());
+            }
+            if self.optimizer != OptimizerKind::Adam {
+                return Err("sharded mode requires the Adam optimizer".into());
+            }
+            if self.valid_samples != 0 {
+                return Err("sharded mode requires valid_samples = 0".into());
+            }
+            if self.eval_every != 0 {
+                return Err("sharded mode does not support per-epoch ranking eval".into());
+            }
+            if self.checkpoint_every != 0 || self.resume_from.is_some() {
+                return Err("sharded mode does not support checkpointing".into());
+            }
         }
         Ok(())
     }
@@ -400,6 +464,38 @@ mod tests {
         assert!(c.validate().is_err(), "checkpointing needs a directory");
         c.checkpoint_dir = Some(std::path::PathBuf::from("/tmp/ckpt"));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sharded_mode_compatibility_rules() {
+        let base = || {
+            let mut c = TrainConfig::new(16, 100, StrategyConfig::baseline_allgather(2));
+            c.valid_samples = 0;
+            c.sharded = Some(ShardedConfig {
+                hot_cache_rows: 8,
+                cold_int8: false,
+            });
+            c
+        };
+        assert!(base().validate().is_ok());
+        let mut c = base();
+        c.strategy.comm = CommMode::AllReduce;
+        assert!(c.validate().is_err(), "sharded needs all-gather");
+        let mut c = base();
+        c.strategy.neg = NegSampling::select(1, 4);
+        assert!(c.validate().is_err(), "no negative selection");
+        let mut c = base();
+        c.strategy.relation_partition = true;
+        assert!(c.validate().is_err(), "no relation partition");
+        let mut c = base();
+        c.valid_samples = 64;
+        assert!(c.validate().is_err(), "no validation sampling");
+        let mut c = base();
+        c.optimizer = OptimizerKind::Adagrad;
+        assert!(c.validate().is_err(), "Adam only");
+        let mut c = base();
+        c.strategy.update_style = UpdateStyle::Dense;
+        assert!(c.validate().is_err(), "lazy updates only");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod lr;
 pub mod neg;
 pub mod ps;
 pub mod report;
+pub mod shard;
 pub mod trainer;
 
 pub use checkpoint::{
@@ -52,10 +53,12 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 pub use config::{
-    CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig, TrainConfig, UpdateStyle,
+    CommMode, ModelKind, NegSampling, OptimizerKind, ShardedConfig, StrategyConfig, TrainConfig,
+    UpdateStyle,
 };
 pub use exchange::{AggGrad, ExchangeStats, GatherBufs, PipelineSlot};
 pub use lr::{LrDecision, PlateauSchedule};
 pub use ps::train_ps;
-pub use report::{EpochTrace, TrainOutcome, TrainReport};
+pub use report::{EpochTrace, ShardedReport, TrainOutcome, TrainReport};
+pub use shard::train_sharded;
 pub use trainer::{batch_gradients, train, BatchWorkspace};

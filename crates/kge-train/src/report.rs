@@ -82,6 +82,71 @@ pub struct TrainReport {
     pub wire_bytes_sent: u64,
     #[serde(default)]
     pub wire_bytes_recv: u64,
+    /// Sharded-storage measurements, present when the run used
+    /// `TrainConfig::sharded` (partitioned entity storage with a hot
+    /// cache); `None` for full-replica runs.
+    #[serde(default)]
+    pub sharded: Option<ShardedReport>,
+}
+
+/// Memory and traffic accounting for a sharded-storage run. Byte and
+/// touch counters are summed over all ranks; resident sizes are the
+/// maximum over ranks (the per-node memory bound is what sharding is
+/// for).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardedReport {
+    /// Wire bytes of pull requests plus row responses (`ShardPull`).
+    pub pull_wire_bytes: u64,
+    /// Wire bytes of cold row-gradient pushes to owners (`ShardPush`).
+    pub push_wire_bytes: u64,
+    /// Cache lookups that found the row resident. A lookup happens only
+    /// for rows the hot tier manages (the degree-ranked eligible set);
+    /// cold-tier rows go straight to pull/push without consulting the
+    /// cache, so they are not lookups.
+    pub cache_hits: u64,
+    /// Cache lookups: entity-row touches of hot-set rows.
+    pub cache_accesses: u64,
+    /// All entity-row touches (2 per staged example, duplicates count) —
+    /// `cache_accesses / entity_touches` is the hot tier's coverage of
+    /// the access stream.
+    #[serde(default)]
+    pub entity_touches: u64,
+    /// Largest per-rank resident model bytes: owner arena + hot-cache
+    /// values + the (replicated) relation table.
+    pub resident_model_bytes: usize,
+    /// Full-replica model bytes for the same config — what every rank
+    /// would hold without sharding.
+    pub replica_model_bytes: usize,
+    /// Largest per-rank resident optimizer-state bytes (owner Adam
+    /// moments + cache moments + replicated relation moments).
+    pub opt_state_bytes: usize,
+    /// Hot-cache capacity in rows.
+    pub hot_capacity: usize,
+    /// Rows eligible for caching (the degree-ranked hot set).
+    pub eligible_rows: usize,
+    /// Largest per-rank owned-row count.
+    pub owned_rows: usize,
+}
+
+impl ShardedReport {
+    /// Hot-cache hit rate: the fraction of cache lookups (touches of
+    /// hot-set rows) served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_accesses == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_accesses as f64
+        }
+    }
+
+    /// Per-rank resident model bytes as a fraction of the full replica.
+    pub fn resident_fraction(&self) -> f64 {
+        if self.replica_model_bytes == 0 {
+            0.0
+        } else {
+            self.resident_model_bytes as f64 / self.replica_model_bytes as f64
+        }
+    }
 }
 
 impl TrainReport {
@@ -162,6 +227,7 @@ mod tests {
             crashed_ranks: vec![],
             wire_bytes_sent: 4000,
             wire_bytes_recv: 4000,
+            sharded: None,
         };
         assert_eq!(r.total_hours(), 2.0);
         assert_eq!(r.mean_epoch_seconds(), 3600.0);
@@ -188,6 +254,7 @@ mod tests {
             crashed_ranks: vec![],
             wire_bytes_sent: 0,
             wire_bytes_recv: 0,
+            sharded: None,
         };
         assert_eq!(r.mean_epoch_seconds(), 0.0);
         assert_eq!(r.allreduce_fraction(), 0.0);

@@ -41,13 +41,13 @@ use simgrid::{Cluster, Collective, NodeCtx, SimError};
 
 /// Threshold below which a gradient row counts as "zero" for the Fig. 2
 /// statistic (f32 rows of well-fit triples underflow toward this).
-const ZERO_ROW_EPS: f32 = 1e-7;
+pub(crate) const ZERO_ROW_EPS: f32 = 1e-7;
 
 /// Positives per parallel gradient chunk. Fixed — never derived from the
 /// thread count — so the chunk structure, each chunk's RNG stream, and the
 /// f32 summation order of the chunk-ordered merge are identical no matter
 /// how many workers execute the chunks.
-const GRAD_CHUNK: usize = 256;
+pub(crate) const GRAD_CHUNK: usize = 256;
 
 /// Fixed initiation latency charged per checkpoint. The write itself is
 /// asynchronous (drained by the burst buffer behind later compute); what
@@ -66,6 +66,9 @@ const CKPT_BW_BYTES_S: f64 = 2e9;
 pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> TrainOutcome {
     config.validate().expect("invalid training config");
     dataset.validate().expect("invalid dataset");
+    if config.sharded.is_some() {
+        return crate::shard::train_sharded(dataset, cluster, config);
+    }
     let mut results = cluster.run(|ctx| run_node(ctx, dataset, config));
     // Wire-level conservation is global: crashed ranks' pre-crash traffic
     // counts, so sum before discarding the non-reporting nodes.
@@ -106,7 +109,7 @@ struct Scratch {
 /// Width of the per-node worker pool: an explicit `RAYON_NUM_THREADS`
 /// wins; otherwise each simulated node gets an equal share of the host's
 /// cores (floor 1), mirroring how ranks of a real job split a machine.
-fn node_pool_threads(nodes: usize) -> usize {
+pub(crate) fn node_pool_threads(nodes: usize) -> usize {
     if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n > 0 {
@@ -120,12 +123,12 @@ fn node_pool_threads(nodes: usize) -> usize {
 
 /// What one node hands back to [`train`]: the report (lead survivor
 /// only), its final model replica, and its wire-level traffic totals.
-struct NodeResult {
-    report: Option<TrainReport>,
-    entities: EmbeddingTable,
-    relations: EmbeddingTable,
-    wire_sent: u64,
-    wire_recv: u64,
+pub(crate) struct NodeResult {
+    pub(crate) report: Option<TrainReport>,
+    pub(crate) entities: EmbeddingTable,
+    pub(crate) relations: EmbeddingTable,
+    pub(crate) wire_sent: u64,
+    pub(crate) wire_recv: u64,
 }
 
 fn run_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeResult {
@@ -140,7 +143,7 @@ fn run_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeR
 /// this node's shard, the relations it owns under RP, and the number of
 /// batches per epoch (the max over shards, so every rank runs the same
 /// count and collectives stay well-formed).
-fn distribute(
+pub(crate) fn distribute(
     dataset: &Dataset,
     relation_disjoint: bool,
     rank: usize,
@@ -1222,6 +1225,7 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
             // Filled in by train(), which sums over every rank.
             wire_bytes_sent: 0,
             wire_bytes_recv: 0,
+            sharded: None,
         })
     } else {
         None
@@ -1242,22 +1246,22 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
 /// Instances live in a [`ScratchPool`] so every buffer is reused across
 /// chunks, batches, and epochs — after warmup, processing a chunk
 /// performs no heap allocation.
-struct ChunkScratch {
-    loss: f64,
-    examples: usize,
+pub(crate) struct ChunkScratch {
+    pub(crate) loss: f64,
+    pub(crate) examples: usize,
     /// Example labels (+1 positive / −1 negative), in example order.
-    labels: Vec<f32>,
+    pub(crate) labels: Vec<f32>,
     /// `(head, rel, tail)` ids in example order, the block kernel's input.
-    triples: Vec<(u32, u32, u32)>,
-    block: BlockScratch,
-    neg_scratch: NegScratch,
-    negs: Vec<Triple>,
-    ent: SparseGrad,
-    rel: SparseGrad,
+    pub(crate) triples: Vec<(u32, u32, u32)>,
+    pub(crate) block: BlockScratch,
+    pub(crate) neg_scratch: NegScratch,
+    pub(crate) negs: Vec<Triple>,
+    pub(crate) ent: SparseGrad,
+    pub(crate) rel: SparseGrad,
 }
 
 impl ChunkScratch {
-    fn new(dim: usize) -> Self {
+    pub(crate) fn new(dim: usize) -> Self {
         ChunkScratch {
             loss: 0.0,
             examples: 0,
@@ -1328,7 +1332,13 @@ fn encode_rank_state(
 /// coordinates by sequentially mixing each through splitmix64. Every
 /// `(seed, rank, epoch, batch, chunk)` tuple gets an independent stream
 /// regardless of which worker thread runs the chunk.
-fn chunk_seed(seed: u64, rank: usize, epoch: usize, batch_idx: usize, chunk_idx: usize) -> u64 {
+pub(crate) fn chunk_seed(
+    seed: u64,
+    rank: usize,
+    epoch: usize,
+    batch_idx: usize,
+    chunk_idx: usize,
+) -> u64 {
     let mut h = seed;
     for w in [
         rank as u64,
@@ -1385,6 +1395,47 @@ fn process_chunk(
     rng_seed: u64,
     cs: &mut ChunkScratch,
 ) {
+    stage_chunk(
+        model,
+        ent,
+        rel,
+        ent.rows(),
+        shard,
+        start,
+        lo,
+        hi,
+        config,
+        filter,
+        bias,
+        rng_seed,
+        cs,
+    );
+    compute_chunk(model, ent, rel, inv_batch, config, cs);
+}
+
+/// Phase 1 of [`process_chunk`]: draw positives and negatives and stage
+/// `(label, triple)` pairs in example order. `n_entities` is the
+/// corruption range — the replica path passes `ent.rows()`, while the
+/// sharded path stages against placeholder tables before the pull fills
+/// them, so the range must be the global entity count, not the table
+/// height. The chunk's gradient accumulators are cleared here so a staged
+/// chunk is always ready for [`compute_chunk`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage_chunk(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    n_entities: usize,
+    shard: &[Triple],
+    start: usize,
+    lo: usize,
+    hi: usize,
+    config: &TrainConfig,
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    rng_seed: u64,
+    cs: &mut ChunkScratch,
+) {
     cs.loss = 0.0;
     cs.labels.clear();
     cs.triples.clear();
@@ -1404,7 +1455,7 @@ fn process_chunk(
             rel,
             filter,
             bias,
-            ent.rows(),
+            n_entities,
             &mut rng,
             &mut cs.neg_scratch,
             &mut cs.negs,
@@ -1415,7 +1466,21 @@ fn process_chunk(
         }
     }
     cs.examples = cs.triples.len();
+}
 
+/// Phase 2 of [`process_chunk`]: the fused kernel call over an
+/// already-staged chunk. The entity ids in `cs.triples` index `ent` —
+/// global ids for the replica path, batch-local ids for the sharded path
+/// (the kernel gathers only the rows the triples name, so the remap is
+/// value-transparent).
+pub(crate) fn compute_chunk(
+    model: &dyn KgeModel,
+    ent: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    inv_batch: f32,
+    config: &TrainConfig,
+    cs: &mut ChunkScratch,
+) {
     let ChunkScratch {
         loss,
         labels,

@@ -1,0 +1,191 @@
+//! Sharded-trainer equivalence and determinism guards.
+//!
+//! The load-bearing claim of the sharded store is that partitioning the
+//! entity table changes *where* rows live, never *what* is computed:
+//! with f32 cold storage, a sharded run — with or without the hot cache
+//! — is **bit-identical** to the full-replica all-gather trainer on the
+//! same config, at 1 and 4 worker threads. Int8 cold storage follows a
+//! different (quantized) trajectory but must be deterministic
+//! run-to-run, and crash recovery (shrink + state migration) must both
+//! complete and be deterministic.
+
+use kge_data::synth::{generate, SynthConfig};
+use kge_train::{train, ShardedConfig, StrategyConfig, TrainConfig, TrainOutcome};
+use simgrid::{Cluster, ClusterSpec, FaultPlan};
+
+fn dataset() -> kge_data::Dataset {
+    generate(&SynthConfig {
+        name: "sharded-det".into(),
+        n_entities: 180,
+        n_relations: 10,
+        n_triples: 2400,
+        relation_zipf: 1.0,
+        entity_zipf: 0.9,
+        noise_frac: 0.05,
+        valid_frac: 0.08,
+        test_frac: 0.08,
+        seed: 23,
+    })
+}
+
+fn config(nodes_batch: usize, sharded: Option<ShardedConfig>) -> TrainConfig {
+    let mut c = TrainConfig::new(4, nodes_batch, StrategyConfig::baseline_allgather(2));
+    c.plateau_tolerance = 3;
+    c.max_lr_drops = 1;
+    c.max_epochs = 4;
+    // Sharded mode defers ranking/validation to post-training eval; the
+    // replica reference must run the same (constant) plateau signal.
+    c.valid_samples = 0;
+    c.base_lr = 5e-3;
+    c.sharded = sharded;
+    c
+}
+
+fn run(
+    p: usize,
+    threads: usize,
+    batch: usize,
+    sharded: Option<ShardedConfig>,
+    plan: Option<FaultPlan>,
+) -> TrainOutcome {
+    // The per-node pool honors RAYON_NUM_THREADS (see
+    // `trainer::node_pool_threads`); tests in this binary run serially
+    // within each #[test], and each run resets the variable.
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let ds = dataset();
+    let mut cluster = Cluster::new(p, ClusterSpec::cray_xc40());
+    if let Some(plan) = plan {
+        cluster = cluster.with_fault_plan(plan);
+    }
+    let out = train(&ds, &cluster, &config(batch, sharded));
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+fn assert_same_model(a: &TrainOutcome, b: &TrainOutcome, tag: &str) {
+    assert_eq!(
+        a.entities.as_slice(),
+        b.entities.as_slice(),
+        "{tag}: entities diverged"
+    );
+    assert_eq!(
+        a.relations.as_slice(),
+        b.relations.as_slice(),
+        "{tag}: relations diverged"
+    );
+    assert_eq!(a.report.epochs, b.report.epochs, "{tag}: epoch count");
+}
+
+#[test]
+fn sharded_f32_matches_replica_bit_for_bit() {
+    // Cache disabled and enabled: both must reproduce the replica
+    // trainer exactly — hot rows only change which aggregate carries a
+    // gradient, never its f32 summation order.
+    for p in [1usize, 4] {
+        let replica = run(p, 1, 64, None, None);
+        for cache in [0usize, 32] {
+            for threads in [1usize, 4] {
+                let sharded = run(
+                    p,
+                    threads,
+                    64,
+                    Some(ShardedConfig {
+                        hot_cache_rows: cache,
+                        cold_int8: false,
+                    }),
+                    None,
+                );
+                let tag = format!("p={p} cache={cache} threads={threads}");
+                assert_same_model(&replica, &sharded, &tag);
+                let sh = sharded.report.sharded.expect("sharded report attached");
+                assert!(
+                    sh.resident_model_bytes < sh.replica_model_bytes || p == 1,
+                    "{tag}: sharding must shrink the per-rank resident model"
+                );
+                if cache > 0 && p > 1 {
+                    assert!(sh.cache_accesses > 0, "{tag}: touch counter dead");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_config_sweep_matches_replica() {
+    // Small proptest-style sweep over (world size, batch size, cache
+    // capacity): every cell must agree with its replica reference.
+    for (p, batch, cache) in [
+        (2usize, 32usize, 8usize),
+        (2, 96, 64),
+        (3, 48, 16),
+        (4, 32, 128),
+    ] {
+        let replica = run(p, 1, batch, None, None);
+        let sharded = run(
+            p,
+            1,
+            batch,
+            Some(ShardedConfig {
+                hot_cache_rows: cache,
+                cold_int8: false,
+            }),
+            None,
+        );
+        assert_same_model(&replica, &sharded, &format!("p={p} batch={batch} cache={cache}"));
+    }
+}
+
+#[test]
+fn sharded_int8_cold_storage_is_deterministic() {
+    // Int8-at-rest quantizes the cold tier, so it is *not* bit-equal to
+    // the replica — but two runs (across thread counts) must agree
+    // exactly, and the trained model must stay close to the f32 one.
+    let cfg = Some(ShardedConfig {
+        hot_cache_rows: 32,
+        cold_int8: true,
+    });
+    let a = run(4, 1, 64, cfg, None);
+    let b = run(4, 4, 64, cfg, None);
+    assert_same_model(&a, &b, "int8 threads=1 vs 4");
+
+    let f32_run = run(4, 1, 64, None, None);
+    let (qa, fa) = (a.entities.as_slice(), f32_run.entities.as_slice());
+    let max_abs = qa
+        .iter()
+        .zip(fa)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0f32, f32::max);
+    assert!(
+        max_abs < 0.05,
+        "int8 cold tier drifted {max_abs} from the f32 model"
+    );
+}
+
+#[test]
+fn sharded_crash_recovery_shrinks_and_stays_deterministic() {
+    // Crash rank 2 partway through: survivors must shrink, migrate
+    // cached + exchanged rows onto the new ownership map, and finish;
+    // and the whole recovery trajectory must be bit-reproducible.
+    let fault_free = run(4, 1, 64, None, None);
+    let total = fault_free.report.sim_total_seconds;
+    let cfg = Some(ShardedConfig {
+        hot_cache_rows: 32,
+        cold_int8: false,
+    });
+    let plan = || FaultPlan::seeded(7).with_crash(2, 0.4 * total);
+    let a = run(4, 1, 64, cfg, Some(plan()));
+    let b = run(4, 4, 64, cfg, Some(plan()));
+    assert_eq!(a.report.recoveries, 1, "the crash must trigger a shrink");
+    assert_eq!(a.report.surviving_nodes, 3);
+    assert_eq!(a.report.crashed_ranks, vec![2]);
+    assert!(
+        a.report.epochs > 0,
+        "survivors must keep training after the shrink"
+    );
+    assert_same_model(&a, &b, "crash recovery threads=1 vs 4");
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits(),
+        "recovery timeline diverged"
+    );
+}

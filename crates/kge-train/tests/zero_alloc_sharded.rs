@@ -1,0 +1,157 @@
+//! Zero-allocation regression test for the sharded batch pipeline.
+//!
+//! Same contract as `zero_alloc.rs`, extended to the partitioned-storage
+//! path: after a warm-up epoch, a steady-state epoch through
+//! `sharded_batch_step` — staging, touched-union build, batch-local
+//! table fill, gradient split/encode, hot all-gather + decode, relation
+//! exchange, lazy Adam on arena and cache rows, and the cache
+//! admission/eviction machinery — must perform **zero** heap
+//! allocations.
+//!
+//! Scope: per-rank and single-thread, like the replica guarantee.
+//! Multi-rank runs move p2p payloads through channels (`Message` owns
+//! its bytes) and multi-thread pools spawn workers, both of which
+//! allocate by construction. On one rank the pull and push loops skip
+//! self, the own-bucket cold gradient is decoded from its reused wire
+//! buffer, and the single-participant all-gather copies into reused
+//! receive buffers.
+
+#[global_allocator]
+static ALLOC: kge_core::alloc_count::CountingAlloc = kge_core::alloc_count::CountingAlloc;
+
+use kge_core::alloc_count;
+use kge_data::synth::{generate, SynthConfig};
+use kge_data::FilterIndex;
+use kge_partition::{entity_owners, partition_for};
+use kge_train::shard::{sharded_batch_step, ShardedBufs, ShardedStore};
+use kge_train::{ShardedConfig, StrategyConfig, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgrid::{Cluster, ClusterSpec};
+
+#[test]
+fn steady_state_sharded_batch_loop_allocates_nothing() {
+    let ds = generate(&SynthConfig {
+        name: "sharded-alloc-probe".into(),
+        n_entities: 300,
+        n_relations: 12,
+        n_triples: 3000,
+        relation_zipf: 1.0,
+        entity_zipf: 0.9,
+        noise_frac: 0.05,
+        valid_frac: 0.05,
+        test_frac: 0.05,
+        seed: 9,
+    });
+    let mut config = TrainConfig::new(4, 256, StrategyConfig::baseline_allgather(2));
+    config.valid_samples = 0;
+    config.sharded = Some(ShardedConfig {
+        hot_cache_rows: 48,
+        cold_int8: false,
+    });
+    config.validate().expect("valid sharded config");
+
+    let deltas = Cluster::new(1, ClusterSpec::cray_xc40()).run(|ctx| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool");
+        pool.install(|| {
+            let model = config.model.build(config.rank);
+            let model = model.as_ref();
+            let dim = model.storage_dim();
+            let filter = FilterIndex::build(&ds);
+            let degrees = ds.stats().entity_degrees;
+            let part = partition_for(&ds.train, ds.n_relations, 1, false);
+            let owners = entity_owners(&part, ds.n_entities);
+
+            let mut init_rng = StdRng::seed_from_u64(config.seed);
+            let ent = kge_core::EmbeddingTable::xavier(ds.n_entities, dim, &mut init_rng);
+            let mut rel = kge_core::EmbeddingTable::xavier(ds.n_relations, dim, &mut init_rng);
+            let mut store = ShardedStore::new(
+                kge_compress::ArenaKind::F32,
+                dim,
+                0,
+                owners,
+                &degrees,
+                config.sharded.unwrap().hot_cache_rows,
+                config.base_lr,
+            );
+            store.init_owned_from(&ent);
+            drop(ent);
+            let mut rel_opt = config.optimizer.build(config.base_lr, ds.n_relations, dim);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 1);
+            let mut bufs = ShardedBufs::new(dim, ds.n_entities, 1, &config);
+            let batches = ds.train.len().div_ceil(config.batch_size);
+
+            let mut tick = 0u64;
+            let epoch_pass = |epoch: usize,
+                                  tick: &mut u64,
+                                  store: &mut ShardedStore,
+                                  rel: &mut kge_core::EmbeddingTable,
+                                  rel_opt: &mut dyn kge_core::RowOptimizer,
+                                  bufs: &mut ShardedBufs,
+                                  rng: &mut StdRng,
+                                  ctx: &mut simgrid::NodeCtx| {
+                for b in 0..batches {
+                    sharded_batch_step(
+                        ctx,
+                        model,
+                        &config,
+                        store,
+                        rel,
+                        rel_opt,
+                        &ds.train,
+                        &filter,
+                        None,
+                        bufs,
+                        rng,
+                        epoch,
+                        b,
+                        *tick,
+                        1.0,
+                    )
+                    .expect("single-rank batch cannot crash");
+                    *tick += 1;
+                }
+                store.flush_epoch();
+            };
+
+            // Warm-up epoch: allowed (and expected) to allocate — wire
+            // buffers, sparse slabs, the LRU queue all reach steady size.
+            epoch_pass(
+                0,
+                &mut tick,
+                &mut store,
+                &mut rel,
+                rel_opt.as_mut(),
+                &mut bufs,
+                &mut rng,
+                ctx,
+            );
+
+            // Steady-state epoch: every buffer must be reused. Cache
+            // churn (admissions, evictions, bumps, the epoch flush)
+            // happens in-place.
+            let start = alloc_count::snapshot();
+            epoch_pass(
+                1,
+                &mut tick,
+                &mut store,
+                &mut rel,
+                rel_opt.as_mut(),
+                &mut bufs,
+                &mut rng,
+                ctx,
+            );
+            alloc_count::since(start)
+        })
+    });
+
+    let delta = deltas[0];
+    assert_eq!(
+        delta.allocs, 0,
+        "steady-state sharded batch loop allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+}

@@ -722,6 +722,23 @@ impl Communicator {
     /// latency surplus is charged to the sender's `fault_s`, the
     /// bandwidth surplus shows up as a later arrival at the receiver.
     pub fn send_bytes(&mut self, dst: usize, payload: &[u8]) -> Result<(), SimError> {
+        self.send_bytes_as(dst, payload, Collective::PointToPoint)
+    }
+
+    /// [`Communicator::send_bytes`] accounted under a specific p2p traffic
+    /// bucket ([`Collective::PointToPoint`], [`Collective::ShardPull`] or
+    /// [`Collective::ShardPush`]). Timing, fault handling and delivery are
+    /// identical for every bucket; only the [`TrafficStats`] attribution
+    /// differs, so sharded-store pull/push volume is reported apart from
+    /// generic point-to-point messages.
+    ///
+    /// [`TrafficStats`]: crate::TrafficStats
+    pub fn send_bytes_as(
+        &mut self,
+        dst: usize,
+        payload: &[u8],
+        op: Collective,
+    ) -> Result<(), SimError> {
         if dst >= self.size() {
             return Err(SimError::InvalidRank {
                 rank: dst,
@@ -735,8 +752,8 @@ impl Communicator {
             let t_send = self.clock.now_s();
             let arrival = t_send + self.cost.spec().p2p_time(bytes);
             self.clock.charge_comm_seconds(alpha);
-            self.traffic.record(Collective::PointToPoint, bytes, 0);
-            self.traffic.record_wire(Collective::PointToPoint, bytes, 0);
+            self.traffic.record(op, bytes, 0);
+            self.traffic.record_wire(op, bytes, 0);
             self.world.post.deposit(
                 dst,
                 Message {
@@ -757,8 +774,7 @@ impl Communicator {
                 waited += plan.retry.retry_cost_s(i);
             }
             self.clock.charge_retry_seconds(waited);
-            self.traffic
-                .record_retries(Collective::PointToPoint, fails as u64);
+            self.traffic.record_retries(op, fails as u64);
             if fails > plan.retry.max_retries {
                 return Err(SimError::Timeout {
                     op: "send_bytes",
@@ -781,8 +797,8 @@ impl Communicator {
             self.clock
                 .charge_fault_seconds(eff_spec.latency_s - healthy_alpha);
         }
-        self.traffic.record(Collective::PointToPoint, bytes, 0);
-        self.traffic.record_wire(Collective::PointToPoint, bytes, 0);
+        self.traffic.record(op, bytes, 0);
+        self.traffic.record_wire(op, bytes, 0);
         self.world.post.deposit(
             dst,
             Message {
@@ -802,6 +818,12 @@ impl Communicator {
     /// server's ingress) into a bottleneck. Draining peers in a fixed
     /// rank order keeps programs deterministic.
     pub fn recv_bytes_from(&mut self, src: usize) -> Result<Message, SimError> {
+        self.recv_bytes_from_as(src, Collective::PointToPoint)
+    }
+
+    /// [`Communicator::recv_bytes_from`] accounted under a specific p2p
+    /// traffic bucket; see [`Communicator::send_bytes_as`].
+    pub fn recv_bytes_from_as(&mut self, src: usize, op: Collective) -> Result<Message, SimError> {
         if src >= self.size() {
             return Err(SimError::InvalidRank {
                 rank: src,
@@ -809,18 +831,16 @@ impl Communicator {
             });
         }
         let msg = self.world.post.take_from(self.rank, src);
-        self.charge_receive(&msg);
+        self.charge_receive(&msg, op);
         Ok(msg)
     }
 
-    fn charge_receive(&mut self, msg: &Message) {
+    fn charge_receive(&mut self, msg: &Message, op: Collective) {
         self.clock.charge_idle_until(msg.arrival_s);
         let occupancy = msg.payload.len() as f64 / self.cost.spec().bandwidth_bps;
         self.clock.charge_comm_seconds(occupancy);
-        self.traffic
-            .record(Collective::PointToPoint, 0, msg.payload.len());
-        self.traffic
-            .record_wire(Collective::PointToPoint, 0, msg.payload.len());
+        self.traffic.record(op, 0, msg.payload.len());
+        self.traffic.record_wire(op, 0, msg.payload.len());
     }
 
     /// Non-blocking receive of any pending message (lowest source rank
@@ -830,7 +850,7 @@ impl Communicator {
     pub fn try_recv_bytes_any(&mut self) -> Result<Option<Message>, SimError> {
         match self.world.post.try_take_any(self.rank) {
             Some(msg) => {
-                self.charge_receive(&msg);
+                self.charge_receive(&msg, Collective::PointToPoint);
                 Ok(Some(msg))
             }
             None => Ok(None),

@@ -25,6 +25,13 @@ pub enum Collective {
     Gather,
     /// Point-to-point message (see `simgrid::p2p`).
     PointToPoint,
+    /// Sharded-store sparse pull (p2p row request + reply). Priced like
+    /// [`Collective::PointToPoint`]; a separate bucket so pull traffic is
+    /// accounted apart from generic p2p.
+    ShardPull,
+    /// Sharded-store sparse push (row-sparse gradients routed to owner
+    /// ranks). Priced like [`Collective::PointToPoint`].
+    ShardPush,
 }
 
 /// Prices collectives against a [`ClusterSpec`].
@@ -157,7 +164,7 @@ impl CostModel {
             }
             Collective::Barrier => self.barrier(p),
             Collective::Gather => self.gather(per_rank),
-            Collective::PointToPoint => {
+            Collective::PointToPoint | Collective::ShardPull | Collective::ShardPush => {
                 let m = per_rank.iter().copied().max().unwrap_or(0);
                 self.spec.p2p_time(m)
             }
