@@ -1,0 +1,271 @@
+//! Smoke benchmark for the serving layer (`kge-serve`).
+//!
+//! Four measurements, written to `BENCH_serve.json`:
+//!
+//! 1. **Admission batching A/B** at dim 128 (ComplEx rank 64) over an
+//!    entity table sized far past cache: queries-per-second serving the
+//!    same query mix one query per drain (every query re-streams the
+//!    whole transposed entity table) vs. one batched drain (the batch
+//!    shares each 16-lane tile while it is cache-hot). Asserts
+//!    batched ≥ 3× single and, in-run, that both paths' results are
+//!    bit-identical to the scalar full-sort oracle on sampled queries.
+//! 2. **Open-loop latency** under power-law skew (Zipf heads over a
+//!    permuted id space, Zipf relations) at ~60% of measured batched
+//!    capacity: p50/p99/mean latency, QPS, mean batch size.
+//! 3. **Publish overhead**: quick-scale training with snapshot cadence 1
+//!    vs. none — simulated-time overhead must stay ≤ 5%.
+//! 4. **Snapshot/checkpoint bit-identity**: a mid-training publication
+//!    equals the checkpoint written at the same epoch boundary.
+//!
+//! Usage: `bench_serve [OUTPUT_PATH]` (default `./BENCH_serve.json`).
+//! `BENCH_SERVE_ENTITIES` overrides the serving-table height.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{fb15k_bench, BenchScale};
+use kge_core::{ComplEx, EmbeddingTable, KgeModel};
+use kge_data::{PermutedZipf, ZipfSampler};
+use kge_serve::{run_open_loop, LoadgenConfig, ModelSnapshot, Query, ServeEngine};
+use kge_train::{checkpoint, train, train_with_snapshots, RecordingSink, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgrid::{Cluster, ClusterSpec};
+
+/// ComplEx rank 64 = storage dim 128, the ISSUE's A/B point.
+const RANK: usize = 64;
+/// Serving-table height: at dim 128 this is ~320 MB transposed, past
+/// even a large server LLC, so the single-query baseline re-streams the
+/// table from DRAM per query while a batch shares each tile while hot.
+const N_ENTITIES: usize = 655_360;
+const N_RELATIONS: usize = 256;
+const TOP_K: usize = 10;
+/// Queries per batched drain.
+const BATCH: usize = 1024;
+/// Single-query-mode queries per timed pass (each is a full drain).
+const SINGLE_N: usize = 64;
+const SINGLE_PASSES: usize = 3;
+const BATCH_PASSES: usize = 3;
+/// Queries cross-checked against the scalar oracle in-run.
+const ORACLE_CHECKS: usize = 8;
+
+fn min_pass_secs(passes: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n_entities = std::env::var("BENCH_SERVE_ENTITIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(N_ENTITIES);
+
+    // --- Serving world: xavier tables at dim 128. ----------------------
+    let model: Arc<dyn KgeModel> = Arc::new(ComplEx::new(RANK));
+    let dim = model.storage_dim();
+    let mut rng = StdRng::seed_from_u64(11);
+    let ent = EmbeddingTable::xavier(n_entities, dim, &mut rng);
+    let rel = EmbeddingTable::xavier(N_RELATIONS, dim, &mut rng);
+    let table_mb = ent.nbytes() as f64 / (1024.0 * 1024.0);
+    let snapshot = Arc::new(ModelSnapshot::build(Arc::clone(&model), &ent, &rel, 1));
+    let mut engine = ServeEngine::new(Arc::clone(&snapshot));
+    eprintln!(
+        "bench_serve: dim {dim}, {n_entities} entities ({table_mb:.0} MB/table), \
+         {N_RELATIONS} relations, k {TOP_K}, host cores {host_cores}"
+    );
+
+    // Power-law query mix, shared by both admission modes.
+    let heads = PermutedZipf::new(n_entities, 1.0, 42);
+    let rels = ZipfSampler::new(N_RELATIONS, 0.9);
+    let mut qrng = StdRng::seed_from_u64(43);
+    let queries: Vec<Query> = (0..BATCH)
+        .map(|_| Query {
+            head: heads.sample(&mut qrng),
+            rel: rels.sample(&mut qrng) as u32,
+            k: TOP_K,
+            filtered: false,
+        })
+        .collect();
+
+    // --- In-run oracle bit-identity on sampled queries. ----------------
+    let mut oracle_identical = true;
+    for (i, q) in queries.iter().take(ORACLE_CHECKS).enumerate() {
+        let got = engine.query_one(*q).to_vec();
+        let want = engine.oracle(q);
+        if got != want {
+            oracle_identical = false;
+            eprintln!("  oracle mismatch on sampled query {i}: {q:?}");
+        }
+    }
+    // Batched admission must answer identically too.
+    for &q in queries.iter().take(ORACLE_CHECKS) {
+        engine.submit(q);
+    }
+    engine.drain();
+    for (i, q) in queries.iter().take(ORACLE_CHECKS).enumerate() {
+        if engine.results().get(i) != engine.oracle(q).as_slice() {
+            oracle_identical = false;
+            eprintln!("  batched oracle mismatch on sampled query {i}: {q:?}");
+        }
+    }
+    eprintln!("  top-k bit-identical to scalar oracle ({ORACLE_CHECKS} queries, single+batched): {oracle_identical}");
+
+    // --- Admission A/B: single-query vs batched drains. ----------------
+    // Warmup both shapes (sizes pooled buffers; touches the table).
+    for &q in queries.iter().take(SINGLE_N) {
+        engine.query_one(q);
+    }
+    let single_secs = min_pass_secs(SINGLE_PASSES, || {
+        for &q in queries.iter().take(SINGLE_N) {
+            std::hint::black_box(engine.query_one(q));
+        }
+    });
+    let single_qps = SINGLE_N as f64 / single_secs;
+
+    for &q in &queries {
+        engine.submit(q);
+    }
+    engine.drain();
+    let batched_secs = min_pass_secs(BATCH_PASSES, || {
+        for &q in &queries {
+            engine.submit(q);
+        }
+        std::hint::black_box(engine.drain());
+    });
+    let batched_qps = BATCH as f64 / batched_secs;
+    let batch_speedup = batched_qps / single_qps;
+    eprintln!(
+        "  single-query {single_qps:.0} qps | batched({BATCH}) {batched_qps:.0} qps | {batch_speedup:.2}x"
+    );
+
+    // --- Open-loop latency at ~60% of measured batched capacity. -------
+    let loadcfg = LoadgenConfig {
+        rate_qps: batched_qps * 0.6,
+        n_queries: 2500,
+        batch_window: BATCH,
+        k: TOP_K,
+        entity_exponent: 1.0,
+        relation_exponent: 0.9,
+        filtered: false,
+        seed: 44,
+    };
+    let load = run_open_loop(&mut engine, &loadcfg);
+    eprintln!(
+        "  open-loop @{:.0} qps offered: p50 {:.3} ms | p99 {:.3} ms | {:.0} qps served | mean batch {:.1}",
+        loadcfg.rate_qps,
+        load.p50_latency_s * 1e3,
+        load.p99_latency_s * 1e3,
+        load.qps,
+        load.mean_batch
+    );
+
+    // --- Publish overhead + snapshot/checkpoint bit-identity. ----------
+    let scale = BenchScale::quick();
+    let (ds, batch) = fb15k_bench(&scale);
+    let mut cfg = TrainConfig::new(8, batch, kge_train::StrategyConfig::baseline_allreduce(2));
+    cfg.max_epochs = scale.max_epochs;
+    cfg.plateau_tolerance = scale.tolerance;
+    cfg.valid_samples = 256;
+    cfg.seed = scale.seed;
+    cfg.base_lr = 5e-3;
+    let cluster = Cluster::new(2, ClusterSpec::cray_xc40());
+
+    let base = train(&ds, &cluster, &cfg);
+    let mut snap_cfg = cfg.clone();
+    snap_cfg.serve_snapshots = 1;
+    let sink = RecordingSink::new();
+    let with_snaps = train_with_snapshots(&ds, &cluster, &snap_cfg, Some(&sink));
+    let t0 = base.report.sim_total_seconds;
+    let t1 = with_snaps.report.sim_total_seconds;
+    let publish_overhead_pct = (t1 / t0 - 1.0) * 100.0;
+    let model_unperturbed = base.entities.as_slice() == with_snaps.entities.as_slice();
+    eprintln!(
+        "  publish cadence 1 on quick scale: sim {t0:.3}s -> {t1:.3}s (+{publish_overhead_pct:.2}%), \
+         {} snapshots, model unperturbed: {model_unperturbed}",
+        sink.snapshots().len()
+    );
+
+    let ckpt_dir = std::env::temp_dir().join(format!("bench-serve-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("ckpt dir");
+    let mut ck_cfg = cfg.clone();
+    ck_cfg.max_epochs = 2;
+    ck_cfg.checkpoint_every = 2;
+    ck_cfg.checkpoint_dir = Some(ckpt_dir.clone());
+    ck_cfg.serve_snapshots = 2;
+    let ck_sink = RecordingSink::new();
+    train_with_snapshots(&ds, &cluster, &ck_cfg, Some(&ck_sink));
+    let ckpt = checkpoint::read_file(&checkpoint::checkpoint_path(&ckpt_dir, 0))
+        .expect("read mid-training checkpoint");
+    let snaps = ck_sink.snapshots();
+    let snapshot_matches_checkpoint = snaps.len() == 1
+        && snaps[0].epochs_done == ckpt.next_epoch
+        && snaps[0].ent == ckpt.ent.as_slice()
+        && snaps[0].rel == ckpt.rel.as_slice();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    eprintln!("  mid-training snapshot == checkpoint model bytes: {snapshot_matches_checkpoint}");
+
+    let report = serde_json::json!({
+        "bench": "serve",
+        "dim": dim,
+        "n_entities": n_entities,
+        "n_relations": N_RELATIONS,
+        "table_mb": table_mb,
+        "top_k": TOP_K,
+        "host_cores": host_cores,
+        "entity_zipf": 1.0,
+        "relation_zipf": 0.9,
+        "admission": serde_json::json!({
+            "single_qps": single_qps,
+            "batched_qps": batched_qps,
+            "batch_size": BATCH,
+            "batch_speedup": batch_speedup,
+            "oracle_bit_identical": oracle_identical,
+        }),
+        "open_loop": serde_json::json!({
+            "offered_qps": loadcfg.rate_qps,
+            "queries": load.queries,
+            "qps": load.qps,
+            "p50_latency_ms": load.p50_latency_s * 1e3,
+            "p99_latency_ms": load.p99_latency_s * 1e3,
+            "mean_latency_ms": load.mean_latency_s * 1e3,
+            "max_latency_ms": load.max_latency_s * 1e3,
+            "mean_batch": load.mean_batch,
+            "batches": load.batches,
+        }),
+        "publish": serde_json::json!({
+            "dataset": ds.name.clone(),
+            "cadence": 1,
+            "sim_seconds_baseline": t0,
+            "sim_seconds_with_snapshots": t1,
+            "overhead_pct": publish_overhead_pct,
+            "model_unperturbed": model_unperturbed,
+            "snapshot_matches_checkpoint": snapshot_matches_checkpoint,
+        }),
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write BENCH_serve.json");
+    eprintln!("bench_serve: wrote {out_path}");
+
+    assert!(oracle_identical, "top-k diverged from the scalar oracle");
+    assert!(
+        batch_speedup >= 3.0,
+        "batched admission must be >= 3x single-query QPS at dim 128, got {batch_speedup:.2}x"
+    );
+    assert!(
+        publish_overhead_pct <= 5.0,
+        "cadence-1 publish overhead must be <= 5%, got {publish_overhead_pct:.2}%"
+    );
+    assert!(model_unperturbed, "publishing perturbed training");
+    assert!(
+        snapshot_matches_checkpoint,
+        "mid-training snapshot != checkpoint model bytes"
+    );
+}

@@ -31,6 +31,7 @@ pub mod vocab;
 
 pub use dataset::{classify_relations, Dataset, DatasetStats, RelationCategory, Split};
 pub use filter::{FilterIndex, GroupedFilter};
+pub use powerlaw::{PermutedZipf, ZipfSampler};
 pub use synth::{SynthConfig, SynthPreset};
 pub use triple::Triple;
 pub use vocab::Vocab;

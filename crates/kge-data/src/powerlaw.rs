@@ -67,6 +67,65 @@ impl ZipfSampler {
     }
 }
 
+/// Zipf sampler composed with a seeded permutation of the id space, so the
+/// popularity ranks are spread across `0..n` instead of piling up at the
+/// low ids. This is the shape real query traffic has against an entity
+/// table: a few arbitrary ids are hot, and they are *not* the first rows
+/// of the table (which would make every hot lookup a same-tile cache hit
+/// and flatter the serving benchmark).
+#[derive(Debug, Clone)]
+pub struct PermutedZipf {
+    ranks: ZipfSampler,
+    /// `rank → id`: seeded Fisher–Yates shuffle of `0..n`.
+    ids: Vec<u32>,
+}
+
+impl PermutedZipf {
+    /// Sampler over `0..n` ids whose popularity follows a Zipf law with
+    /// `exponent`, with the rank→id assignment drawn from `seed`.
+    pub fn new(n: usize, exponent: f64, seed: u64) -> Self {
+        assert!(n >= 1 && n <= u32::MAX as usize);
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        // Seeded Fisher–Yates via a SplitMix64 counter stream (matches the
+        // shim StdRng construction; independent of the sampling RNG).
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        PermutedZipf {
+            ranks: ZipfSampler::new(n, exponent),
+            ids,
+        }
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n >= 1
+    }
+
+    /// Draw one id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        self.ids[self.ranks.sample(rng)]
+    }
+
+    /// The id holding popularity rank `r` (0 = hottest).
+    pub fn id_at_rank(&self, r: usize) -> u32 {
+        self.ids[r]
+    }
+}
+
 /// Deal `total` items into `n` buckets proportionally to a Zipf pmf,
 /// guaranteeing every bucket gets at least `min_per_bucket` (used to give
 /// every relation at least a few triples).
@@ -143,5 +202,47 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn allocation_rejects_impossible_minimum() {
         let _ = zipf_allocation(10, 5, 1.0, 1);
+    }
+
+    #[test]
+    fn permuted_zipf_is_a_permutation() {
+        let p = PermutedZipf::new(257, 1.0, 12);
+        let mut seen = vec![false; 257];
+        for r in 0..257 {
+            let id = p.id_at_rank(r) as usize;
+            assert!(!seen[id]);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permuted_zipf_hot_id_dominates_and_is_deterministic() {
+        let p = PermutedZipf::new(100, 1.1, 5);
+        let q = PermutedZipf::new(100, 1.1, 5);
+        assert_eq!(p.id_at_rank(0), q.id_at_rank(0));
+        let hot = p.id_at_rank(0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[p.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(i, _)| i as u32),
+            Some(hot)
+        );
+    }
+
+    #[test]
+    fn permuted_zipf_seed_moves_the_hot_id() {
+        let hot: Vec<u32> = (0..8)
+            .map(|s| PermutedZipf::new(1000, 1.0, s).id_at_rank(0))
+            .collect();
+        let first = hot[0];
+        assert!(hot.iter().any(|&h| h != first), "hot id stuck at {first}");
     }
 }

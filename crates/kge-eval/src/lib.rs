@@ -18,11 +18,15 @@
 //! - [`quick`]: the cheap per-epoch validation signal the trainer's
 //!   learning-rate plateau schedule watches (the paper reduces the LR when
 //!   "validation accuracy" stalls for 15 epochs).
+//! - [`transpose`]: the tile-blocked column-major entity-table copy the
+//!   transposed one-vs-all kernels consume — shared by ranking evaluation
+//!   and the `kge-serve` snapshot builder.
 
 pub mod distributed;
 pub mod quick;
 pub mod ranking;
 pub mod tca;
+pub mod transpose;
 
 pub use distributed::evaluate_ranking_distributed;
 pub use quick::fast_valid_accuracy;
@@ -31,3 +35,4 @@ pub use ranking::{
     evaluate_ranking_with, rank_of_scalar, RankingMetrics, RankingOptions, RankingWorkspace,
 };
 pub use tca::{triple_classification, TcaResult};
+pub use transpose::{tile_rows_for, TransposedTable};

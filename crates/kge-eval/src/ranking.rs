@@ -21,6 +21,7 @@
 //!   and runs units in parallel under rayon otherwise, with bit-identical
 //!   results at any thread count.
 
+use crate::transpose::{tile_rows_for, TransposedTable};
 use kge_core::{EmbeddingTable, KgeModel, ReplaceDir, ScratchPool};
 use kge_data::{FilterIndex, GroupedFilter, RelationCategory, Triple};
 use rand::rngs::StdRng;
@@ -144,23 +145,10 @@ pub fn rank_of_scalar(
     1 + better + ties / 2
 }
 
-/// Candidate-tile size target: one tile of entity rows plus its
-/// column-major copy (models with a transposed kernel keep both live)
-/// should sit in L1 alongside the query rows, so the tile is reused
-/// across every query and direction of a unit without thrashing.
-const TILE_BYTES: usize = 8 * 1024;
-
 /// Queries per work unit. Each query is O(|E| · dim) work, so even one
 /// query is a chunky parallel task; small units load-balance across the
 /// pool while amortizing the candidate tile over a few queries.
 const UNIT_QUERIES: usize = 8;
-
-fn tile_rows(dim: usize) -> usize {
-    // Round up to a whole number of transposed-kernel lane groups so the
-    // remainder (scalar, strided) path only ever sees the final tile.
-    let rows = (TILE_BYTES / (dim * 4)).max(1);
-    rows.div_ceil(kge_core::OVA_T_LANES) * kge_core::OVA_T_LANES
-}
 
 /// Per-worker scratch for one unit of queries (pooled; all buffers grow to
 /// a high-water mark during warm-up and are reused verbatim afterwards).
@@ -197,13 +185,12 @@ pub struct RankingWorkspace {
     /// Work units: `[lo, hi)` ranges of `order`, never crossing a relation
     /// boundary, at most [`UNIT_QUERIES`] long.
     units: Vec<(u32, u32)>,
-    /// Entity table re-laid-out tile-by-tile in column-major order (models
-    /// with a transposed kernel; empty otherwise): the block for the tile
-    /// starting at entity `e0` lives at `e0·dim` and stores
-    /// `block[k·rows + j] = ent[(e0+j)·dim + k]`. Built **once per
-    /// evaluation** and shared read-only by every unit — the transpose
-    /// depends only on the entity table, not on the queries.
-    ent_t: Vec<f32>,
+    /// Tile-blocked column-major copy of the entity table (models with a
+    /// transposed kernel; empty otherwise). Built **once per evaluation**
+    /// and shared read-only by every unit — the transpose depends only on
+    /// the entity table, not on the queries. The same builder feeds the
+    /// serving layer's published snapshots (`kge-serve`).
+    ent_t: TransposedTable,
     head_ranks: Vec<usize>,
     tail_ranks: Vec<usize>,
     ranks: Vec<usize>,
@@ -281,7 +268,7 @@ fn process_unit(
 ) {
     let dim = ent.dim();
     let n_ent = ent.rows();
-    let tile = tile_rows(dim);
+    let tile = tile_rows_for(dim);
     let q = hi - lo;
     let slots = &order[lo..hi];
     let r_row = rel.row(sub[slots[0] as usize].rel as usize);
@@ -429,26 +416,7 @@ fn evaluate_ranks_into(
     // transpose would repeat per unit × per tile and rival the kernel
     // cost for units with few queries.)
     if model.has_transposed_kernel() {
-        let dim = ent.dim();
-        let n_ent = ent.rows();
-        let tile = tile_rows(dim);
-        ent_t.resize(n_ent * dim, 0.0);
-        let src = ent.as_slice();
-        let mut e0 = 0usize;
-        while e0 < n_ent {
-            let e1 = (e0 + tile).min(n_ent);
-            let rows = e1 - e0;
-            let cand = &src[e0 * dim..e1 * dim];
-            for (k, col) in ent_t[e0 * dim..e1 * dim]
-                .chunks_exact_mut(rows)
-                .enumerate()
-            {
-                for (j, v) in col.iter_mut().enumerate() {
-                    *v = cand[j * dim + k];
-                }
-            }
-            e0 = e1;
-        }
+        ent_t.build_into(ent);
     } else {
         ent_t.clear();
     }
@@ -483,7 +451,7 @@ fn evaluate_ranks_into(
 
     // Shared-borrow the transposed table so the closure is `Sync` for the
     // parallel branch.
-    let ent_t: &[f32] = ent_t;
+    let ent_t: &[f32] = ent_t.as_slice();
     let run_unit = |u: usize, s: &mut EvalScratch| {
         let (lo, hi) = units[u];
         process_unit(

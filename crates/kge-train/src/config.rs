@@ -296,6 +296,15 @@ pub struct TrainConfig {
     /// [`TrainConfig::validate`] for the exact compatibility rules.
     #[serde(default)]
     pub sharded: Option<ShardedConfig>,
+    /// Publish a model snapshot to the serving sink (see
+    /// [`train_with_snapshots`]) at the end of every this-many-th epoch
+    /// (0 = never). Every rank is charged the modeled in-memory copy
+    /// cost; rank 0 performs the publish. Requires full replicas — not
+    /// supported in sharded mode.
+    ///
+    /// [`train_with_snapshots`]: crate::trainer::train_with_snapshots
+    #[serde(default)]
+    pub serve_snapshots: usize,
 }
 
 impl TrainConfig {
@@ -323,6 +332,7 @@ impl TrainConfig {
             checkpoint_dir: None,
             resume_from: None,
             sharded: None,
+            serve_snapshots: 0,
         }
     }
 
@@ -389,6 +399,9 @@ impl TrainConfig {
             }
             if self.checkpoint_every != 0 || self.resume_from.is_some() {
                 return Err("sharded mode does not support checkpointing".into());
+            }
+            if self.serve_snapshots != 0 {
+                return Err("sharded mode does not support snapshot publishing".into());
             }
         }
         Ok(())

@@ -33,6 +33,7 @@ pub mod neg;
 pub mod ps;
 pub mod report;
 pub mod shard;
+pub mod snapshot;
 pub mod trainer;
 
 pub use checkpoint::{
@@ -61,4 +62,5 @@ pub use lr::{LrDecision, PlateauSchedule};
 pub use ps::train_ps;
 pub use report::{EpochTrace, ShardedReport, TrainOutcome, TrainReport};
 pub use shard::train_sharded;
-pub use trainer::{batch_gradients, train, BatchWorkspace};
+pub use snapshot::{PublishedModel, RecordedSnapshot, RecordingSink, SnapshotSink};
+pub use trainer::{batch_gradients, train, train_with_snapshots, BatchWorkspace};

@@ -1,0 +1,88 @@
+//! Snapshot publishing: the trainer-side half of serve-while-training.
+//!
+//! At epoch boundaries (cadence [`TrainConfig::serve_snapshots`]) the
+//! trainer hands the current model replica to a [`SnapshotSink`] — in
+//! production, `kge-serve`'s snapshot hub, which double-buffers the tables
+//! into an immutable serving generation. The trait lives here (not in
+//! `kge-serve`) so the dependency points the right way: the serving crate
+//! depends on the trainer, never the reverse.
+//!
+//! Publishing is charged to the simulated clock on **every** rank (the
+//! charge is a pure function of table shapes, keeping replica clocks
+//! aligned), but only rank 0 calls the sink — replicas are bit-identical,
+//! so one publisher is enough, and after a crash-shrink the lead survivor
+//! holds rank 0. The bytes handed over are exactly the model bytes a
+//! checkpoint written at the same boundary would carry
+//! ([`Checkpoint::ent`]/[`Checkpoint::rel`]), which the serve test suite
+//! asserts bit-for-bit.
+//!
+//! [`TrainConfig::serve_snapshots`]: crate::config::TrainConfig::serve_snapshots
+//! [`Checkpoint::ent`]: crate::checkpoint::Checkpoint
+//! [`Checkpoint::rel`]: crate::checkpoint::Checkpoint
+
+use kge_core::EmbeddingTable;
+
+/// A borrowed view of the model at a publishable epoch boundary. The
+/// tables live only for the duration of [`SnapshotSink::publish`]; a sink
+/// that keeps the model copies it (the serve hub copies into reused
+/// double-buffered storage).
+pub struct PublishedModel<'a> {
+    /// Epochs completed when this snapshot was taken (the snapshot sees
+    /// every update of epochs `0..epochs_done`).
+    pub epochs_done: usize,
+    /// The publishing rank's simulated clock at publish time, after the
+    /// publish cost was charged.
+    pub sim_now_s: f64,
+    /// Entity embeddings (row-major, `n_entities × storage_dim`).
+    pub ent: &'a EmbeddingTable,
+    /// Relation embeddings (row-major, `n_relations × storage_dim`).
+    pub rel: &'a EmbeddingTable,
+}
+
+/// Receiver of published model snapshots. Implementations must be cheap
+/// and infallible from the trainer's point of view: `publish` runs on the
+/// training rank's thread between epochs, so a slow sink stalls training
+/// (the *simulated* cost is charged separately by the trainer).
+pub trait SnapshotSink: Send + Sync {
+    fn publish(&self, snapshot: &PublishedModel<'_>);
+}
+
+/// Test/debug sink that records a deep copy of every published snapshot.
+#[derive(Default)]
+pub struct RecordingSink {
+    snaps: std::sync::Mutex<Vec<RecordedSnapshot>>,
+}
+
+/// One deep-copied publication captured by [`RecordingSink`].
+#[derive(Clone)]
+pub struct RecordedSnapshot {
+    pub epochs_done: usize,
+    pub sim_now_s: f64,
+    pub ent: Vec<f32>,
+    pub rel: Vec<f32>,
+}
+
+impl RecordingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All publications so far, in publish order.
+    pub fn snapshots(&self) -> Vec<RecordedSnapshot> {
+        self.snaps.lock().expect("recording sink lock").clone()
+    }
+}
+
+impl SnapshotSink for RecordingSink {
+    fn publish(&self, snapshot: &PublishedModel<'_>) {
+        self.snaps
+            .lock()
+            .expect("recording sink lock")
+            .push(RecordedSnapshot {
+                epochs_done: snapshot.epochs_done,
+                sim_now_s: snapshot.sim_now_s,
+                ent: snapshot.ent.as_slice().to_vec(),
+                rel: snapshot.rel.as_slice().to_vec(),
+            });
+    }
+}

@@ -25,6 +25,7 @@ use crate::exchange::{
 use crate::lr::PlateauSchedule;
 use crate::neg::{sample_negatives_into, CorruptionBias, NegScratch};
 use crate::report::{EpochTrace, TrainOutcome, TrainReport};
+use crate::snapshot::{PublishedModel, SnapshotSink};
 use kge_compress::codec::{RowDecoder, RowEncoder};
 use kge_compress::quant::QuantScheme;
 use kge_compress::row_select::select_rows;
@@ -58,18 +59,41 @@ const CKPT_LATENCY_S: f64 = 1e-3;
 /// Modeled bandwidth of the checkpoint device (burst-buffer class).
 const CKPT_BW_BYTES_S: f64 = 2e9;
 
+/// Fixed initiation latency charged per serving-snapshot publish. Much
+/// cheaper than a checkpoint: the publish is a lock-and-swap plus an
+/// in-memory copy of the model tables into the serve hub's spare buffers
+/// — no serialization, no optimizer state, no storage device.
+const SNAP_LATENCY_S: f64 = 1e-5;
+
+/// Modeled bandwidth of the in-memory snapshot copy (DRAM-streaming
+/// class).
+const SNAP_BW_BYTES_S: f64 = 8e9;
+
 /// Train on `dataset` with `config` across `cluster`. Returns the lead
 /// survivor's report and final (assembled) model. With a fault plan that
 /// crashes ranks, the reporting rank is whichever survivor holds rank 0
 /// after the final shrink; crashed ranks contribute only their wire
 /// traffic totals.
 pub fn train(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig) -> TrainOutcome {
+    train_with_snapshots(dataset, cluster, config, None)
+}
+
+/// [`train`], additionally publishing model snapshots to `sink` every
+/// [`TrainConfig::serve_snapshots`] epochs (the serve-while-training entry
+/// point — `kge-serve`'s snapshot hub is the intended sink). With
+/// `sink = None` or cadence 0 this is exactly [`train`].
+pub fn train_with_snapshots(
+    dataset: &Dataset,
+    cluster: &Cluster,
+    config: &TrainConfig,
+    sink: Option<&dyn SnapshotSink>,
+) -> TrainOutcome {
     config.validate().expect("invalid training config");
     dataset.validate().expect("invalid dataset");
     if config.sharded.is_some() {
         return crate::shard::train_sharded(dataset, cluster, config);
     }
-    let mut results = cluster.run(|ctx| run_node(ctx, dataset, config));
+    let mut results = cluster.run(|ctx| run_node(ctx, dataset, config, sink));
     // Wire-level conservation is global: crashed ranks' pre-crash traffic
     // counts, so sum before discarding the non-reporting nodes.
     let wire_sent: u64 = results.iter().map(|r| r.wire_sent).sum();
@@ -131,12 +155,17 @@ pub(crate) struct NodeResult {
     pub(crate) wire_recv: u64,
 }
 
-fn run_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeResult {
+fn run_node(
+    ctx: &mut NodeCtx,
+    dataset: &Dataset,
+    config: &TrainConfig,
+    sink: Option<&dyn SnapshotSink>,
+) -> NodeResult {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(node_pool_threads(ctx.size()))
         .build()
         .expect("node thread pool");
-    pool.install(|| run_node_inner(ctx, dataset, config))
+    pool.install(|| run_node_inner(ctx, dataset, config, sink))
 }
 
 /// Recompute everything that depends on the world size: the partition,
@@ -165,7 +194,12 @@ pub(crate) fn distribute(
     (shard, owned_rels, batches_per_epoch)
 }
 
-fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) -> NodeResult {
+fn run_node_inner(
+    ctx: &mut NodeCtx,
+    dataset: &Dataset,
+    config: &TrainConfig,
+    sink: Option<&dyn SnapshotSink>,
+) -> NodeResult {
     let mut rank = ctx.rank();
     let mut p = ctx.size();
     let initial_p = p;
@@ -1189,6 +1223,31 @@ fn run_node_inner(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) ->
                 .unwrap_or_else(|e| panic!("checkpoint write {}: {e}", path.display()));
         }
 
+        // --- Serving-snapshot publish. ----------------------------------
+        // Same boundary as the checkpoint (after the schedule observed the
+        // epoch), so the bytes a sink receives equal the checkpoint-derived
+        // model bytes bit-for-bit. The modeled in-memory copy cost is a
+        // pure function of table shapes, so *every* rank charges it and
+        // clocks stay aligned; only rank 0 calls the sink — replicas are
+        // bit-identical, and after a crash-shrink the lead survivor holds
+        // rank 0.
+        if config.serve_snapshots > 0 && (epoch + 1).is_multiple_of(config.serve_snapshots) {
+            let model_bytes = ent.nbytes() + rel.nbytes();
+            let clock = ctx.comm_mut().clock_mut();
+            clock.charge_checkpoint_seconds(SNAP_LATENCY_S + model_bytes as f64 / SNAP_BW_BYTES_S);
+            let sim_now_s = clock.now_s();
+            if rank == 0 {
+                if let Some(sink) = sink {
+                    sink.publish(&PublishedModel {
+                        epochs_done: epoch + 1,
+                        sim_now_s,
+                        ent: &ent,
+                        rel: &rel,
+                    });
+                }
+            }
+        }
+
         if matches!(decision, crate::lr::LrDecision::Converged) {
             converged = true;
             break;
@@ -1870,7 +1929,7 @@ mod tests {
         let cluster = Cluster::new(3, ClusterSpec::cray_xc40());
         let config = quick_config(StrategyConfig::baseline_allgather(2));
         let results = cluster.run(|ctx| {
-            let res = run_node(ctx, &ds, &config);
+            let res = run_node(ctx, &ds, &config, None);
             (res.entities, res.relations)
         });
         for (ent, rel) in &results[1..] {

@@ -42,6 +42,7 @@ pub mod cost;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod openloop;
 pub mod p2p;
 pub mod spec;
 pub mod traffic;
@@ -51,6 +52,7 @@ pub use comm::{Communicator, OverlapStats};
 pub use cost::{Collective, CostModel};
 pub use error::SimError;
 pub use fault::{FaultPlan, LinkDegradation, RankCrash, RetryPolicy, StragglerWindow};
+pub use openloop::OpenLoopArrivals;
 pub use p2p::Message;
 pub use executor::{Cluster, NodeCtx};
 pub use spec::ClusterSpec;

@@ -6,6 +6,8 @@
 //! cargo run --release --example link_prediction
 //! ```
 
+use std::sync::Arc;
+
 use kge::prelude::*;
 
 fn main() {
@@ -16,8 +18,13 @@ fn main() {
     config.plateau_tolerance = 5;
     config.max_epochs = 60;
     config.seed = 11;
+    // Publish an immutable serving snapshot at every epoch boundary; the
+    // hub's latest generation is queried below without touching trainer
+    // state.
+    config.serve_snapshots = 1;
+    let hub = SnapshotHub::new(Arc::from(config.model.build(config.rank)));
     println!("training ComplEx (rank 16) on {} ...", dataset.name);
-    let outcome = train(&dataset, &cluster, &config);
+    let outcome = train_with_snapshots(&dataset, &cluster, &config, Some(&hub));
     println!(
         "trained in {} epochs, simulated {:.2} h\n",
         outcome.report.epochs,
@@ -65,10 +72,48 @@ fn main() {
         );
     }
 
+    // The same queries through the serving layer: the hub's latest
+    // published generation feeds a ServeEngine that batches queries and
+    // answers top-k on the SIMD one-vs-all kernels. Filtered mode
+    // excludes *all* known-true tails, so these are the model's best
+    // previously-unseen link predictions.
+    let grouped = Arc::new(GroupedFilter::from_index(&filter));
+    let snap = hub.latest().expect("training published snapshots");
+    println!(
+        "\nserving from snapshot generation {} (published at epoch {}):",
+        snap.generation(),
+        snap.epochs_done()
+    );
+    let mut engine = ServeEngine::with_filter(snap, Some(Arc::clone(&grouped)));
+    let queries: Vec<Query> = dataset
+        .test
+        .iter()
+        .take(5)
+        .map(|t| Query { head: t.head, rel: t.rel, k: 5, filtered: true })
+        .collect();
+    for &q in &queries {
+        engine.submit(q);
+    }
+    engine.drain();
+    for (i, q) in queries.iter().enumerate() {
+        let hits: Vec<String> = engine
+            .results()
+            .get(i)
+            .iter()
+            .map(|h| format!("e{}({:.2})", h.entity, h.score))
+            .collect();
+        println!(
+            "  (e{}, r{}, ?) top-{} new links: {}",
+            q.head,
+            q.rel,
+            q.k,
+            hits.join(" ")
+        );
+    }
+
     // Aggregate quality — the steady-state API: prebuilt GroupedFilter +
     // reusable workspace, so repeated evaluations (per-epoch use) run on
     // the blocked one-vs-all kernels without reallocating.
-    let grouped = GroupedFilter::from_index(&filter);
     let mut ws = RankingWorkspace::new();
     let ranking = evaluate_ranking_with(
         &mut ws,

@@ -13,11 +13,21 @@
 # records both simulated-time profiles, the recovery overhead, and a
 # bit-reproducibility check under `fault_injection` in the same JSON.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_batch.json)
+# It then runs `bench_serve`, which A/Bs batched vs single-query top-k
+# admission at dim 128 over a DRAM-resident entity table (asserting
+# batched >= 3x and bit-identity to the scalar oracle), measures open-loop
+# p50/p99 latency under power-law skew, and asserts cadence-1 snapshot
+# publishing costs <= 5% simulated time — written to BENCH_serve.json.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [serve_output.json]
+#        (defaults: BENCH_batch.json BENCH_serve.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_batch.json}"
-cargo build --release -p bench --bin bench_batch
+SERVE_OUT="${2:-BENCH_serve.json}"
+cargo build --release -p bench --bin bench_batch --bin bench_serve
 ./target/release/bench_batch "$OUT"
 echo "bench_smoke: wrote $OUT"
+./target/release/bench_serve "$SERVE_OUT"
+echo "bench_smoke: wrote $SERVE_OUT"

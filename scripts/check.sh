@@ -18,6 +18,7 @@ CRATES=(
   kge-partition
   kge-eval
   kge-train
+  kge-serve
   bench
 )
 
@@ -79,3 +80,13 @@ echo "check: checkpoint codec + resume equivalence pass (both dispatch arms)"
 cargo test -p kge-train --release --test sharded_determinism --test zero_alloc_sharded
 KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test sharded_determinism
 echo "check: sharded storage determinism + zero-alloc tests pass (both dispatch arms)"
+
+# Serving: top-k must be bit-identical to the scalar full-sort oracle
+# (across models, dims, k, filtered/unfiltered — both dispatch arms),
+# steady-state batch admission must not allocate, and snapshots published
+# mid-training must equal the checkpoint model bytes. The latency
+# benchmark must at least build (scripts/bench_smoke.sh runs it).
+cargo test -p kge-serve --release --test prop_topk --test zero_alloc_serve --test serve_train
+KGE_FORCE_SCALAR=1 cargo test -p kge-serve --release --test prop_topk
+cargo build --release -p bench --bin bench_serve
+echo "check: serve top-k bit-identity + zero-alloc + snapshot tests pass (both dispatch arms)"

@@ -23,6 +23,10 @@
 //!   classification accuracy.
 //! - [`train`] (crate `kge-train`) — the paper's trainer with all five
 //!   strategies.
+//! - [`serve`] (crate `kge-serve`) — serve-while-training: immutable
+//!   model snapshots published at epoch boundaries, batched top-k link
+//!   prediction on the SIMD one-vs-all kernels, open-loop load
+//!   generation with p50/p99 latency on the simulated clock.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use kge_core as core;
 pub use kge_data as data;
 pub use kge_eval as eval;
 pub use kge_partition as partition;
+pub use kge_serve as serve;
 pub use kge_train as train;
 pub use simgrid as sim;
 
@@ -63,11 +68,10 @@ pub mod prelude {
         fast_valid_accuracy, triple_classification, RankingMetrics, RankingOptions,
         RankingWorkspace,
     };
+    pub use kge_serve::{ModelSnapshot, Query, ServeEngine, SnapshotHub, TopHit};
     pub use kge_train::{
-        train, train_ps, CommMode, ModelKind, NegSampling, OptimizerKind, StrategyConfig,
-        TrainConfig,
-        TrainOutcome,
-        UpdateStyle,
+        train, train_ps, train_with_snapshots, CommMode, ModelKind, NegSampling, OptimizerKind,
+        StrategyConfig, TrainConfig, TrainOutcome, UpdateStyle,
     };
     pub use simgrid::{Cluster, ClusterSpec};
 }
