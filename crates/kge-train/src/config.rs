@@ -208,6 +208,23 @@ impl OptimizerKind {
     }
 }
 
+/// Pipelining policy for the sharded pull/push lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PrefetchMode {
+    /// Synchronous per-batch round-trip: pull, compute, push, every batch
+    /// blocking in turn. Bit-identical to the pre-prefetch code path.
+    #[default]
+    Off,
+    /// One-batch-ahead prefetch ring: while batch *b* computes, batch
+    /// *b+1*'s touched rows are already requested and in flight and batch
+    /// *b*'s gradient push settles behind the next compute window.
+    On,
+    /// Start synchronous, periodically probe the prefetch arm on the
+    /// simulated epoch clock and commit to whichever is faster (the
+    /// arms are numerically identical, so probing is value-safe).
+    Dynamic,
+}
+
 /// Partitioned entity storage (the "sharded store"): each entity row is
 /// resident only on its owner rank, batches pull the rows they touch over
 /// point-to-point links, and row-sparse gradients are routed back to
@@ -224,6 +241,11 @@ pub struct ShardedConfig {
     /// full-replica trainer while staying identical run-to-run.
     #[serde(default)]
     pub cold_int8: bool,
+    /// Pull/push pipelining policy: keep the synchronous per-batch
+    /// round-trip, run the one-batch-ahead prefetch ring, or let the
+    /// dynamic selector probe and commit per epoch.
+    #[serde(default)]
+    pub prefetch: PrefetchMode,
 }
 
 /// Full training configuration.
@@ -487,6 +509,7 @@ mod tests {
             c.sharded = Some(ShardedConfig {
                 hot_cache_rows: 8,
                 cold_int8: false,
+                prefetch: PrefetchMode::Off,
             });
             c
         };

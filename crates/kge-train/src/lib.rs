@@ -39,7 +39,7 @@ pub mod trainer;
 pub use checkpoint::{
     checkpoint_path, Checkpoint, CheckpointError, CheckpointView, OptimSnapshot, Tallies,
 };
-pub use comm_select::{CommChoice, DynamicCommSelector};
+pub use comm_select::{CommChoice, DynamicCommSelector, PrefetchSelector};
 
 /// SplitMix64 finalizer — the seed-derivation mixer used to give each
 /// gradient chunk / quantized row its own independent RNG stream from a
@@ -54,8 +54,8 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 pub use config::{
-    CommMode, ModelKind, NegSampling, OptimizerKind, ShardedConfig, StrategyConfig, TrainConfig,
-    UpdateStyle,
+    CommMode, ModelKind, NegSampling, OptimizerKind, PrefetchMode, ShardedConfig, StrategyConfig,
+    TrainConfig, UpdateStyle,
 };
 pub use exchange::{AggGrad, ExchangeStats, GatherBufs, PipelineSlot};
 pub use lr::{LrDecision, PlateauSchedule};

@@ -126,6 +126,28 @@ pub struct ShardedReport {
     pub eligible_rows: usize,
     /// Largest per-rank owned-row count.
     pub owned_rows: usize,
+    /// Slowest rank's cumulative wall occupancy of the `ShardPull` lane
+    /// (request sends + response receives + serving), visible *and*
+    /// hidden seconds. Measured from clock deltas around the lane
+    /// operations, so recording it never perturbs the clock.
+    #[serde(default)]
+    pub pull_lane_s: f64,
+    /// Slowest rank's cumulative `ShardPush` lane occupancy (cold
+    /// gradient sends/receives plus deferred settlement).
+    #[serde(default)]
+    pub push_lane_s: f64,
+    /// Of `pull_lane_s`, the seconds hidden behind compute by the
+    /// prefetch ring (always 0 on the synchronous path).
+    #[serde(default)]
+    pub hidden_pull_s: f64,
+    /// Of `push_lane_s`, the seconds hidden behind the next batch's
+    /// compute window (always 0 on the synchronous path).
+    #[serde(default)]
+    pub hidden_push_s: f64,
+    /// Epochs that ran the prefetch ring (equals `epochs` with
+    /// `PrefetchMode::On`; whatever DRS chose with `Dynamic`).
+    #[serde(default)]
+    pub prefetch_epochs: usize,
 }
 
 impl ShardedReport {

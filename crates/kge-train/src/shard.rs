@@ -57,8 +57,23 @@
 //! died with the crashed rank from the deterministic Xavier init (fresh
 //! optimizer state). Elastic rejoin is not supported in sharded mode —
 //! a crashed rank parks until the survivors close the lobby.
+//!
+//! ## Prefetch pipeline
+//!
+//! With [`crate::PrefetchMode`] on, the per-batch pull round-trip is
+//! restructured into a two-slot ring ([`PrefetchRing`]): while batch `b`
+//! computes, batch `b+1` is already staged, its touched union deduped
+//! and classified against the cache state *as of its launch*, and its
+//! pull requests in flight. Responses settle with overlap pricing
+//! against the launch anchor (`Communicator::recv_bytes_from_as_overlapped`),
+//! so a pull-bound epoch approaches `max(compute, pull)`; cold pushes
+//! for batch `b` are consumed in place but priced behind batch `b+1`'s
+//! compute window. Resident rows are read at *use* time and evictions
+//! between launch and use are captured into the slot ([`EvictSink`]),
+//! which is what keeps f32 prefetch runs bit-identical to the
+//! synchronous path — and therefore to the replica trainer.
 
-use crate::config::TrainConfig;
+use crate::config::{PrefetchMode, TrainConfig};
 use crate::lr::PlateauSchedule;
 use crate::neg::CorruptionBias;
 use crate::report::{EpochTrace, ShardedReport, TrainOutcome, TrainReport};
@@ -66,6 +81,7 @@ use crate::trainer::{
     chunk_seed, compute_chunk, distribute, node_pool_threads, stage_chunk, ChunkScratch,
     GRAD_CHUNK, ZERO_ROW_EPS,
 };
+use crate::comm_select::PrefetchSelector;
 use crate::CommChoice;
 use kge_compress::codec::{RowDecoder, RowEncoder, WireFormat};
 use kge_compress::quant::QuantScheme;
@@ -392,8 +408,12 @@ impl ShardedStore {
         self.opt_t[a] = self.cache_t[slot];
     }
 
-    /// Evict the least-recently-used row and return its freed slot.
-    fn evict_one(&mut self) -> usize {
+    /// Evict the least-recently-used row and return its freed slot. If a
+    /// prefetch slot registered an [`EvictSink`], the victim's cache
+    /// value is captured into it first (the prefetched batch classified
+    /// the row as cached at launch and must still read the same f32
+    /// value the synchronous path would have).
+    fn evict_one(&mut self, sink: &mut Option<EvictSink<'_>>) -> usize {
         loop {
             debug_assert!(self.evq_head < self.evq.len(), "LRU queue underflow");
             let (used, id) = self.evq[self.evq_head];
@@ -401,6 +421,9 @@ impl ShardedStore {
             let slot = self.cache_slot[id as usize];
             if slot != NO_SLOT && self.cache_used[slot as usize] == used {
                 let s = slot as usize;
+                if let Some(sink) = sink.as_mut() {
+                    sink.capture(id, &self.cache_val[s * self.dim..(s + 1) * self.dim]);
+                }
                 self.write_back(s, id);
                 self.cache_slot[id as usize] = NO_SLOT;
                 self.cache_id[s] = NO_SLOT;
@@ -427,11 +450,17 @@ impl ShardedStore {
     /// a placeholder (unsynced) until [`ShardedStore::fill_admitted`]
     /// lands the owner's state in the same batch's admission sync.
     pub fn admit(&mut self, id: u32, tick: u64) {
+        self.admit_with_sink(id, tick, &mut None);
+    }
+
+    /// [`ShardedStore::admit`] with an optional eviction capture target
+    /// for the prefetch pipeline.
+    fn admit_with_sink(&mut self, id: u32, tick: u64, sink: &mut Option<EvictSink<'_>>) {
         if self.capacity == 0 || self.cache_slot[id as usize] != NO_SLOT {
             return;
         }
         let slot = if self.cache_len == self.capacity {
-            self.evict_one()
+            self.evict_one(sink)
         } else {
             self.cache_len
         };
@@ -553,6 +582,11 @@ pub struct ShardedBufs {
     gather: crate::exchange::GatherBufs,
     rel_agg: SparseGrad,
     row_buf: Vec<f32>,
+    /// Cumulative pull/push lane seconds (visible + hidden), for the
+    /// sharded report. Accumulated from clock deltas around the lane
+    /// operations — never from extra charges, so the sync path's clock
+    /// trajectory is untouched.
+    lane: LaneTimes,
 }
 
 impl ShardedBufs {
@@ -583,6 +617,7 @@ impl ShardedBufs {
             gather: crate::exchange::GatherBufs::new(),
             rel_agg: SparseGrad::new(dim),
             row_buf: vec![0.0; dim],
+            lane: LaneTimes::default(),
         }
     }
 
@@ -621,6 +656,519 @@ fn add_payload_into(payload: &[u8], agg: &mut SparseGrad, what: &str) -> usize {
     rows
 }
 
+// --- Prefetch ring -----------------------------------------------------
+
+/// Fill classes of a prefetch slot's batch-local rows, fixed when the
+/// slot launches. `REMOTE` rows are requested over the wire; `OWNED` and
+/// `CACHED` rows are read from resident state at *use* time (so they
+/// observe the intervening batch's updates, like the synchronous path);
+/// `LIMBO` rows were cached at launch but evicted before use — their
+/// value was captured into the slot at eviction time.
+const CLASS_REMOTE: u8 = 0;
+const CLASS_OWNED: u8 = 1;
+const CLASS_CACHED: u8 = 2;
+const CLASS_LIMBO: u8 = 3;
+
+/// Capture target for rows a prefetched batch classified as cached at
+/// launch but that the intervening batch's admission pass evicts before
+/// use. The victim's post-update cache value — bit-for-bit what the
+/// synchronous path would have read (or pulled back from the owner's
+/// write-back) — is copied straight into the slot's batch-local table.
+pub struct EvictSink<'a> {
+    g2l: &'a [u32],
+    class: &'a mut [u8],
+    local_tab: &'a mut EmbeddingTable,
+}
+
+impl EvictSink<'_> {
+    fn capture(&mut self, id: u32, value: &[f32]) {
+        let li = self.g2l[id as usize];
+        if li == NO_SLOT {
+            return;
+        }
+        let li = li as usize;
+        if self.class[li] == CLASS_CACHED {
+            self.local_tab.row_mut(li).copy_from_slice(value);
+            self.class[li] = CLASS_LIMBO;
+        }
+    }
+}
+
+/// Simulated wall-clock and hidden-occupancy accounting for the sharded
+/// p2p lanes, accumulated over a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneTimes {
+    /// Seconds spent on `ShardPull` operations (requests, serving,
+    /// response settle — idle wait plus visible occupancy).
+    pub pull_s: f64,
+    /// Seconds spent on `ShardPush` operations.
+    pub push_s: f64,
+    /// Pull-response occupancy hidden behind the prefetch window.
+    pub hidden_pull_s: f64,
+    /// Push occupancy hidden behind the next batch's compute.
+    pub hidden_push_s: f64,
+}
+
+/// One in-flight batch of the prefetch ring: staged chunks, the deduped
+/// touched union with its private id map, per-row fill classes, and the
+/// per-owner request lists, all fixed at launch time.
+struct PrefetchSlot {
+    chunks: Vec<ChunkScratch>,
+    local_tab: EmbeddingTable,
+    touched: Vec<u32>,
+    /// Entity id → batch-local id, private to this slot (the shared
+    /// `ShardedBufs` map belongs to whichever batch is computing).
+    g2l: Vec<u32>,
+    /// Batch-local id → fill class.
+    class: Vec<u8>,
+    req_ids: Vec<Vec<u32>>,
+    /// Clock reading just before the pull requests went out — the start
+    /// of the window their responses may hide behind.
+    anchor_s: f64,
+    batch_idx: usize,
+    bs: usize,
+    n_chunks: usize,
+    live: bool,
+}
+
+/// Deferred pricing for the previous batch's cold pushes: the payloads
+/// were consumed (unpriced) exactly where the synchronous path consumes
+/// them, and their occupancy settles against the *next* batch's compute
+/// window via `charge_p2p_deferred`.
+struct PendingPush {
+    anchor_s: f64,
+    /// `(arrival_s, bytes)` per received payload.
+    items: Vec<(f64, usize)>,
+    live: bool,
+}
+
+/// Two-slot one-batch-ahead prefetch pipeline state for the sharded
+/// trainer. Owned by the epoch loop (not by [`ShardedBufs`]) so a crash
+/// can drop every in-flight slot without touching the batch buffers;
+/// all buffers reach steady size after one warm epoch and are reused.
+pub struct PrefetchRing {
+    slots: [PrefetchSlot; 2],
+    cur: usize,
+    /// Stashed pull-request payloads for the next batch, popped in FIFO
+    /// position at the cold-aggregation phase and served after the
+    /// admission sync so responses carry post-update rows.
+    req_stash: Vec<Vec<u8>>,
+    pending_push: PendingPush,
+}
+
+impl PrefetchRing {
+    pub fn new(dim: usize, n_entities: usize, p: usize, config: &TrainConfig) -> Self {
+        let n_chunks = config.batch_size.div_ceil(GRAD_CHUNK).max(1);
+        let max_touched =
+            (2 * config.batch_size * (1 + config.strategy.neg.train)).min(n_entities).max(1);
+        let slot = || PrefetchSlot {
+            chunks: (0..n_chunks).map(|_| ChunkScratch::new(dim)).collect(),
+            local_tab: EmbeddingTable::zeros(max_touched, dim),
+            touched: Vec::new(),
+            g2l: vec![NO_SLOT; n_entities],
+            class: vec![CLASS_REMOTE; max_touched],
+            req_ids: (0..p).map(|_| Vec::new()).collect(),
+            anchor_s: 0.0,
+            batch_idx: 0,
+            bs: 0,
+            n_chunks: 0,
+            live: false,
+        };
+        PrefetchRing {
+            slots: [slot(), slot()],
+            cur: 0,
+            req_stash: (0..p).map(|_| Vec::new()).collect(),
+            pending_push: PendingPush {
+                anchor_s: 0.0,
+                items: Vec::new(),
+                live: false,
+            },
+        }
+    }
+
+    /// Drop every in-flight slot and deferred charge: the epoch-boundary
+    /// drain, and crash recovery (where the shrunken world also drops the
+    /// undelivered messages themselves, so nothing dangles).
+    pub fn reset(&mut self) {
+        for slot in self.slots.iter_mut() {
+            if slot.live {
+                for &id in &slot.touched {
+                    slot.g2l[id as usize] = NO_SLOT;
+                }
+            }
+            slot.live = false;
+        }
+        self.cur = 0;
+        for s in self.req_stash.iter_mut() {
+            s.clear();
+        }
+        self.pending_push.items.clear();
+        self.pending_push.live = false;
+    }
+
+    /// Shrink/regrow the per-peer buffer sets after a world-size change.
+    pub fn resize_world(&mut self, p: usize) {
+        for slot in self.slots.iter_mut() {
+            slot.req_ids.resize_with(p, Vec::new);
+        }
+        self.req_stash.resize_with(p, Vec::new);
+    }
+}
+
+// --- Shared batch phases ----------------------------------------------
+//
+// The synchronous step and the prefetch pipeline run the *same*
+// arithmetic in the same order; these helpers are the verbatim phases of
+// the original `sharded_batch_step`, extracted so both paths share them.
+
+/// Batch extent: `(examples, chunks)`.
+fn batch_shape(config: &TrainConfig, shard: &[Triple]) -> (usize, usize) {
+    if shard.is_empty() {
+        (0, 0)
+    } else {
+        let bs = config.batch_size.min(shard.len());
+        (bs, bs.div_ceil(GRAD_CHUNK))
+    }
+}
+
+/// Stage every chunk (sampling only; placeholder tables, corruption
+/// range = the global entity count).
+#[allow(clippy::too_many_arguments)]
+fn stage_batch(
+    model: &dyn KgeModel,
+    local_tab: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    n_entities: usize,
+    shard: &[Triple],
+    config: &TrainConfig,
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    rank: usize,
+    epoch: usize,
+    batch_idx: usize,
+    bs: usize,
+    n_chunks: usize,
+    chunks: &mut [ChunkScratch],
+) {
+    let start = batch_idx * config.batch_size;
+    for (c, chunk) in chunks.iter_mut().enumerate().take(n_chunks) {
+        let lo = c * GRAD_CHUNK;
+        let hi = (lo + GRAD_CHUNK).min(bs);
+        stage_chunk(
+            model,
+            local_tab,
+            rel,
+            n_entities,
+            shard,
+            start,
+            lo,
+            hi,
+            config,
+            filter,
+            bias,
+            chunk_seed(config.seed, rank, epoch, batch_idx, c),
+            chunk,
+        );
+    }
+}
+
+/// Touched union + local-id map.
+fn build_touched(
+    chunks: &[ChunkScratch],
+    n_chunks: usize,
+    touched: &mut Vec<u32>,
+    g2l: &mut [u32],
+    cap_rows: usize,
+) {
+    touched.clear();
+    for c in chunks.iter().take(n_chunks) {
+        for &(h, _, t) in &c.triples {
+            touched.push(h);
+            touched.push(t);
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    debug_assert!(touched.len() <= cap_rows);
+    for (li, &id) in touched.iter().enumerate() {
+        g2l[id as usize] = li as u32;
+    }
+}
+
+/// Remap triples to batch-local entity ids, counting cache hits per
+/// touch while the global ids are still in hand.
+fn remap_and_count(
+    chunks: &mut [ChunkScratch],
+    n_chunks: usize,
+    g2l: &[u32],
+    store: &mut ShardedStore,
+) {
+    for c in chunks.iter_mut().take(n_chunks) {
+        for tr in c.triples.iter_mut() {
+            let (h, r, t) = *tr;
+            store.count_touch(h);
+            store.count_touch(t);
+            *tr = (g2l[h as usize], r, g2l[t as usize]);
+        }
+    }
+}
+
+/// Compute chunks in parallel (fixed chunk structure, chunk-ordered
+/// merge — thread-count independent), then merge. Returns
+/// `(loss, examples)`.
+#[allow(clippy::too_many_arguments)]
+fn compute_and_merge(
+    ctx: &mut NodeCtx,
+    model: &dyn KgeModel,
+    config: &TrainConfig,
+    chunks: &mut [ChunkScratch],
+    n_chunks: usize,
+    local_tab: &EmbeddingTable,
+    rel: &EmbeddingTable,
+    inv_batch: f32,
+    ent_grad: &mut SparseGrad,
+    rel_grad: &mut SparseGrad,
+) -> (f64, usize) {
+    {
+        let chunks = &mut chunks[..n_chunks];
+        let ptr = SendPtr(chunks.as_mut_ptr());
+        rayon::par_for_each_index(n_chunks, |c| {
+            // SAFETY: each index is claimed by exactly one worker, so the
+            // &mut aliases are disjoint.
+            let cs = unsafe { ptr.at(c) };
+            compute_chunk(model, local_tab, rel, inv_batch, config, cs);
+        });
+    }
+    ent_grad.clear();
+    rel_grad.clear();
+    let mut loss = 0.0f64;
+    let mut examples = 0usize;
+    for c in chunks.iter().take(n_chunks) {
+        loss += c.loss;
+        examples += c.examples;
+        ent_grad.merge(&c.ent);
+        rel_grad.merge(&c.rel);
+    }
+    ctx.comm_mut()
+        .clock_mut()
+        .charge_flops(examples as f64 * model.score_flops() * 3.0);
+    (loss, examples)
+}
+
+/// Split the entity gradient: hot-set rows into the shared all-gather
+/// payload (ascending global id), cold rows encoded per owner with the
+/// own-rank bucket kept locally. Encoding never touches the clock, so
+/// separating it from the sends is charge-identical.
+fn encode_entity_grads(
+    store: &ShardedStore,
+    touched: &[u32],
+    ent_grad: &SparseGrad,
+    dim: usize,
+    hot_send: &mut Vec<u8>,
+    cold_wire: &mut [Vec<u8>],
+    p: usize,
+) {
+    {
+        let mut hot_enc = RowEncoder::new(WireFormat::F32, dim, hot_send);
+        for (lid, g) in ent_grad.iter_sorted() {
+            let id = touched[lid as usize];
+            if store.is_eligible(id) {
+                hot_enc.push_f32(id, g).expect("hot gradient row");
+            }
+        }
+        hot_enc.finish();
+    }
+    for (dst, wire) in cold_wire.iter_mut().enumerate().take(p) {
+        let mut enc = RowEncoder::new(WireFormat::F32, dim, wire);
+        for (lid, g) in ent_grad.iter_sorted() {
+            let id = touched[lid as usize];
+            if !store.is_eligible(id) && store.owner_of(id) == dst {
+                enc.push_f32(id, g).expect("cold gradient row");
+            }
+        }
+        enc.finish();
+    }
+}
+
+/// Hot exchange: all-gather the hot payloads, decode in ascending rank
+/// order, and scale by 1/p — the replica gather-decode arithmetic.
+fn hot_exchange(
+    ctx: &mut NodeCtx,
+    hot_send: &[u8],
+    hot_recv: &mut Vec<u8>,
+    hot_counts: &mut Vec<usize>,
+    hot_agg: &mut SparseGrad,
+    p: usize,
+    dim: usize,
+) -> Result<(), SimError> {
+    ctx.comm_mut().allgatherv_bytes_into(hot_send, hot_recv, hot_counts)?;
+    hot_agg.clear();
+    let mut gathered = 0usize;
+    let mut off = 0usize;
+    for &c in hot_counts.iter() {
+        gathered += add_payload_into(&hot_recv[off..off + c], hot_agg, "hot payload");
+        off += c;
+    }
+    hot_agg.scale(1.0 / p as f32);
+    hot_agg.ensure_sorted();
+    ctx.comm_mut()
+        .clock_mut()
+        .charge_flops((gathered * dim) as f64);
+    Ok(())
+}
+
+/// Relation exchange — byte-for-byte the replica trainer's plain
+/// all-gather arm.
+fn relation_exchange(
+    ctx: &mut NodeCtx,
+    rng: &mut StdRng,
+    rel_grad: &mut SparseGrad,
+    gather: &mut crate::exchange::GatherBufs,
+    rel_agg: &mut SparseGrad,
+    dim: usize,
+) -> Result<(), SimError> {
+    rel_grad.ensure_sorted();
+    let stats = crate::exchange::exchange_allgather_into(
+        ctx.comm_mut(),
+        rel_grad,
+        dim,
+        QuantScheme::None,
+        None,
+        rng,
+        gather,
+        rel_agg,
+    )?;
+    ctx.comm_mut()
+        .clock_mut()
+        .charge_flops((stats.rows_gathered * dim) as f64);
+    Ok(())
+}
+
+/// Apply the aggregates: cached rows step replicated everywhere;
+/// eligible-uncached rows step on the owner's arena; cold rows step on
+/// the owner's arena from the p2p aggregate; relation rows mirror the
+/// replica's lazy path.
+#[allow(clippy::too_many_arguments)]
+fn apply_updates(
+    ctx: &mut NodeCtx,
+    store: &mut ShardedStore,
+    rel: &mut EmbeddingTable,
+    rel_opt: &mut dyn RowOptimizer,
+    hot_agg: &SparseGrad,
+    cold_agg: &SparseGrad,
+    rel_agg: &mut SparseGrad,
+    lr: f32,
+    lr_scale: f32,
+    dim: usize,
+) {
+    let mut stepped = 0usize;
+    for (id, g) in hot_agg.iter_sorted() {
+        if store.is_cached(id) {
+            store.step_cached(id, g, lr);
+            stepped += 1;
+        } else if store.is_owned(id) {
+            store.step_owned(id, g, lr);
+            stepped += 1;
+        }
+    }
+    for (id, g) in cold_agg.iter_sorted() {
+        debug_assert!(store.is_owned(id), "cold push routed to non-owner");
+        store.step_owned(id, g, lr);
+        stepped += 1;
+    }
+    ctx.comm_mut()
+        .clock_mut()
+        .charge_flops((stepped * dim * ADAM_FLOPS_PER_ELEM) as f64);
+    rel_agg.ensure_sorted();
+    ctx.comm_mut()
+        .clock_mut()
+        .charge_flops(rel_opt.lazy_step_flops(rel_agg.nnz()));
+    rel_opt.step_lazy(rel, rel_agg, lr_scale);
+}
+
+/// Cache admission/eviction, driven only by the shared hot stream so
+/// every rank transitions identically. The optional sink captures
+/// evictions for a launched-but-unused prefetch slot.
+fn admission(
+    store: &mut ShardedStore,
+    hot_agg: &SparseGrad,
+    admit_ids: &mut Vec<u32>,
+    tick: u64,
+    sink: &mut Option<EvictSink<'_>>,
+) {
+    admit_ids.clear();
+    for (id, _) in hot_agg.iter_sorted() {
+        if store.is_cached(id) {
+            store.bump(id, tick);
+        } else if store.is_eligible(id) && store.capacity() > 0 {
+            admit_ids.push(id);
+        }
+    }
+    for &id in admit_ids.iter() {
+        store.admit_with_sink(id, tick, sink);
+    }
+}
+
+/// Admission sync: owners publish post-update state for their newly
+/// admitted rows; `admit_ids` is a shared quantity, so skipping the
+/// collective when it is empty is itself collective.
+#[allow(clippy::too_many_arguments)]
+fn admission_sync(
+    ctx: &mut NodeCtx,
+    store: &mut ShardedStore,
+    admit_ids: &[u32],
+    adm_send: &mut Vec<u8>,
+    adm_recv: &mut Vec<u8>,
+    adm_counts: &mut Vec<usize>,
+    row_buf: &mut [f32],
+    dim: usize,
+) -> Result<(), SimError> {
+    if admit_ids.is_empty() {
+        return Ok(());
+    }
+    adm_send.clear();
+    for &id in admit_ids {
+        if store.is_owned(id) && store.is_cached(id) && !store.is_synced(id) {
+            store.read_owned_into(id, row_buf);
+            adm_send.extend_from_slice(&id.to_le_bytes());
+            let (m, v, t) = store.owned_state(id);
+            adm_send.extend_from_slice(&t.to_le_bytes());
+            for &x in row_buf.iter() {
+                adm_send.extend_from_slice(&x.to_le_bytes());
+            }
+            for &x in m {
+                adm_send.extend_from_slice(&x.to_le_bytes());
+            }
+            for &x in v {
+                adm_send.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    ctx.comm_mut().allgatherv_bytes_into(adm_send, adm_recv, adm_counts)?;
+    let rec = 8 + 12 * dim;
+    debug_assert_eq!(adm_recv.len() % rec, 0);
+    let mut off = 0usize;
+    while off + rec <= adm_recv.len() {
+        let b = &adm_recv[off..off + rec];
+        let id = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        let t = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+        // Decode the three dim-length f32 runs into the shared row
+        // buffer one at a time to stay allocation-free.
+        let f32_at = |base: usize, k: usize| {
+            let o = base + 4 * k;
+            f32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
+        };
+        for (k, slot) in row_buf.iter_mut().enumerate().take(dim) {
+            *slot = f32_at(8, k);
+        }
+        // Fill value, then moments, directly through a dedicated entry
+        // point so the store can keep its fields private.
+        store.fill_admitted_from_wire(id, t, row_buf, b, dim, f32_at);
+        off += rec;
+    }
+    Ok(())
+}
+
 /// Run one full sharded batch: stage → pull → compute → exchange → push
 /// → apply → cache admission. Returns `(loss, examples, nonzero_rows,
 /// rows_sent)`; a `RankCrashed` from any collective propagates so the
@@ -650,13 +1198,7 @@ pub fn sharded_batch_step(
     let p = ctx.size();
     let dim = store.dim;
     let n_entities = store.n_entities;
-    let (bs, n_chunks) = if shard.is_empty() {
-        (0, 0)
-    } else {
-        let bs = config.batch_size.min(shard.len());
-        (bs, bs.div_ceil(GRAD_CHUNK))
-    };
-    let start = batch_idx * config.batch_size;
+    let (bs, n_chunks) = batch_shape(config, shard);
     let inv_batch = if bs > 0 {
         1.0f32 / (bs * (1 + config.strategy.neg.train)) as f32
     } else {
@@ -665,40 +1207,26 @@ pub fn sharded_batch_step(
 
     // --- Phase 1: stage every chunk (sampling only; placeholder tables,
     // corruption range = the global entity count). ----------------------
-    for c in 0..n_chunks {
-        let lo = c * GRAD_CHUNK;
-        let hi = (lo + GRAD_CHUNK).min(bs);
-        stage_chunk(
-            model,
-            &bufs.local_tab,
-            rel,
-            n_entities,
-            shard,
-            start,
-            lo,
-            hi,
-            config,
-            filter,
-            bias,
-            chunk_seed(config.seed, rank, epoch, batch_idx, c),
-            &mut bufs.chunks[c],
-        );
-    }
+    stage_batch(
+        model,
+        &bufs.local_tab,
+        rel,
+        n_entities,
+        shard,
+        config,
+        filter,
+        bias,
+        rank,
+        epoch,
+        batch_idx,
+        bs,
+        n_chunks,
+        &mut bufs.chunks,
+    );
 
     // --- Phase 2: touched union + local-id map. -------------------------
-    bufs.touched.clear();
-    for c in 0..n_chunks {
-        for &(h, _, t) in &bufs.chunks[c].triples {
-            bufs.touched.push(h);
-            bufs.touched.push(t);
-        }
-    }
-    bufs.touched.sort_unstable();
-    bufs.touched.dedup();
-    debug_assert!(bufs.touched.len() <= bufs.local_tab.rows());
-    for (li, &id) in bufs.touched.iter().enumerate() {
-        bufs.g2l[id as usize] = li as u32;
-    }
+    let cap_rows = bufs.local_tab.rows();
+    build_touched(&bufs.chunks, n_chunks, &mut bufs.touched, &mut bufs.g2l, cap_rows);
 
     // --- Phase 3: fill the batch-local table — cache, then own arena,
     // then a pull request to the owner. ----------------------------------
@@ -720,6 +1248,7 @@ pub fn sharded_batch_step(
     // responses in the same order. Per-pair FIFO guarantees a peer's
     // request is received before its response. -----------------------
     if p > 1 {
+        let lane_t0 = ctx.comm().clock().now_s();
         for dst in 0..p {
             if dst == rank {
                 continue;
@@ -762,6 +1291,9 @@ pub fn sharded_batch_step(
                 pulled += 1;
             }
         }
+        // Lane seconds are a clock delta (idle + visible occupancy), not
+        // an extra charge — the clock trajectory is untouched.
+        bufs.lane.pull_s += ctx.comm().clock().now_s() - lane_t0;
         // Dequantize-on-pull cost (encode + decode passes).
         ctx.comm_mut()
             .clock_mut()
@@ -770,45 +1302,22 @@ pub fn sharded_batch_step(
 
     // --- Phase 5: remap triples to batch-local entity ids, counting
     // cache hits per touch while the global ids are still in hand. ----
-    for c in 0..n_chunks {
-        // Split borrows: the triple list is on the chunk, the counters on
-        // the store.
-        let triples = &mut bufs.chunks[c].triples;
-        for tr in triples.iter_mut() {
-            let (h, r, t) = *tr;
-            store.count_touch(h);
-            store.count_touch(t);
-            *tr = (bufs.g2l[h as usize], r, bufs.g2l[t as usize]);
-        }
-    }
+    remap_and_count(&mut bufs.chunks, n_chunks, &bufs.g2l, store);
 
     // --- Phase 6: compute chunks in parallel (fixed chunk structure,
     // chunk-ordered merge — thread-count independent), then merge. ----
-    {
-        let chunks = &mut bufs.chunks[..n_chunks];
-        let ptr = SendPtr(chunks.as_mut_ptr());
-        let local_tab = &bufs.local_tab;
-        let rel_ref: &EmbeddingTable = rel;
-        rayon::par_for_each_index(n_chunks, |c| {
-            // SAFETY: each index is claimed by exactly one worker, so the
-            // &mut aliases are disjoint.
-            let cs = unsafe { ptr.at(c) };
-            compute_chunk(model, local_tab, rel_ref, inv_batch, config, cs);
-        });
-    }
-    bufs.ent_grad.clear();
-    bufs.rel_grad.clear();
-    let mut loss = 0.0f64;
-    let mut examples = 0usize;
-    for c in 0..n_chunks {
-        loss += bufs.chunks[c].loss;
-        examples += bufs.chunks[c].examples;
-        bufs.ent_grad.merge(&bufs.chunks[c].ent);
-        bufs.rel_grad.merge(&bufs.chunks[c].rel);
-    }
-    ctx.comm_mut()
-        .clock_mut()
-        .charge_flops(examples as f64 * model.score_flops() * 3.0);
+    let (loss, examples) = compute_and_merge(
+        ctx,
+        model,
+        config,
+        &mut bufs.chunks,
+        n_chunks,
+        &bufs.local_tab,
+        rel,
+        inv_batch,
+        &mut bufs.ent_grad,
+        &mut bufs.rel_grad,
+    );
     let nonzero_rows = bufs.ent_grad.rows_above_norm(ZERO_ROW_EPS);
     bufs.ent_grad.ensure_sorted();
     let rows_sent = bufs.ent_grad.nnz();
@@ -817,71 +1326,47 @@ pub fn sharded_batch_step(
     // all-gather (ascending global id — ent_grad is sorted by local id
     // and the local order is the global-sorted touched order); cold rows
     // are encoded per owner, the own-rank bucket kept locally. --------
+    encode_entity_grads(
+        store,
+        &bufs.touched,
+        &bufs.ent_grad,
+        dim,
+        &mut bufs.hot_send,
+        &mut bufs.cold_wire,
+        p,
+    );
     {
-        let mut hot_enc = RowEncoder::new(WireFormat::F32, dim, &mut bufs.hot_send);
-        for (lid, g) in bufs.ent_grad.iter_sorted() {
-            let id = bufs.touched[lid as usize];
-            if store.is_eligible(id) {
-                hot_enc.push_f32(id, g).expect("hot gradient row");
+        let lane_t0 = ctx.comm().clock().now_s();
+        for dst in 0..p {
+            if dst != rank {
+                ctx.comm_mut()
+                    .send_bytes_as(dst, &bufs.cold_wire[dst], Collective::ShardPush)?;
             }
         }
-        hot_enc.finish();
-    }
-    for dst in 0..p {
-        {
-            let mut enc = RowEncoder::new(WireFormat::F32, dim, &mut bufs.cold_wire[dst]);
-            for (lid, g) in bufs.ent_grad.iter_sorted() {
-                let id = bufs.touched[lid as usize];
-                if !store.is_eligible(id) && store.owner_of(id) == dst {
-                    enc.push_f32(id, g).expect("cold gradient row");
-                }
-            }
-            enc.finish();
-        }
-        if dst != rank {
-            ctx.comm_mut()
-                .send_bytes_as(dst, &bufs.cold_wire[dst], Collective::ShardPush)?;
-        }
+        bufs.lane.push_s += ctx.comm().clock().now_s() - lane_t0;
     }
 
     // --- Phase 8: hot exchange. Decode in ascending rank order and
     // scale by 1/p — the replica gather-decode arithmetic exactly. ----
-    ctx.comm_mut()
-        .allgatherv_bytes_into(&bufs.hot_send, &mut bufs.hot_recv, &mut bufs.hot_counts)?;
-    bufs.hot_agg.clear();
-    let mut gathered = 0usize;
-    let mut off = 0usize;
-    for &c in bufs.hot_counts.iter() {
-        gathered += add_payload_into(&bufs.hot_recv[off..off + c], &mut bufs.hot_agg, "hot payload");
-        off += c;
-    }
-    bufs.hot_agg.scale(1.0 / p as f32);
-    bufs.hot_agg.ensure_sorted();
-    ctx.comm_mut()
-        .clock_mut()
-        .charge_flops((gathered * dim) as f64);
+    hot_exchange(
+        ctx,
+        &bufs.hot_send,
+        &mut bufs.hot_recv,
+        &mut bufs.hot_counts,
+        &mut bufs.hot_agg,
+        p,
+        dim,
+    )?;
 
     // --- Phase 9: relation exchange — byte-for-byte the replica
     // trainer's plain all-gather arm. ---------------------------------
-    bufs.rel_grad.ensure_sorted();
-    let stats = crate::exchange::exchange_allgather_into(
-        ctx.comm_mut(),
-        &bufs.rel_grad,
-        dim,
-        QuantScheme::None,
-        None,
-        rng,
-        &mut bufs.gather,
-        &mut bufs.rel_agg,
-    )?;
-    ctx.comm_mut()
-        .clock_mut()
-        .charge_flops((stats.rows_gathered * dim) as f64);
+    relation_exchange(ctx, rng, &mut bufs.rel_grad, &mut bufs.gather, &mut bufs.rel_agg, dim)?;
 
     // --- Phase 10: cold aggregation at owners. Ascending source order
     // with the local contribution spliced at this rank's position keeps
     // the f32 sum order identical to the replica decode. --------------
     bufs.cold_agg.clear();
+    let lane_t0 = ctx.comm().clock().now_s();
     for src in 0..p {
         if src == rank {
             add_payload_into(&bufs.cold_wire[rank], &mut bufs.cold_agg, "cold payload");
@@ -890,6 +1375,7 @@ pub fn sharded_batch_step(
             add_payload_into(&msg.payload, &mut bufs.cold_agg, "cold payload");
         }
     }
+    bufs.lane.push_s += ctx.comm().clock().now_s() - lane_t0;
     bufs.cold_agg.scale(1.0 / p as f32);
     bufs.cold_agg.ensure_sorted();
 
@@ -898,90 +1384,34 @@ pub fn sharded_batch_step(
     // on the owner's arena from the p2p aggregate. Relation rows mirror
     // the replica's lazy path. ----------------------------------------
     let lr = config.base_lr * lr_scale;
-    let mut stepped = 0usize;
-    for (id, g) in bufs.hot_agg.iter_sorted() {
-        if store.is_cached(id) {
-            store.step_cached(id, g, lr);
-            stepped += 1;
-        } else if store.is_owned(id) {
-            store.step_owned(id, g, lr);
-            stepped += 1;
-        }
-    }
-    for (id, g) in bufs.cold_agg.iter_sorted() {
-        debug_assert!(store.is_owned(id), "cold push routed to non-owner");
-        store.step_owned(id, g, lr);
-        stepped += 1;
-    }
-    ctx.comm_mut()
-        .clock_mut()
-        .charge_flops((stepped * dim * ADAM_FLOPS_PER_ELEM) as f64);
-    bufs.rel_agg.ensure_sorted();
-    ctx.comm_mut()
-        .clock_mut()
-        .charge_flops(rel_opt.lazy_step_flops(bufs.rel_agg.nnz()));
-    rel_opt.step_lazy(rel, &bufs.rel_agg, lr_scale);
+    apply_updates(
+        ctx,
+        store,
+        rel,
+        rel_opt,
+        &bufs.hot_agg,
+        &bufs.cold_agg,
+        &mut bufs.rel_agg,
+        lr,
+        lr_scale,
+        dim,
+    );
 
     // --- Phase 12: cache admission/eviction, driven only by the shared
     // hot stream so every rank transitions identically. ----------------
-    bufs.admit_ids.clear();
-    for (id, _) in bufs.hot_agg.iter_sorted() {
-        if store.is_cached(id) {
-            store.bump(id, tick);
-        } else if store.is_eligible(id) && store.capacity() > 0 {
-            bufs.admit_ids.push(id);
-        }
-    }
-    for &id in &bufs.admit_ids {
-        store.admit(id, tick);
-    }
+    admission(store, &bufs.hot_agg, &mut bufs.admit_ids, tick, &mut None);
 
-    // --- Phase 13: admission sync. Owners publish post-update state for
-    // their newly admitted rows; `admit_ids` is a shared quantity, so
-    // skipping the collective when it is empty is itself collective. ---
-    if !bufs.admit_ids.is_empty() {
-        bufs.adm_send.clear();
-        for &id in &bufs.admit_ids {
-            if store.is_owned(id) && store.is_cached(id) && !store.is_synced(id) {
-                store.read_owned_into(id, &mut bufs.row_buf);
-                bufs.adm_send.extend_from_slice(&id.to_le_bytes());
-                let (m, v, t) = store.owned_state(id);
-                bufs.adm_send.extend_from_slice(&t.to_le_bytes());
-                for &x in bufs.row_buf.iter() {
-                    bufs.adm_send.extend_from_slice(&x.to_le_bytes());
-                }
-                for &x in m {
-                    bufs.adm_send.extend_from_slice(&x.to_le_bytes());
-                }
-                for &x in v {
-                    bufs.adm_send.extend_from_slice(&x.to_le_bytes());
-                }
-            }
-        }
-        ctx.comm_mut()
-            .allgatherv_bytes_into(&bufs.adm_send, &mut bufs.adm_recv, &mut bufs.adm_counts)?;
-        let rec = 8 + 12 * dim;
-        debug_assert_eq!(bufs.adm_recv.len() % rec, 0);
-        let mut off = 0usize;
-        while off + rec <= bufs.adm_recv.len() {
-            let b = &bufs.adm_recv[off..off + rec];
-            let id = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
-            let t = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
-            // Decode the three dim-length f32 runs into the shared row
-            // buffer one at a time to stay allocation-free.
-            let f32_at = |base: usize, k: usize| {
-                let o = base + 4 * k;
-                f32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
-            };
-            for k in 0..dim {
-                bufs.row_buf[k] = f32_at(8, k);
-            }
-            // Fill value, then moments, directly through a dedicated
-            // entry point so the store can keep its fields private.
-            store.fill_admitted_from_wire(id, t, &bufs.row_buf, b, dim, f32_at);
-            off += rec;
-        }
-    }
+    // --- Phase 13: admission sync. ------------------------------------
+    admission_sync(
+        ctx,
+        store,
+        &bufs.admit_ids,
+        &mut bufs.adm_send,
+        &mut bufs.adm_recv,
+        &mut bufs.adm_counts,
+        &mut bufs.row_buf,
+        dim,
+    )?;
 
     // --- Phase 14: reset the touched map entries for the next batch. --
     for &id in &bufs.touched {
@@ -989,6 +1419,475 @@ pub fn sharded_batch_step(
     }
 
     Ok((loss, examples, nonzero_rows, rows_sent))
+}
+
+// --- Prefetch pipeline -------------------------------------------------
+
+/// Stage, classify, and request `batch_idx` into `slot` — the launch
+/// half of the prefetch pipeline. Requests go out immediately (anchored
+/// at the pre-send clock) so their responses can drain behind whatever
+/// the rank does next; resident rows are *not* read yet — owned and
+/// cached rows are filled at use time so they observe every update up to
+/// the batch before this one, exactly like the synchronous path.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_launch(
+    ctx: &mut NodeCtx,
+    model: &dyn KgeModel,
+    config: &TrainConfig,
+    store: &ShardedStore,
+    rel: &EmbeddingTable,
+    shard: &[Triple],
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    slot: &mut PrefetchSlot,
+    req_wire: &mut Vec<u8>,
+    lane: &mut LaneTimes,
+    epoch: usize,
+    batch_idx: usize,
+) -> Result<(), SimError> {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let (bs, n_chunks) = batch_shape(config, shard);
+    stage_batch(
+        model,
+        &slot.local_tab,
+        rel,
+        store.n_entities,
+        shard,
+        config,
+        filter,
+        bias,
+        rank,
+        epoch,
+        batch_idx,
+        bs,
+        n_chunks,
+        &mut slot.chunks,
+    );
+    let cap_rows = slot.local_tab.rows();
+    build_touched(&slot.chunks, n_chunks, &mut slot.touched, &mut slot.g2l, cap_rows);
+    for v in slot.req_ids.iter_mut() {
+        v.clear();
+    }
+    for (li, &id) in slot.touched.iter().enumerate() {
+        slot.class[li] = if store.is_cached(id) {
+            CLASS_CACHED
+        } else if store.is_owned(id) {
+            CLASS_OWNED
+        } else {
+            slot.req_ids[store.owner_of(id)].push(id);
+            CLASS_REMOTE
+        };
+    }
+    slot.anchor_s = ctx.comm().clock().now_s();
+    if p > 1 {
+        for dst in 0..p {
+            if dst == rank {
+                continue;
+            }
+            req_wire.clear();
+            for &id in &slot.req_ids[dst] {
+                req_wire.extend_from_slice(&id.to_le_bytes());
+            }
+            ctx.comm_mut().send_bytes_as(dst, req_wire, Collective::ShardPull)?;
+        }
+        lane.pull_s += ctx.comm().clock().now_s() - slot.anchor_s;
+    }
+    slot.batch_idx = batch_idx;
+    slot.bs = bs;
+    slot.n_chunks = n_chunks;
+    slot.live = true;
+    Ok(())
+}
+
+/// Settle `slot`'s prefetched pull responses — receive with overlap
+/// pricing against the launch anchor, decode remote rows — then fill
+/// resident rows at use time (limbo rows were captured at eviction).
+fn prefetch_settle_pulls(
+    ctx: &mut NodeCtx,
+    store: &ShardedStore,
+    slot: &mut PrefetchSlot,
+    lane: &mut LaneTimes,
+) -> Result<(), SimError> {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let dim = store.dim;
+    if p > 1 {
+        let lane_t0 = ctx.comm().clock().now_s();
+        let mut hidden = 0.0f64;
+        let mut pulled = 0usize;
+        for src in 0..p {
+            if src == rank {
+                continue;
+            }
+            let (msg, stats) = ctx.comm_mut().recv_bytes_from_as_overlapped(
+                src,
+                Collective::ShardPull,
+                slot.anchor_s,
+            )?;
+            hidden += stats.hidden_s;
+            let mut dec = RowDecoder::new(&msg.payload).expect("pull response payload");
+            while let Some(r) = dec.next_row() {
+                let r = r.expect("pull response payload");
+                let li = slot.g2l[r.row as usize];
+                r.dequantize_into(slot.local_tab.row_mut(li as usize));
+                pulled += 1;
+            }
+        }
+        lane.pull_s += ctx.comm().clock().now_s() - lane_t0;
+        lane.hidden_pull_s += hidden;
+        ctx.comm_mut()
+            .clock_mut()
+            .charge_flops((pulled * dim * 2) as f64);
+    }
+    for (li, &id) in slot.touched.iter().enumerate() {
+        match slot.class[li] {
+            CLASS_OWNED => store.read_resident_into(id, slot.local_tab.row_mut(li)),
+            CLASS_CACHED => {
+                debug_assert!(store.is_cached(id), "cached-class row lost without limbo capture");
+                store.read_resident_into(id, slot.local_tab.row_mut(li));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Serve stashed pull requests in ascending source order, encoding the
+/// owner's *current* arena state — the same point in the update sequence
+/// the synchronous path serves from.
+fn serve_requests(
+    ctx: &mut NodeCtx,
+    store: &ShardedStore,
+    req_stash: &[Vec<u8>],
+    resp_wire: &mut Vec<u8>,
+    row_buf: &mut [f32],
+    lane: &mut LaneTimes,
+) -> Result<(), SimError> {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let dim = store.dim;
+    let lane_t0 = ctx.comm().clock().now_s();
+    for (src, payload) in req_stash.iter().enumerate().take(p) {
+        if src == rank {
+            continue;
+        }
+        {
+            let mut enc = RowEncoder::new(WireFormat::F32, dim, resp_wire);
+            for c in payload.chunks_exact(4) {
+                let id = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                store.read_owned_into(id, row_buf);
+                enc.push_f32(id, row_buf).expect("pull response row");
+            }
+            enc.finish();
+        }
+        ctx.comm_mut().send_bytes_as(src, resp_wire, Collective::ShardPull)?;
+    }
+    lane.pull_s += ctx.comm().clock().now_s() - lane_t0;
+    Ok(())
+}
+
+/// Settle the deferred cold-push charges against the window that opened
+/// at their send anchor (called right after the next batch's compute,
+/// and at the epoch drain).
+fn settle_pending_push(ctx: &mut NodeCtx, pending: &mut PendingPush, lane: &mut LaneTimes) {
+    if !pending.live {
+        return;
+    }
+    let lane_t0 = ctx.comm().clock().now_s();
+    let mut hidden = 0.0f64;
+    for &(arrival_s, bytes) in pending.items.iter() {
+        let stats = ctx.comm_mut().charge_p2p_deferred(
+            Collective::ShardPush,
+            arrival_s,
+            bytes,
+            pending.anchor_s,
+        );
+        hidden += stats.hidden_s;
+    }
+    lane.push_s += ctx.comm().clock().now_s() - lane_t0;
+    lane.hidden_push_s += hidden;
+    pending.items.clear();
+    pending.live = false;
+}
+
+/// Prime the prefetch ring at an epoch boundary: launch batch 0's slot,
+/// then run the request/serve round synchronously — there is no earlier
+/// batch to hide it behind, so it is priced like the synchronous path.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_epoch_prefetch_begin(
+    ctx: &mut NodeCtx,
+    model: &dyn KgeModel,
+    config: &TrainConfig,
+    store: &ShardedStore,
+    rel: &EmbeddingTable,
+    shard: &[Triple],
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    bufs: &mut ShardedBufs,
+    ring: &mut PrefetchRing,
+    epoch: usize,
+    n_batches: usize,
+) -> Result<(), SimError> {
+    if n_batches == 0 {
+        return Ok(());
+    }
+    ring.cur = 0;
+    prefetch_launch(
+        ctx,
+        model,
+        config,
+        store,
+        rel,
+        shard,
+        filter,
+        bias,
+        &mut ring.slots[0],
+        &mut bufs.req_wire,
+        &mut bufs.lane,
+        epoch,
+        0,
+    )?;
+    let rank = ctx.rank();
+    let p = ctx.size();
+    if p > 1 {
+        let lane_t0 = ctx.comm().clock().now_s();
+        for src in 0..p {
+            if src == rank {
+                continue;
+            }
+            let msg = ctx.comm_mut().recv_bytes_from_as(src, Collective::ShardPull)?;
+            ring.req_stash[src].clear();
+            ring.req_stash[src].extend_from_slice(&msg.payload);
+        }
+        bufs.lane.pull_s += ctx.comm().clock().now_s() - lane_t0;
+        serve_requests(ctx, store, &ring.req_stash, &mut bufs.resp_wire, &mut bufs.row_buf, &mut bufs.lane)?;
+    }
+    Ok(())
+}
+
+/// One batch of the prefetch pipeline. The arithmetic — staging seeds,
+/// touched order, gradient summation, admission stream — is identical to
+/// [`sharded_batch_step`]; only *when* rows move changes: this batch's
+/// pulls were requested a batch ago and settle behind the window that
+/// has been open since, the next batch launches before compute, and the
+/// previous batch's push charges settle after this compute.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_batch_step_prefetch(
+    ctx: &mut NodeCtx,
+    model: &dyn KgeModel,
+    config: &TrainConfig,
+    store: &mut ShardedStore,
+    rel: &mut EmbeddingTable,
+    rel_opt: &mut dyn RowOptimizer,
+    shard: &[Triple],
+    filter: &FilterIndex,
+    bias: Option<&CorruptionBias>,
+    bufs: &mut ShardedBufs,
+    ring: &mut PrefetchRing,
+    rng: &mut StdRng,
+    epoch: usize,
+    batch_idx: usize,
+    n_batches: usize,
+    tick: u64,
+    lr_scale: f32,
+) -> Result<(f64, usize, usize, usize), SimError> {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let dim = store.dim;
+    let cur = ring.cur;
+    let nxt = cur ^ 1;
+    debug_assert!(
+        ring.slots[cur].live && ring.slots[cur].batch_idx == batch_idx,
+        "prefetch ring out of step"
+    );
+    let next_live = batch_idx + 1 < n_batches;
+
+    // --- A: settle this batch's prefetched pulls, fill resident rows. --
+    prefetch_settle_pulls(ctx, store, &mut ring.slots[cur], &mut bufs.lane)?;
+
+    // --- B: launch the next batch while this one computes. -------------
+    if next_live {
+        prefetch_launch(
+            ctx,
+            model,
+            config,
+            store,
+            rel,
+            shard,
+            filter,
+            bias,
+            &mut ring.slots[nxt],
+            &mut bufs.req_wire,
+            &mut bufs.lane,
+            epoch,
+            batch_idx + 1,
+        )?;
+    }
+
+    // --- C/D: remap + count, compute + merge (identical arithmetic). ---
+    let (bs, n_chunks) = (ring.slots[cur].bs, ring.slots[cur].n_chunks);
+    let inv_batch = if bs > 0 {
+        1.0f32 / (bs * (1 + config.strategy.neg.train)) as f32
+    } else {
+        0.0
+    };
+    let (loss, examples) = {
+        let slot = &mut ring.slots[cur];
+        remap_and_count(&mut slot.chunks, n_chunks, &slot.g2l, store);
+        compute_and_merge(
+            ctx,
+            model,
+            config,
+            &mut slot.chunks,
+            n_chunks,
+            &slot.local_tab,
+            rel,
+            inv_batch,
+            &mut bufs.ent_grad,
+            &mut bufs.rel_grad,
+        )
+    };
+    let nonzero_rows = bufs.ent_grad.rows_above_norm(ZERO_ROW_EPS);
+    bufs.ent_grad.ensure_sorted();
+    let rows_sent = bufs.ent_grad.nnz();
+
+    // --- E: the previous batch's cold pushes have had a full compute
+    // phase to drain behind — settle their deferred charges now. --------
+    settle_pending_push(ctx, &mut ring.pending_push, &mut bufs.lane);
+
+    // --- F: encode hot + cold gradients; cold pushes go out now and are
+    // priced on the receiver against this anchor. -----------------------
+    encode_entity_grads(
+        store,
+        &ring.slots[cur].touched,
+        &bufs.ent_grad,
+        dim,
+        &mut bufs.hot_send,
+        &mut bufs.cold_wire,
+        p,
+    );
+    ring.pending_push.anchor_s = ctx.comm().clock().now_s();
+    {
+        for dst in 0..p {
+            if dst != rank {
+                ctx.comm_mut()
+                    .send_bytes_as(dst, &bufs.cold_wire[dst], Collective::ShardPush)?;
+            }
+        }
+        bufs.lane.push_s += ctx.comm().clock().now_s() - ring.pending_push.anchor_s;
+    }
+
+    // --- G: hot exchange; H: relation exchange (unchanged collectives).
+    hot_exchange(
+        ctx,
+        &bufs.hot_send,
+        &mut bufs.hot_recv,
+        &mut bufs.hot_counts,
+        &mut bufs.hot_agg,
+        p,
+        dim,
+    )?;
+    relation_exchange(ctx, rng, &mut bufs.rel_grad, &mut bufs.gather, &mut bufs.rel_agg, dim)?;
+
+    // --- I: cold aggregation. Per-pair FIFO puts the peer's *request*
+    // for the next batch (sent at its launch, before its push) ahead in
+    // the mailbox — pop and stash it first, then consume the push
+    // payload unpriced, deferring its occupancy to the next window. -----
+    bufs.cold_agg.clear();
+    for src in 0..p {
+        if src == rank {
+            add_payload_into(&bufs.cold_wire[rank], &mut bufs.cold_agg, "cold payload");
+            continue;
+        }
+        if next_live {
+            let lane_t0 = ctx.comm().clock().now_s();
+            let msg = ctx.comm_mut().recv_bytes_from_as(src, Collective::ShardPull)?;
+            bufs.lane.pull_s += ctx.comm().clock().now_s() - lane_t0;
+            ring.req_stash[src].clear();
+            ring.req_stash[src].extend_from_slice(&msg.payload);
+        }
+        let msg = ctx
+            .comm_mut()
+            .recv_bytes_from_as_unpriced(src, Collective::ShardPush)?;
+        ring.pending_push.items.push((msg.arrival_s, msg.payload.len()));
+        add_payload_into(&msg.payload, &mut bufs.cold_agg, "cold payload");
+    }
+    ring.pending_push.live = !ring.pending_push.items.is_empty();
+    bufs.cold_agg.scale(1.0 / p as f32);
+    bufs.cold_agg.ensure_sorted();
+
+    // --- J: apply (identical to the synchronous phase 11). -------------
+    let lr = config.base_lr * lr_scale;
+    apply_updates(
+        ctx,
+        store,
+        rel,
+        rel_opt,
+        &bufs.hot_agg,
+        &bufs.cold_agg,
+        &mut bufs.rel_agg,
+        lr,
+        lr_scale,
+        dim,
+    );
+
+    // --- K: admission, with evictions captured into the launched slot
+    // (rows it classified as cached must keep their sync-path value). ---
+    {
+        let mut sink = if next_live {
+            let slot = &mut ring.slots[nxt];
+            Some(EvictSink {
+                g2l: &slot.g2l,
+                class: &mut slot.class,
+                local_tab: &mut slot.local_tab,
+            })
+        } else {
+            None
+        };
+        admission(store, &bufs.hot_agg, &mut bufs.admit_ids, tick, &mut sink);
+    }
+
+    // --- L: admission sync (identical collective). ---------------------
+    admission_sync(
+        ctx,
+        store,
+        &bufs.admit_ids,
+        &mut bufs.adm_send,
+        &mut bufs.adm_recv,
+        &mut bufs.adm_counts,
+        &mut bufs.row_buf,
+        dim,
+    )?;
+
+    // --- M: serve the stashed requests with post-update rows. ----------
+    if next_live && p > 1 {
+        serve_requests(ctx, store, &ring.req_stash, &mut bufs.resp_wire, &mut bufs.row_buf, &mut bufs.lane)?;
+    }
+
+    // --- N: retire this slot and rotate the ring. ----------------------
+    {
+        let slot = &mut ring.slots[cur];
+        for &id in &slot.touched {
+            slot.g2l[id as usize] = NO_SLOT;
+        }
+        slot.live = false;
+    }
+    ring.cur = nxt;
+
+    Ok((loss, examples, nonzero_rows, rows_sent))
+}
+
+/// Epoch-boundary drain: settle the last batch's deferred push charges
+/// and clear the ring (every slot was consumed in order, so nothing else
+/// is in flight).
+pub fn sharded_epoch_prefetch_drain(
+    ctx: &mut NodeCtx,
+    bufs: &mut ShardedBufs,
+    ring: &mut PrefetchRing,
+) {
+    settle_pending_push(ctx, &mut ring.pending_push, &mut bufs.lane);
+    ring.reset();
 }
 
 impl ShardedStore {
@@ -1073,6 +1972,13 @@ pub fn train_sharded(dataset: &Dataset, cluster: &Cluster, config: &TrainConfig)
         agg.replica_model_bytes = r.sharded.replica_model_bytes;
         agg.hot_capacity = r.sharded.hot_capacity;
         agg.eligible_rows = r.sharded.eligible_rows;
+        // Lane seconds are per-rank wall occupancy along the epoch's
+        // critical path — the cluster-level figure is the slowest rank.
+        agg.pull_lane_s = agg.pull_lane_s.max(r.sharded.pull_lane_s);
+        agg.push_lane_s = agg.push_lane_s.max(r.sharded.push_lane_s);
+        agg.hidden_pull_s = agg.hidden_pull_s.max(r.sharded.hidden_pull_s);
+        agg.hidden_push_s = agg.hidden_push_s.max(r.sharded.hidden_push_s);
+        agg.prefetch_epochs = agg.prefetch_epochs.max(r.sharded.prefetch_epochs);
     }
     let lead = results
         .iter()
@@ -1150,6 +2056,13 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
         config.max_lr_drops,
     );
     let mut bufs = ShardedBufs::new(dim, n_entities, p, config);
+    let mut ring = if scfg.prefetch == PrefetchMode::Off {
+        None
+    } else {
+        Some(PrefetchRing::new(dim, n_entities, p, config))
+    };
+    let mut prefetch_sel = PrefetchSelector::new(2);
+    let mut prefetch_epochs = 0usize;
 
     let mut trace: Vec<EpochTrace> = Vec::new();
     let mut converged = false;
@@ -1170,6 +2083,14 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
         shuffler.shuffle(&mut shard, epoch as u64);
         allgather_epochs += 1;
         let lr_scale = schedule.lr_scale();
+        // The arm is decided at the epoch boundary — every rank computes
+        // the same answer (the selector observes the shared simulated
+        // clock), so the wire protocol agrees globally for the epoch.
+        let use_prefetch = match scfg.prefetch {
+            PrefetchMode::Off => false,
+            PrefetchMode::On => true,
+            PrefetchMode::Dynamic => prefetch_sel.prefetch_arm(),
+        };
 
         let mut epoch_loss = 0.0f64;
         let mut epoch_examples = 0usize;
@@ -1177,36 +2098,83 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
         let mut rows_sent_sum = 0usize;
         let mut crashed_this_epoch = false;
 
-        'batches: for b in 0..batches_per_epoch {
-            match sharded_batch_step(
+        if use_prefetch {
+            let ring = ring.as_mut().expect("prefetch arm implies a ring");
+            match sharded_epoch_prefetch_begin(
                 ctx,
                 model,
                 config,
-                &mut store,
-                &mut rel,
-                rel_opt.as_mut(),
+                &store,
+                &rel,
                 &shard,
                 &filter,
                 bias.as_ref(),
                 &mut bufs,
-                &mut rng,
+                ring,
                 epoch,
-                b,
-                tick,
-                lr_scale,
+                batches_per_epoch,
             ) {
-                Ok((loss, examples, nonzero, rows_sent)) => {
-                    epoch_loss += loss;
-                    epoch_examples += examples;
-                    nonzero_rows_sum += nonzero;
-                    rows_sent_sum += rows_sent;
-                    tick += 1;
+                Ok(()) => {}
+                Err(SimError::RankCrashed { .. }) => crashed_this_epoch = true,
+                Err(e) => panic!("sharded prefetch prime: {e}"),
+            }
+        }
+
+        if !crashed_this_epoch {
+            'batches: for b in 0..batches_per_epoch {
+                let step = if use_prefetch {
+                    sharded_batch_step_prefetch(
+                        ctx,
+                        model,
+                        config,
+                        &mut store,
+                        &mut rel,
+                        rel_opt.as_mut(),
+                        &shard,
+                        &filter,
+                        bias.as_ref(),
+                        &mut bufs,
+                        ring.as_mut().expect("prefetch arm implies a ring"),
+                        &mut rng,
+                        epoch,
+                        b,
+                        batches_per_epoch,
+                        tick,
+                        lr_scale,
+                    )
+                } else {
+                    sharded_batch_step(
+                        ctx,
+                        model,
+                        config,
+                        &mut store,
+                        &mut rel,
+                        rel_opt.as_mut(),
+                        &shard,
+                        &filter,
+                        bias.as_ref(),
+                        &mut bufs,
+                        &mut rng,
+                        epoch,
+                        b,
+                        tick,
+                        lr_scale,
+                    )
+                };
+                match step {
+                    Ok((loss, examples, nonzero, rows_sent)) => {
+                        epoch_loss += loss;
+                        epoch_examples += examples;
+                        nonzero_rows_sum += nonzero;
+                        rows_sent_sum += rows_sent;
+                        tick += 1;
+                    }
+                    Err(SimError::RankCrashed { .. }) => {
+                        crashed_this_epoch = true;
+                        break 'batches;
+                    }
+                    Err(e) => panic!("sharded batch step: {e}"),
                 }
-                Err(SimError::RankCrashed { .. }) => {
-                    crashed_this_epoch = true;
-                    break 'batches;
-                }
-                Err(e) => panic!("sharded batch step: {e}"),
             }
         }
 
@@ -1214,6 +2182,13 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
             // Aborted epochs yield no trace entry; un-count the tally.
             allgather_epochs -= 1;
             crashed_ranks.extend(ctx.comm().failed_ranks());
+            // Discard in-flight prefetch slots and deferred push charges:
+            // the shrink replaces the whole post office, so the matching
+            // wire messages vanish with the old world — conservation
+            // holds because both ends drop together.
+            if let Some(r) = ring.as_mut() {
+                r.reset();
+            }
             if !config.recover_from_crashes {
                 break;
             }
@@ -1228,6 +2203,10 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
                     shard.clone_from(&base_shard);
                     batches_per_epoch = b;
                     bufs.resize_world(p);
+                    if let Some(r) = ring.as_mut() {
+                        r.resize_world(p);
+                    }
+                    prefetch_sel.reset();
                     ctx.comm_mut()
                         .clock_mut()
                         .charge_flops((dataset.train.len() * 8) as f64);
@@ -1248,7 +2227,16 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
             }
         }
 
-        // Epoch-boundary cache invalidation: owners absorb the cache.
+        // Epoch-boundary ring drain (settles the last batch's deferred
+        // push charges), then cache invalidation: owners absorb the cache.
+        if use_prefetch {
+            sharded_epoch_prefetch_drain(
+                ctx,
+                &mut bufs,
+                ring.as_mut().expect("prefetch arm implies a ring"),
+            );
+            prefetch_epochs += 1;
+        }
         store.flush_epoch();
 
         // `valid_samples == 0` is enforced by validate(), so the plateau
@@ -1256,6 +2244,9 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
         // `fast_valid_accuracy` returns — the LR/stop trajectory matches.
         let acc = 0.0f64;
         let epoch_time = ctx.comm().clock().now_s() - epoch_start;
+        if scfg.prefetch == PrefetchMode::Dynamic {
+            prefetch_sel.observe_epoch(epoch_time);
+        }
         let batches = batches_per_epoch as f64;
         trace.push(EpochTrace {
             epoch,
@@ -1333,6 +2324,11 @@ fn run_sharded_node(ctx: &mut NodeCtx, dataset: &Dataset, config: &TrainConfig) 
         hot_capacity: store.capacity(),
         eligible_rows: store.eligible_rows(),
         owned_rows: store.owned_rows(),
+        pull_lane_s: bufs.lane.pull_s,
+        push_lane_s: bufs.lane.push_s,
+        hidden_pull_s: bufs.lane.hidden_pull_s,
+        hidden_push_s: bufs.lane.hidden_push_s,
+        prefetch_epochs,
     };
 
     let report = if survived && rank == 0 {

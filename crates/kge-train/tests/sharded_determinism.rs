@@ -10,8 +10,16 @@
 //! complete and be deterministic.
 
 use kge_data::synth::{generate, SynthConfig};
-use kge_train::{train, ShardedConfig, StrategyConfig, TrainConfig, TrainOutcome};
+use kge_train::{train, PrefetchMode, ShardedConfig, StrategyConfig, TrainConfig, TrainOutcome};
 use simgrid::{Cluster, ClusterSpec, FaultPlan};
+
+fn sharded_cfg(hot_cache_rows: usize, cold_int8: bool, prefetch: PrefetchMode) -> ShardedConfig {
+    ShardedConfig {
+        hot_cache_rows,
+        cold_int8,
+        prefetch,
+    }
+}
 
 fn dataset() -> kge_data::Dataset {
     generate(&SynthConfig {
@@ -89,10 +97,7 @@ fn sharded_f32_matches_replica_bit_for_bit() {
                     p,
                     threads,
                     64,
-                    Some(ShardedConfig {
-                        hot_cache_rows: cache,
-                        cold_int8: false,
-                    }),
+                    Some(sharded_cfg(cache, false, PrefetchMode::Off)),
                     None,
                 );
                 let tag = format!("p={p} cache={cache} threads={threads}");
@@ -125,10 +130,7 @@ fn sharded_config_sweep_matches_replica() {
             p,
             1,
             batch,
-            Some(ShardedConfig {
-                hot_cache_rows: cache,
-                cold_int8: false,
-            }),
+            Some(sharded_cfg(cache, false, PrefetchMode::Off)),
             None,
         );
         assert_same_model(&replica, &sharded, &format!("p={p} batch={batch} cache={cache}"));
@@ -136,14 +138,76 @@ fn sharded_config_sweep_matches_replica() {
 }
 
 #[test]
+fn sharded_prefetch_f32_matches_replica_bit_for_bit() {
+    // The prefetch ring changes *when* rows move, never what is
+    // computed: with f32 storage, prefetch-on runs — any thread count,
+    // cache on or off — must still be bit-identical to the full-replica
+    // trainer, and their simulated timelines must agree across thread
+    // counts.
+    for p in [1usize, 4] {
+        let replica = run(p, 1, 64, None, None);
+        for cache in [0usize, 32] {
+            let mut sim_bits = None;
+            for threads in [1usize, 4] {
+                let prefetched = run(
+                    p,
+                    threads,
+                    64,
+                    Some(sharded_cfg(cache, false, PrefetchMode::On)),
+                    None,
+                );
+                let tag = format!("prefetch p={p} cache={cache} threads={threads}");
+                assert_same_model(&replica, &prefetched, &tag);
+                let bits = prefetched.report.sim_total_seconds.to_bits();
+                if let Some(prev) = sim_bits {
+                    assert_eq!(prev, bits, "{tag}: timeline diverged across threads");
+                }
+                sim_bits = Some(bits);
+                let sh = prefetched.report.sharded.expect("sharded report attached");
+                assert_eq!(
+                    sh.prefetch_epochs, prefetched.report.epochs,
+                    "{tag}: PrefetchMode::On must run the ring every epoch"
+                );
+                if p > 1 {
+                    assert!(
+                        sh.hidden_pull_s > 0.0,
+                        "{tag}: prefetched pulls hid no seconds"
+                    );
+                    assert!(
+                        sh.hidden_push_s > 0.0,
+                        "{tag}: deferred pushes hid no seconds"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_prefetch_dynamic_arm_is_value_safe() {
+    // DRS over the prefetch arm probes mid-training; because both arms
+    // are bit-identical in f32, the trained model must still equal the
+    // replica no matter which arm each epoch ran — and the arm sequence
+    // itself must be thread-count independent.
+    let cfg = Some(sharded_cfg(32, false, PrefetchMode::Dynamic));
+    let replica = run(4, 1, 64, None, None);
+    let a = run(4, 1, 64, cfg, None);
+    let b = run(4, 4, 64, cfg, None);
+    assert_same_model(&replica, &a, "dynamic prefetch vs replica");
+    assert_same_model(&a, &b, "dynamic prefetch threads=1 vs 4");
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits(),
+        "dynamic arm sequence diverged across threads"
+    );
+}
+
+#[test]
 fn sharded_int8_cold_storage_is_deterministic() {
     // Int8-at-rest quantizes the cold tier, so it is *not* bit-equal to
     // the replica — but two runs (across thread counts) must agree
     // exactly, and the trained model must stay close to the f32 one.
-    let cfg = Some(ShardedConfig {
-        hot_cache_rows: 32,
-        cold_int8: true,
-    });
+    let cfg = Some(sharded_cfg(32, true, PrefetchMode::Off));
     let a = run(4, 1, 64, cfg, None);
     let b = run(4, 4, 64, cfg, None);
     assert_same_model(&a, &b, "int8 threads=1 vs 4");
@@ -159,6 +223,19 @@ fn sharded_int8_cold_storage_is_deterministic() {
         max_abs < 0.05,
         "int8 cold tier drifted {max_abs} from the f32 model"
     );
+
+    // Prefetch over int8 follows its own trajectory (a limbo capture
+    // holds the pre-quantization value a sync pull would re-quantize),
+    // but it must still be deterministic across thread counts.
+    let pcfg = Some(sharded_cfg(32, true, PrefetchMode::On));
+    let pa = run(4, 1, 64, pcfg, None);
+    let pb = run(4, 4, 64, pcfg, None);
+    assert_same_model(&pa, &pb, "int8 prefetch threads=1 vs 4");
+    assert_eq!(
+        pa.report.sim_total_seconds.to_bits(),
+        pb.report.sim_total_seconds.to_bits(),
+        "int8 prefetch timeline diverged"
+    );
 }
 
 #[test]
@@ -168,10 +245,7 @@ fn sharded_crash_recovery_shrinks_and_stays_deterministic() {
     // and the whole recovery trajectory must be bit-reproducible.
     let fault_free = run(4, 1, 64, None, None);
     let total = fault_free.report.sim_total_seconds;
-    let cfg = Some(ShardedConfig {
-        hot_cache_rows: 32,
-        cold_int8: false,
-    });
+    let cfg = Some(sharded_cfg(32, false, PrefetchMode::Off));
     let plan = || FaultPlan::seeded(7).with_crash(2, 0.4 * total);
     let a = run(4, 1, 64, cfg, Some(plan()));
     let b = run(4, 4, 64, cfg, Some(plan()));
@@ -187,5 +261,33 @@ fn sharded_crash_recovery_shrinks_and_stays_deterministic() {
         a.report.sim_total_seconds.to_bits(),
         b.report.sim_total_seconds.to_bits(),
         "recovery timeline diverged"
+    );
+}
+
+#[test]
+fn sharded_crash_mid_ring_discards_in_flight_slots_deterministically() {
+    // Crash while the prefetch ring has a launched slot and deferred
+    // push charges in flight: the shrink drops the undelivered wire
+    // messages with the old world and the ring resets, so survivors
+    // recover exactly as in the synchronous path — and the whole
+    // trajectory stays bit-reproducible across thread counts.
+    let fault_free = run(4, 1, 64, None, None);
+    let total = fault_free.report.sim_total_seconds;
+    let cfg = Some(sharded_cfg(32, false, PrefetchMode::On));
+    let plan = || FaultPlan::seeded(7).with_crash(2, 0.4 * total);
+    let a = run(4, 1, 64, cfg, Some(plan()));
+    let b = run(4, 4, 64, cfg, Some(plan()));
+    assert_eq!(a.report.recoveries, 1, "the crash must trigger a shrink");
+    assert_eq!(a.report.surviving_nodes, 3);
+    assert_eq!(a.report.crashed_ranks, vec![2]);
+    assert!(
+        a.report.epochs > 0,
+        "survivors must keep training after the shrink"
+    );
+    assert_same_model(&a, &b, "crash mid-ring threads=1 vs 4");
+    assert_eq!(
+        a.report.sim_total_seconds.to_bits(),
+        b.report.sim_total_seconds.to_bits(),
+        "mid-ring recovery timeline diverged"
     );
 }

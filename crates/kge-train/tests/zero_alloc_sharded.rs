@@ -23,8 +23,11 @@ use kge_core::alloc_count;
 use kge_data::synth::{generate, SynthConfig};
 use kge_data::FilterIndex;
 use kge_partition::{entity_owners, partition_for};
-use kge_train::shard::{sharded_batch_step, ShardedBufs, ShardedStore};
-use kge_train::{ShardedConfig, StrategyConfig, TrainConfig};
+use kge_train::shard::{
+    sharded_batch_step, sharded_batch_step_prefetch, sharded_epoch_prefetch_begin,
+    sharded_epoch_prefetch_drain, PrefetchRing, ShardedBufs, ShardedStore,
+};
+use kge_train::{PrefetchMode, ShardedConfig, StrategyConfig, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simgrid::{Cluster, ClusterSpec};
@@ -48,6 +51,7 @@ fn steady_state_sharded_batch_loop_allocates_nothing() {
     config.sharded = Some(ShardedConfig {
         hot_cache_rows: 48,
         cold_int8: false,
+        prefetch: PrefetchMode::Off,
     });
     config.validate().expect("valid sharded config");
 
@@ -152,6 +156,146 @@ fn steady_state_sharded_batch_loop_allocates_nothing() {
     assert_eq!(
         delta.allocs, 0,
         "steady-state sharded batch loop allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+}
+
+#[test]
+fn steady_state_prefetch_ring_allocates_nothing() {
+    // Same contract, prefetch pipeline: after one warm epoch the full
+    // ring cycle — staging into a slot, touched-union dedup, launch-time
+    // classification, request staging, compute from the slot table,
+    // eviction capture into the launched slot, deferred-push settlement,
+    // and the epoch drain — must perform zero steady-state allocations.
+    let ds = generate(&SynthConfig {
+        name: "sharded-prefetch-alloc-probe".into(),
+        n_entities: 300,
+        n_relations: 12,
+        n_triples: 3000,
+        relation_zipf: 1.0,
+        entity_zipf: 0.9,
+        noise_frac: 0.05,
+        valid_frac: 0.05,
+        test_frac: 0.05,
+        seed: 9,
+    });
+    let mut config = TrainConfig::new(4, 256, StrategyConfig::baseline_allgather(2));
+    config.valid_samples = 0;
+    config.sharded = Some(ShardedConfig {
+        hot_cache_rows: 48,
+        cold_int8: false,
+        prefetch: PrefetchMode::On,
+    });
+    config.validate().expect("valid sharded config");
+
+    let deltas = Cluster::new(1, ClusterSpec::cray_xc40()).run(|ctx| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool");
+        pool.install(|| {
+            let model = config.model.build(config.rank);
+            let model = model.as_ref();
+            let dim = model.storage_dim();
+            let filter = FilterIndex::build(&ds);
+            let degrees = ds.stats().entity_degrees;
+            let part = partition_for(&ds.train, ds.n_relations, 1, false);
+            let owners = entity_owners(&part, ds.n_entities);
+
+            let mut init_rng = StdRng::seed_from_u64(config.seed);
+            let ent = kge_core::EmbeddingTable::xavier(ds.n_entities, dim, &mut init_rng);
+            let mut rel = kge_core::EmbeddingTable::xavier(ds.n_relations, dim, &mut init_rng);
+            let mut store = ShardedStore::new(
+                kge_compress::ArenaKind::F32,
+                dim,
+                0,
+                owners,
+                &degrees,
+                config.sharded.unwrap().hot_cache_rows,
+                config.base_lr,
+            );
+            store.init_owned_from(&ent);
+            drop(ent);
+            let mut rel_opt = config.optimizer.build(config.base_lr, ds.n_relations, dim);
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 1);
+            let mut bufs = ShardedBufs::new(dim, ds.n_entities, 1, &config);
+            let mut ring = PrefetchRing::new(dim, ds.n_entities, 1, &config);
+            let batches = ds.train.len().div_ceil(config.batch_size);
+
+            let mut tick = 0u64;
+            let mut epoch_pass = |epoch: usize,
+                                  tick: &mut u64,
+                                  store: &mut ShardedStore,
+                                  rel: &mut kge_core::EmbeddingTable,
+                                  rel_opt: &mut dyn kge_core::RowOptimizer,
+                                  bufs: &mut ShardedBufs,
+                                  rng: &mut StdRng,
+                                  ctx: &mut simgrid::NodeCtx| {
+                sharded_epoch_prefetch_begin(
+                    ctx, model, &config, store, rel, &ds.train, &filter, None, bufs, &mut ring,
+                    epoch, batches,
+                )
+                .expect("single-rank prime cannot crash");
+                for b in 0..batches {
+                    sharded_batch_step_prefetch(
+                        ctx,
+                        model,
+                        &config,
+                        store,
+                        rel,
+                        rel_opt,
+                        &ds.train,
+                        &filter,
+                        None,
+                        bufs,
+                        &mut ring,
+                        rng,
+                        epoch,
+                        b,
+                        batches,
+                        *tick,
+                        1.0,
+                    )
+                    .expect("single-rank batch cannot crash");
+                    *tick += 1;
+                }
+                sharded_epoch_prefetch_drain(ctx, bufs, &mut ring);
+                store.flush_epoch();
+            };
+
+            // Warm-up epoch: slot tables, wire buffers, the LRU queue all
+            // reach steady size.
+            epoch_pass(
+                0,
+                &mut tick,
+                &mut store,
+                &mut rel,
+                rel_opt.as_mut(),
+                &mut bufs,
+                &mut rng,
+                ctx,
+            );
+
+            // Steady-state epoch through the full ring cycle.
+            let start = alloc_count::snapshot();
+            epoch_pass(
+                1,
+                &mut tick,
+                &mut store,
+                &mut rel,
+                rel_opt.as_mut(),
+                &mut bufs,
+                &mut rng,
+                ctx,
+            );
+            alloc_count::since(start)
+        })
+    });
+
+    let delta = deltas[0];
+    assert_eq!(
+        delta.allocs, 0,
+        "steady-state prefetch ring allocated {} times ({} bytes)",
         delta.allocs, delta.bytes
     );
 }

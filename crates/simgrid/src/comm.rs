@@ -163,6 +163,11 @@ pub struct Communicator {
     /// Reused per-rank byte-count scratch for uniform-size collectives, so
     /// steady-state all-reduces don't allocate a count vector per call.
     bytes_scratch: Vec<usize>,
+    /// Per-lane overlap cursors for deferred p2p settlement (ShardPull,
+    /// ShardPush, everything else). Each lane remembers how far into the
+    /// compute window its hidden seconds already reached, so two receives
+    /// settled against the same window cannot both hide the full width.
+    p2p_cursors: [f64; 3],
 }
 
 impl Communicator {
@@ -179,6 +184,7 @@ impl Communicator {
             coll_seq: 0,
             p2p_seq: vec![0; n_orig],
             bytes_scratch: Vec::new(),
+            p2p_cursors: [0.0; 3],
             world,
         }
     }
@@ -841,6 +847,95 @@ impl Communicator {
         self.clock.charge_comm_seconds(occupancy);
         self.traffic.record(op, 0, msg.payload.len());
         self.traffic.record_wire(op, 0, msg.payload.len());
+    }
+
+    /// Overlap lane for a p2p traffic bucket: the sharded pull and push
+    /// streams hide seconds independently (they model full-duplex
+    /// directions of the link), everything else shares one lane.
+    fn p2p_lane(op: Collective) -> usize {
+        match op {
+            Collective::ShardPull => 0,
+            Collective::ShardPush => 1,
+            _ => 2,
+        }
+    }
+
+    /// Take the next message from `src` and record its traffic, **without
+    /// charging the simulated clock**. The caller owes a later
+    /// [`Communicator::charge_p2p_deferred`] for `(msg.arrival_s,
+    /// msg.payload.len())` — splitting take from settle lets a prefetch
+    /// pipeline drain its mailbox in FIFO order at one point in the
+    /// protocol while pricing the receive against a compute window that
+    /// closes later.
+    pub fn recv_bytes_from_as_unpriced(
+        &mut self,
+        src: usize,
+        op: Collective,
+    ) -> Result<Message, SimError> {
+        if src >= self.size() {
+            return Err(SimError::InvalidRank {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        let msg = self.world.post.take_from(self.rank, src);
+        self.traffic.record(op, 0, msg.payload.len());
+        self.traffic.record_wire(op, 0, msg.payload.len());
+        Ok(msg)
+    }
+
+    /// Settle one deferred p2p receive against the compute window open
+    /// since `anchor_s` (the launch time recorded when the transfer was
+    /// requested). The clock first idles to `arrival_s` exactly as the
+    /// synchronous receive would — data that has not arrived cannot be
+    /// hidden — then the receive occupancy `bytes·β` is split against the
+    /// lane's remaining window: up to `now − max(anchor, cursor)` seconds
+    /// hide in `hidden_comm_s`, the rest is charged to `comm_s`. The lane
+    /// cursor advances by the hidden amount so consecutive settles against
+    /// one window cannot double-hide. With a zero-width window (anchor ==
+    /// now) the charges are bit-identical to [`recv_bytes_from_as`].
+    ///
+    /// [`recv_bytes_from_as`]: Communicator::recv_bytes_from_as
+    pub fn charge_p2p_deferred(
+        &mut self,
+        op: Collective,
+        arrival_s: f64,
+        bytes: usize,
+        anchor_s: f64,
+    ) -> OverlapStats {
+        // The window closes when settlement starts: idling for a late
+        // arrival is not compute and must not widen it (bytes cannot be
+        // drained before they exist on the link).
+        let lane = Self::p2p_lane(op);
+        let eff_anchor = anchor_s.max(self.p2p_cursors[lane]);
+        let window = (self.clock.now_s() - eff_anchor).max(0.0);
+        self.clock.charge_idle_until(arrival_s);
+        let occupancy = bytes as f64 / self.cost.spec().bandwidth_bps;
+        let hidden = occupancy.min(window);
+        let visible = occupancy - hidden;
+        self.clock.charge_hidden_comm_seconds(hidden);
+        self.clock.record_overlap_window_seconds(window);
+        self.clock.charge_comm_seconds(visible);
+        self.p2p_cursors[lane] = eff_anchor + hidden;
+        OverlapStats {
+            hidden_s: hidden,
+            visible_s: visible,
+            window_s: window,
+        }
+    }
+
+    /// Receive from `src` and immediately settle against the window open
+    /// since `anchor_s`: [`Communicator::recv_bytes_from_as_unpriced`]
+    /// followed by [`Communicator::charge_p2p_deferred`].
+    pub fn recv_bytes_from_as_overlapped(
+        &mut self,
+        src: usize,
+        op: Collective,
+        anchor_s: f64,
+    ) -> Result<(Message, OverlapStats), SimError> {
+        let msg = self.recv_bytes_from_as_unpriced(src, op)?;
+        let stats = self.charge_p2p_deferred(op, msg.arrival_s, msg.payload.len(), anchor_s);
+        Ok((msg, stats))
     }
 
     /// Non-blocking receive of any pending message (lowest source rank
@@ -1517,6 +1612,152 @@ mod tests {
             assert!((stats.hidden_s - stats.window_s).abs() < 1e-15);
         }
         assert_eq!(out[0].1.to_bits(), out[1].1.to_bits(), "clocks aligned");
+    }
+
+    #[test]
+    fn overlapped_p2p_recv_hides_occupancy_behind_compute_window() {
+        let spec = ClusterSpec::cray_xc40();
+        let occupancy = 1e6 / spec.bandwidth_bps;
+        let cluster = Cluster::new(2, spec.clone());
+        let out = cluster.run(|ctx| {
+            if ctx.rank() == 0 {
+                let payload = vec![7u8; 1_000_000];
+                ctx.comm_mut()
+                    .send_bytes_as(1, &payload, Collective::ShardPull)
+                    .unwrap();
+                None
+            } else {
+                let comm = ctx.comm_mut();
+                let anchor = comm.clock().now_s();
+                comm.clock_mut().charge_compute_seconds(1.0); // ≫ arrival + occupancy
+                let (msg, stats) = comm
+                    .recv_bytes_from_as_overlapped(0, Collective::ShardPull, anchor)
+                    .unwrap();
+                assert_eq!(msg.payload.len(), 1_000_000);
+                Some((stats, comm.clock().now_s(), comm.clock().breakdown()))
+            }
+        });
+        let (stats, now, b) = out[1].unwrap();
+        // The transfer completed during the compute window, so the clock
+        // never idled and the occupancy hid entirely.
+        assert!((stats.hidden_s - occupancy).abs() < 1e-12, "fully hidden");
+        assert_eq!(stats.visible_s, 0.0);
+        assert!((stats.window_s - 1.0).abs() < 1e-9);
+        assert!((now - 1.0).abs() < 1e-12, "clock never saw the receive");
+        assert_eq!(b.idle_s, 0.0);
+        assert!((b.hidden_comm_s - occupancy).abs() < 1e-12);
+        assert_eq!(b.comm_s, 0.0);
+    }
+
+    #[test]
+    fn overlapped_p2p_with_zero_window_matches_synchronous_receive() {
+        let spec = ClusterSpec::cray_xc40;
+        let program = |overlapped: bool| {
+            Cluster::new(2, spec()).run(move |ctx| {
+                if ctx.rank() == 0 {
+                    let payload = vec![3u8; 123_457];
+                    ctx.comm_mut()
+                        .send_bytes_as(1, &payload, Collective::ShardPull)
+                        .unwrap();
+                } else {
+                    let comm = ctx.comm_mut();
+                    if overlapped {
+                        let anchor = comm.clock().now_s();
+                        let (_, stats) = comm
+                            .recv_bytes_from_as_overlapped(0, Collective::ShardPull, anchor)
+                            .unwrap();
+                        assert_eq!(stats.hidden_s, 0.0);
+                    } else {
+                        comm.recv_bytes_from_as(0, Collective::ShardPull).unwrap();
+                    }
+                }
+                (ctx.comm().clock().now_s(), ctx.comm().clock().breakdown())
+            })
+        };
+        let plain = program(false);
+        let over = program(true);
+        for ((tp, bp), (to, bo)) in plain.iter().zip(over.iter()) {
+            assert_eq!(tp.to_bits(), to.to_bits(), "zero window ⇒ same price");
+            assert_eq!(bp.comm_s.to_bits(), bo.comm_s.to_bits());
+            assert_eq!(bp.idle_s.to_bits(), bo.idle_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn p2p_lane_cursor_prevents_double_hiding() {
+        // Two 1 MB messages settle against one compute window that is
+        // wide enough for ~1.5 occupancies: the lane cursor must cap the
+        // total hidden seconds at the window width, not 2× it.
+        let spec = ClusterSpec::cray_xc40();
+        let occupancy = 1e6 / spec.bandwidth_bps;
+        let window = 1.5 * occupancy;
+        let cluster = Cluster::new(2, spec.clone());
+        let out = cluster.run(move |ctx| {
+            if ctx.rank() == 0 {
+                let payload = vec![1u8; 1_000_000];
+                for _ in 0..2 {
+                    ctx.comm_mut()
+                        .send_bytes_as(1, &payload, Collective::ShardPull)
+                        .unwrap();
+                }
+                None
+            } else {
+                let comm = ctx.comm_mut();
+                let anchor = comm.clock().now_s();
+                comm.clock_mut().charge_compute_seconds(window);
+                let (m1, s1) = comm
+                    .recv_bytes_from_as_overlapped(0, Collective::ShardPull, anchor)
+                    .unwrap();
+                let (m2, s2) = comm
+                    .recv_bytes_from_as_overlapped(0, Collective::ShardPull, anchor)
+                    .unwrap();
+                assert_eq!(m1.payload.len() + m2.payload.len(), 2_000_000);
+                Some((s1, s2))
+            }
+        });
+        let (s1, s2) = out[1].unwrap();
+        assert!((s1.hidden_s - occupancy).abs() < 1e-12, "first hides fully");
+        // The second message finds only the remaining half-occupancy of
+        // window (the first settle advanced the cursor past the rest).
+        assert!((s2.hidden_s - 0.5 * occupancy).abs() < 1e-9);
+        assert!((s2.visible_s - 0.5 * occupancy).abs() < 1e-9);
+        let total_hidden = s1.hidden_s + s2.hidden_s;
+        assert!(total_hidden <= window + 1e-12, "never exceeds the window");
+    }
+
+    #[test]
+    fn p2p_lanes_hide_independently() {
+        // A pull and a push settled against the same window each get the
+        // full width: the two directions model full-duplex link use.
+        let spec = ClusterSpec::cray_xc40();
+        let occupancy = 1e6 / spec.bandwidth_bps;
+        let cluster = Cluster::new(2, spec.clone());
+        let out = cluster.run(|ctx| {
+            if ctx.rank() == 0 {
+                let payload = vec![1u8; 1_000_000];
+                ctx.comm_mut()
+                    .send_bytes_as(1, &payload, Collective::ShardPull)
+                    .unwrap();
+                ctx.comm_mut()
+                    .send_bytes_as(1, &payload, Collective::ShardPush)
+                    .unwrap();
+                None
+            } else {
+                let comm = ctx.comm_mut();
+                let anchor = comm.clock().now_s();
+                comm.clock_mut().charge_compute_seconds(1.0);
+                let (_, s1) = comm
+                    .recv_bytes_from_as_overlapped(0, Collective::ShardPull, anchor)
+                    .unwrap();
+                let (_, s2) = comm
+                    .recv_bytes_from_as_overlapped(0, Collective::ShardPush, anchor)
+                    .unwrap();
+                Some((s1, s2))
+            }
+        });
+        let (s1, s2) = out[1].unwrap();
+        assert!((s1.hidden_s - occupancy).abs() < 1e-12);
+        assert!((s2.hidden_s - occupancy).abs() < 1e-12, "push lane unaffected");
     }
 
     #[test]

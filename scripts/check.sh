@@ -72,11 +72,13 @@ cargo test -p kge-train --release \
 KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test resume_determinism
 echo "check: checkpoint codec + resume equivalence pass (both dispatch arms)"
 
-# Sharded storage: f32 sharded runs (with and without the hot cache)
-# must be bit-identical to the full-replica trainer across world sizes
-# and thread counts, int8-at-rest must be deterministic, crash recovery
-# must shrink and stay reproducible — under both dispatch arms — and the
-# sharded pull/push steady state must stay allocation-free.
+# Sharded storage: f32 sharded runs (with and without the hot cache,
+# synchronous and prefetch-pipelined, fixed and DRS-selected arm) must be
+# bit-identical to the full-replica trainer across world sizes and thread
+# counts, int8-at-rest must be deterministic (prefetch on or off), crash
+# recovery — including a crash mid-prefetch-ring — must shrink and stay
+# reproducible — under both dispatch arms — and the sharded pull/push
+# steady state (both lanes, ring included) must stay allocation-free.
 cargo test -p kge-train --release --test sharded_determinism --test zero_alloc_sharded
 KGE_FORCE_SCALAR=1 cargo test -p kge-train --release --test sharded_determinism
 echo "check: sharded storage determinism + zero-alloc tests pass (both dispatch arms)"
